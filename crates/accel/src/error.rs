@@ -1,0 +1,110 @@
+//! Error type for the accelerator simulator.
+
+use std::fmt;
+
+use dnnip_nn::NnError;
+use dnnip_tensor::TensorError;
+
+/// Convenience alias for `Result<T, AccelError>`.
+pub type Result<T> = std::result::Result<T, AccelError>;
+
+/// Errors produced by quantization, weight-memory access and IP inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// An underlying network operation failed.
+    Nn(NnError),
+    /// Unsupported quantization width.
+    UnsupportedBitWidth {
+        /// The requested width in bits.
+        bits: u8,
+    },
+    /// A parameter, byte or bit address is outside the weight memory.
+    AddressOutOfRange {
+        /// Offending address.
+        address: usize,
+        /// Size of the addressed space.
+        size: usize,
+        /// What kind of address was used ("parameter", "byte", "bit").
+        unit: &'static str,
+    },
+    /// The weight memory does not match the network it is being paired with.
+    MemoryLayoutMismatch {
+        /// Parameters expected by the network.
+        expected_params: usize,
+        /// Parameters present in the memory image.
+        memory_params: usize,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            AccelError::Nn(e) => write!(f, "network error: {e}"),
+            AccelError::UnsupportedBitWidth { bits } => {
+                write!(f, "unsupported quantization width: {bits} bits (use 8 or 16)")
+            }
+            AccelError::AddressOutOfRange { address, size, unit } => {
+                write!(f, "{unit} address {address} out of range (size {size})")
+            }
+            AccelError::MemoryLayoutMismatch {
+                expected_params,
+                memory_params,
+            } => write!(
+                f,
+                "weight memory holds {memory_params} parameters but the network expects {expected_params}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AccelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AccelError::Tensor(e) => Some(e),
+            AccelError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for AccelError {
+    fn from(e: TensorError) -> Self {
+        AccelError::Tensor(e)
+    }
+}
+
+impl From<NnError> for AccelError {
+    fn from(e: NnError) -> Self {
+        AccelError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AccelError::UnsupportedBitWidth { bits: 12 };
+        assert!(e.to_string().contains("12"));
+        let e = AccelError::AddressOutOfRange {
+            address: 100,
+            size: 10,
+            unit: "bit",
+        };
+        assert!(e.to_string().contains("bit"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_chains() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AccelError>();
+        use std::error::Error;
+        let e: AccelError = TensorError::EmptyTensor { op: "max" }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,33 @@
+//! Black-box DNN accelerator IP simulator.
+//!
+//! The DATE 2019 paper's threat model is a hardware DNN accelerator shipped as a
+//! black-box IP: the user can only feed inputs and read outputs, while the model
+//! parameters live in off-chip memory where fault-injection and tampering attacks
+//! (Liu et al. ICCAD'17, reverse-engineering + substitution) can modify them.
+//! This crate simulates exactly that surface:
+//!
+//! * [`quant`] — symmetric fixed-point quantization (8- or 16-bit) with
+//!   per-tensor scales, the representation real accelerators keep weights in.
+//! * [`memory`] — [`memory::WeightMemory`], an explicit little-endian byte image
+//!   of all quantized parameters, addressable by parameter index, byte or bit —
+//!   the attack surface for memory-tampering faults.
+//! * [`ip`] — the [`ip::DnnIp`] black-box trait (`infer` only) with two
+//!   implementations: [`ip::FloatIp`] (golden reference running the float
+//!   network) and [`ip::AcceleratorIp`] (runs inference from the quantized
+//!   weight memory, so any corruption of that memory changes its behaviour).
+//!
+//! The functional-validation protocol in `dnnip-core` only ever talks to a
+//! `&dyn DnnIp`, which enforces the paper's "IP users have no access to
+//! intermediate results or parameters" constraint by construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod ip;
+pub mod memory;
+pub mod perf;
+pub mod quant;
+
+pub use error::{AccelError, Result};

@@ -1,0 +1,84 @@
+//! Criterion benches for the detection-rate harness (the compute behind Tables
+//! II/III): attack generation plus suite replay per trial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig};
+use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
+use dnnip_faults::attacks::{GradientDescentAttack, RandomPerturbation, SingleBiasAttack};
+use dnnip_faults::detection::{detection_rate, DetectionConfig, MatchPolicy};
+use dnnip_nn::layers::Activation;
+use dnnip_nn::zoo;
+use dnnip_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_detection(c: &mut Criterion) {
+    let net = zoo::tiny_cnn(6, 10, Activation::Relu, 31).unwrap();
+    let pool: Vec<Tensor> = (0..40)
+        .map(|i| Tensor::from_fn(&[1, 8, 8], |j| ((i * 64 + j) as f32 * 0.21).sin().abs()))
+        .collect();
+    let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+    let tests = generate_tests(
+        &analyzer,
+        &pool,
+        GenerationMethod::Combined,
+        &GenerationConfig {
+            max_tests: 10,
+            ..GenerationConfig::default()
+        },
+    )
+    .unwrap()
+    .inputs;
+    let probes = &pool[..8];
+    let config = DetectionConfig {
+        trials: 10,
+        seed: 3,
+        policy: MatchPolicy::OutputTolerance(1e-4),
+    };
+
+    let mut group = c.benchmark_group("detection_rate_10_trials_10_tests");
+    group.sample_size(10);
+    group.bench_function("sba", |bench| {
+        bench.iter(|| {
+            detection_rate(
+                black_box(&net),
+                &SingleBiasAttack::default(),
+                probes,
+                &tests,
+                &config,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("gda", |bench| {
+        bench.iter(|| {
+            detection_rate(
+                black_box(&net),
+                &GradientDescentAttack::default(),
+                probes,
+                &tests,
+                &config,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("random", |bench| {
+        bench.iter(|| {
+            detection_rate(
+                black_box(&net),
+                &RandomPerturbation::default(),
+                probes,
+                &tests,
+                &config,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_detection
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Fig. 3 — validation coverage vs number of functional tests for the three
+//! generation methods (training-set selection, gradient-based, combined) on the
+//! CIFAR model.
+//!
+//! ```text
+//! cargo run --release -p dnnip-bench --bin fig3_methods_sweep [smoke|default|paper]
+//! ```
+
+use dnnip_bench::{pct, prepare_cifar, ExperimentProfile};
+use dnnip_core::coverage::CoverageAnalyzer;
+use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
+use dnnip_core::gradgen::GradGenConfig;
+
+fn main() {
+    let profile = ExperimentProfile::from_env_or_args();
+    println!("== Fig. 3: validation coverage of different methods (CIFAR model) ==");
+    println!("profile: {}\n", profile.name());
+
+    let model = prepare_cifar(profile, 11);
+    let analyzer = CoverageAnalyzer::new(&model.network, model.coverage);
+    let pool_size = profile.candidate_pool().min(model.dataset.len());
+    let pool = &model.dataset.inputs[..pool_size];
+    println!(
+        "{}: {} parameters, candidate pool of {} training images, train acc {}",
+        model.name,
+        model.network.num_parameters(),
+        pool.len(),
+        pct(model.train_accuracy, 7)
+    );
+
+    let budgets = profile.fig3_budgets();
+    let methods = [
+        GenerationMethod::TrainingSetSelection,
+        GenerationMethod::GradientBased,
+        GenerationMethod::Combined,
+    ];
+
+    println!("\n  #tests | training-selection | gradient-based | combined");
+    println!("  -------+--------------------+----------------+---------");
+    for &budget in &budgets {
+        let mut row = format!("  {budget:>6} |");
+        for method in methods {
+            let config = GenerationConfig {
+                max_tests: budget,
+                coverage: model.coverage,
+                // Longer descent and larger per-round random restarts: each
+                // synthetic batch explores a different part of the input space,
+                // which is what lets the gradient-based curve keep rising.
+                gradgen: GradGenConfig {
+                    steps: 30,
+                    eta: 1.0,
+                    init_noise: 0.5,
+                    ..GradGenConfig::default()
+                },
+                ..GenerationConfig::default()
+            };
+            let out = generate_tests(&analyzer, pool, method, &config).expect("generation");
+            let cell = pct(out.final_coverage(), 8);
+            match method {
+                GenerationMethod::TrainingSetSelection => row.push_str(&format!(" {cell:>18} |")),
+                GenerationMethod::GradientBased => row.push_str(&format!(" {cell:>14} |")),
+                _ => row.push_str(&format!(" {cell:>8}")),
+            }
+        }
+        println!("{row}");
+    }
+
+    // The whole-training-set ceiling the paper discusses (~8% of parameters are
+    // never activated by any training sample).
+    let whole_pool = analyzer
+        .coverage_of_set(pool)
+        .expect("coverage of the whole candidate pool");
+    println!(
+        "\n  coverage of the whole candidate pool ({} images): {}",
+        pool.len(),
+        pct(whole_pool, 8)
+    );
+    println!("  paper's qualitative shape: selection saturates (~86-90%), gradient-based keeps rising,");
+    println!("  combined dominates at small budgets (30 tests ≈ 92% in the paper).");
+}

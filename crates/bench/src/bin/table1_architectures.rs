@@ -1,0 +1,23 @@
+//! Table I — the two model architectures, printed with per-layer output shapes
+//! and parameter counts (both at paper scale and at the scaled profile used by
+//! the default experiments).
+//!
+//! ```text
+//! cargo run --release -p dnnip-bench --bin table1_architectures
+//! ```
+
+use dnnip_nn::zoo;
+
+fn main() {
+    println!("== Table I: model architectures ==\n");
+    let mnist = zoo::mnist_model(0).expect("Table-I MNIST geometry");
+    println!("MNIST model (28x28x1, Tanh):\n{}", mnist.summary());
+    let cifar = zoo::cifar_model(0).expect("Table-I CIFAR geometry");
+    println!("CIFAR-10 model (32x32x3, ReLU):\n{}", cifar.summary());
+
+    println!("Scaled variants used by the default experiment profile:\n");
+    let mnist_s = zoo::mnist_model_scaled(0).expect("scaled MNIST geometry");
+    println!("MNIST-scaled (16x16x1, Tanh):\n{}", mnist_s.summary());
+    let cifar_s = zoo::cifar_model_scaled(0).expect("scaled CIFAR geometry");
+    println!("CIFAR-scaled (16x16x3, ReLU):\n{}", cifar_s.summary());
+}

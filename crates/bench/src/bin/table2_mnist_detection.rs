@@ -1,0 +1,20 @@
+//! Table II — detection rate under SBA / GDA / random perturbations on the
+//! MNIST model, for increasing functional-test budgets, comparing the proposed
+//! parameter-coverage tests against the neuron-coverage baseline.
+//!
+//! ```text
+//! cargo run --release -p dnnip-bench --bin table2_mnist_detection [smoke|default|paper]
+//! ```
+
+use dnnip_bench::{prepare_mnist, ExperimentProfile};
+use dnnip_bench::detection_table::print_detection_table;
+
+fn main() {
+    let profile = ExperimentProfile::from_env_or_args();
+    println!("== Table II: detection rate under different perturbations (MNIST) ==");
+    println!("profile: {}\n", profile.name());
+    let model = prepare_mnist(profile, 17);
+    print_detection_table(&model, profile, 1717);
+    println!("\npaper (N=20, proposed): SBA 91.1%  GDA 92.5%  Random 90.4%");
+    println!("paper (N=20, neuron baseline): SBA 67.4%  GDA 76.5%  Random 65.9%");
+}

@@ -1,0 +1,163 @@
+//! Shared driver for the Table II / Table III detection-rate experiments.
+
+use dnnip_core::coverage::CoverageAnalyzer;
+use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
+use dnnip_core::neuron::{NeuronCoverageAnalyzer, NeuronCoverageConfig};
+use dnnip_faults::attacks::{Attack, GradientDescentAttack, RandomPerturbation, SingleBiasAttack};
+use dnnip_faults::detection::{detection_rate, DetectionConfig, MatchPolicy};
+use dnnip_tensor::Tensor;
+
+use crate::{pct, ExperimentProfile, PreparedModel};
+
+/// One row of a detection table: a test budget and the six detection rates
+/// (SBA/GDA/random for the neuron-coverage baseline and for the proposed
+/// parameter-coverage tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionRow {
+    /// Number of functional tests used.
+    pub num_tests: usize,
+    /// Detection rates of the neuron-coverage baseline `[sba, gda, random]`.
+    pub baseline: [f32; 3],
+    /// Detection rates of the proposed tests `[sba, gda, random]`.
+    pub proposed: [f32; 3],
+}
+
+/// Compute the full detection table for a prepared model.
+///
+/// # Panics
+///
+/// Panics on generation or detection errors — the experiment cannot continue
+/// meaningfully and all configurations used here are statically valid.
+pub fn detection_table(
+    model: &PreparedModel,
+    profile: ExperimentProfile,
+    seed: u64,
+) -> Vec<DetectionRow> {
+    let analyzer = CoverageAnalyzer::new(&model.network, model.coverage);
+    let neuron = NeuronCoverageAnalyzer::new(&model.network, NeuronCoverageConfig::default());
+    let pool_size = profile.candidate_pool().min(model.dataset.len());
+    let pool = &model.dataset.inputs[..pool_size];
+    let probes: Vec<Tensor> = model.dataset.inputs[..profile.probe_count().min(pool_size)].to_vec();
+
+    let max_budget = *profile.table_test_counts().iter().max().expect("non-empty budgets");
+
+    // Generate the largest suites once; smaller budgets are prefixes, which is
+    // exactly how the paper sweeps N (the greedy orders are nested).
+    let proposed_all = generate_tests(
+        &analyzer,
+        pool,
+        GenerationMethod::Combined,
+        &GenerationConfig {
+            max_tests: max_budget,
+            coverage: model.coverage,
+            ..GenerationConfig::default()
+        },
+    )
+    .expect("combined generation")
+    .inputs;
+    let baseline_selection = neuron
+        .select_by_neuron_coverage(pool, max_budget)
+        .expect("neuron-coverage selection");
+    let baseline_all: Vec<Tensor> = baseline_selection
+        .selected
+        .iter()
+        .map(|&i| pool[i].clone())
+        .collect();
+
+    // The paper does not say how many parameters its "random gaussian noise"
+    // perturbation touches. A fixed handful (e.g. 16) out of tens of thousands is
+    // almost never visible in the argmax of any test, so the random model here
+    // corrupts 1% of the parameters — dense enough to matter, sparse enough that
+    // test quality still decides whether it is caught.
+    let random_params = (model.network.num_parameters() / 100).max(16);
+    let attacks: [(&str, Box<dyn Attack>); 3] = [
+        ("sba", Box::new(SingleBiasAttack::default())),
+        ("gda", Box::new(GradientDescentAttack::default())),
+        (
+            "random",
+            Box::new(RandomPerturbation {
+                num_params: random_params,
+                std: 0.5,
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for &n in &profile.table_test_counts() {
+        // The paper's user checks whether the IP "functions correctly" on the
+        // shared tests; the argmax policy models a classification-API user and is
+        // the discriminative setting (an exact-output comparison detects nearly
+        // every perturbation and saturates both methods at ~100%).
+        let config = DetectionConfig {
+            trials: profile.detection_trials(),
+            seed,
+            policy: MatchPolicy::ArgMax,
+        };
+        let mut row = DetectionRow {
+            num_tests: n,
+            baseline: [0.0; 3],
+            proposed: [0.0; 3],
+        };
+        for (i, (_, attack)) in attacks.iter().enumerate() {
+            let baseline_tests = &baseline_all[..n.min(baseline_all.len())];
+            let proposed_tests = &proposed_all[..n.min(proposed_all.len())];
+            row.baseline[i] = detection_rate(&model.network, attack.as_ref(), &probes, baseline_tests, &config)
+                .expect("baseline detection")
+                .detection_rate();
+            row.proposed[i] = detection_rate(&model.network, attack.as_ref(), &probes, proposed_tests, &config)
+                .expect("proposed detection")
+                .detection_rate();
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+/// Print a detection table in the layout of the paper's Tables II/III.
+pub fn print_detection_table(model: &PreparedModel, profile: ExperimentProfile, seed: u64) {
+    println!(
+        "{}: {} parameters, {} trials per cell, train acc {}",
+        model.name,
+        model.network.num_parameters(),
+        profile.detection_trials(),
+        pct(model.train_accuracy, 7)
+    );
+    println!("\n              |  tests with neuron coverage   |  proposed with parameter coverage");
+    println!("  #tests      |    SBA      GDA     Random    |    SBA      GDA     Random");
+    println!("  ------------+-------------------------------+----------------------------------");
+    for row in detection_table(model, profile, seed) {
+        println!(
+            "  N={:<10} | {} {} {}   | {} {} {}",
+            row.num_tests,
+            pct(row.baseline[0], 8),
+            pct(row.baseline[1], 8),
+            pct(row.baseline[2], 8),
+            pct(row.proposed[0], 8),
+            pct(row.proposed[1], 8),
+            pct(row.proposed[2], 8),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prepare_mnist;
+
+    #[test]
+    fn smoke_table_has_expected_shape_and_ranges() {
+        let profile = ExperimentProfile::Smoke;
+        let model = prepare_mnist(profile, 3);
+        let rows = detection_table(&model, profile, 5);
+        assert_eq!(rows.len(), profile.table_test_counts().len());
+        for row in &rows {
+            for rate in row.baseline.iter().chain(&row.proposed) {
+                assert!((0.0..=1.0).contains(rate));
+            }
+        }
+        // More tests never hurt the proposed method's SBA detection (prefix property).
+        if rows.len() >= 2 {
+            assert!(rows[rows.len() - 1].proposed[0] >= rows[0].proposed[0] - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Compact fixed-size bitsets used as parameter / neuron activation sets.
+//!
+//! A [`Bitset`] over `n` positions represents "the set of parameters (or neurons)
+//! activated by one test input". Coverage of a test *set* is the popcount of the
+//! union of its members' bitsets — exactly Eq. 4 of the paper — so the two
+//! operations that matter are fast union and fast "how many new bits would this
+//! set contribute" queries, both implemented word-wise over `u64`s.
+
+/// A fixed-length bitset backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Default for Bitset {
+    /// The default bitset has zero positions; it is a placeholder to be replaced
+    /// by a properly sized set.
+    fn default() -> Self {
+        Bitset::new(0)
+    }
+}
+
+impl Bitset {
+    /// Create an empty bitset with `len` positions, all zero.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of positions (not the number of set bits).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitset has zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set position `i` to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` — activation sets are always built against a known
+    /// parameter count, so an out-of-range index is a logic error.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether position `i` is set (out-of-range queries return `false`).
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of positions set, in `[0, 1]` (0.0 for an empty bitset).
+    pub fn density(&self) -> f32 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f32 / self.len as f32
+        }
+    }
+
+    /// In-place union: `self |= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ — unions only make sense over the same
+    /// parameter space.
+    pub fn union_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset length mismatch in union");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Number of bits set in `other` that are **not** set in `self` — the
+    /// marginal coverage gain of adding `other` to a running union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn union_gain(&self, other: &Bitset) -> usize {
+        assert_eq!(self.len, other.len, "bitset length mismatch in union_gain");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (b & !a).count_ones() as usize)
+            .sum()
+    }
+
+    /// Union of an iterator of bitsets over `len` positions.
+    pub fn union_of<'a>(len: usize, sets: impl IntoIterator<Item = &'a Bitset>) -> Bitset {
+        let mut out = Bitset::new(len);
+        for s in sets {
+            out.union_with(s);
+        }
+        out
+    }
+
+    /// Iterate over the indices of the set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = Bitset::new(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert!(!b.get(500));
+        assert_eq!(b.count_ones(), 4);
+        assert!((b.density() - 4.0 / 130.0).abs() < 1e-6);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut b = Bitset::new(10);
+        b.set(10);
+    }
+
+    #[test]
+    fn union_and_gain() {
+        let mut a = Bitset::new(100);
+        a.set(1);
+        a.set(50);
+        let mut b = Bitset::new(100);
+        b.set(50);
+        b.set(99);
+        assert_eq!(a.union_gain(&b), 1);
+        assert_eq!(b.union_gain(&a), 1);
+        a.union_with(&b);
+        assert_eq!(a.count_ones(), 3);
+        assert_eq!(a.union_gain(&b), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn union_length_mismatch_panics() {
+        let mut a = Bitset::new(10);
+        let b = Bitset::new(20);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn union_of_many() {
+        let sets: Vec<Bitset> = (0..5)
+            .map(|i| {
+                let mut b = Bitset::new(32);
+                b.set(i);
+                b.set(i + 10);
+                b
+            })
+            .collect();
+        let u = Bitset::union_of(32, &sets);
+        assert_eq!(u.count_ones(), 10);
+        let empty_union = Bitset::union_of(32, std::iter::empty());
+        assert_eq!(empty_union.count_ones(), 0);
+    }
+
+    #[test]
+    fn density_of_zero_length_set() {
+        let b = Bitset::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.density(), 0.0);
+        assert_eq!(b.count_ones(), 0);
+    }
+}

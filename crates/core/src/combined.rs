@@ -1,0 +1,294 @@
+//! The combined functional-test generator (paper Section IV-D).
+//!
+//! Algorithm 1 (training-set selection) is very efficient for the first few tests
+//! but saturates; Algorithm 2 (gradient-based synthesis) keeps finding new
+//! coverage but its early tests are weaker than real training samples. The
+//! combined generator runs Algorithm 1 and switches to Algorithm 2 at the point
+//! where the *marginal coverage gain per test* of a synthetic batch exceeds the
+//! gain of the best remaining training sample.
+
+use dnnip_tensor::Tensor;
+
+use crate::bitset::Bitset;
+use crate::coverage::CoverageAnalyzer;
+use crate::gradgen::{GradGenConfig, GradientGenerator};
+use crate::{CoreError, Result};
+
+/// Where a generated functional test came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TestSource {
+    /// Selected from the training set by Algorithm 1 (stores the candidate index).
+    TrainingSample(usize),
+    /// Synthesized by Algorithm 2 (stores the target class).
+    Synthetic(usize),
+}
+
+/// Configuration of the combined generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CombinedConfig {
+    /// Maximum number of functional tests to produce.
+    pub max_tests: usize,
+    /// Configuration of the gradient-based generator used after the switch.
+    pub gradgen: GradGenConfig,
+}
+
+impl Default for CombinedConfig {
+    fn default() -> Self {
+        Self {
+            max_tests: 30,
+            gradgen: GradGenConfig::default(),
+        }
+    }
+}
+
+/// Result of the combined generation.
+#[derive(Debug, Clone, Default)]
+pub struct CombinedResult {
+    /// The generated functional tests, in generation order.
+    pub tests: Vec<Tensor>,
+    /// Provenance of each test (parallel to `tests`).
+    pub sources: Vec<TestSource>,
+    /// Validation coverage after each test was added (parallel to `tests`).
+    pub coverage_curve: Vec<f32>,
+    /// Index in `tests` at which the generator switched to Algorithm 2, if it did.
+    pub switch_point: Option<usize>,
+}
+
+impl CombinedResult {
+    /// Final validation coverage (0.0 if no tests were generated).
+    pub fn final_coverage(&self) -> f32 {
+        self.coverage_curve.last().copied().unwrap_or(0.0)
+    }
+
+    /// Number of tests selected from the training set.
+    pub fn num_training_tests(&self) -> usize {
+        self.sources
+            .iter()
+            .filter(|s| matches!(s, TestSource::TrainingSample(_)))
+            .count()
+    }
+
+    /// Number of synthesized tests.
+    pub fn num_synthetic_tests(&self) -> usize {
+        self.sources
+            .iter()
+            .filter(|s| matches!(s, TestSource::Synthetic(_)))
+            .count()
+    }
+}
+
+/// Run the combined generator: Algorithm 1 until Algorithm 2 offers a better
+/// per-test coverage gain, then Algorithm 2 until the budget is exhausted.
+///
+/// `candidates` is the training set (or a representative subsample of it).
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyCandidatePool`] when `candidates` is empty,
+/// [`CoreError::InvalidConfig`] for a zero budget, and propagates gradient /
+/// coverage errors.
+pub fn generate_combined(
+    analyzer: &CoverageAnalyzer<'_>,
+    candidates: &[Tensor],
+    config: &CombinedConfig,
+) -> Result<CombinedResult> {
+    if candidates.is_empty() {
+        return Err(CoreError::EmptyCandidatePool);
+    }
+    if config.max_tests == 0 {
+        return Err(CoreError::InvalidConfig {
+            reason: "max_tests must be at least 1".to_string(),
+        });
+    }
+
+    let num_params = analyzer.num_parameters();
+    let candidate_sets = analyzer.activation_sets(candidates)?;
+    let mut taken = vec![false; candidates.len()];
+    let mut covered = Bitset::new(num_params);
+    let mut result = CombinedResult::default();
+
+    let mut generator = GradientGenerator::new(analyzer.network(), config.gradgen);
+    // One synthetic batch is kept pending: its per-test gain against the current
+    // covered set is the "benefit achieved by Algorithm 2" the switch rule
+    // compares against. Generating it lazily (only once Algorithm 1 starts
+    // saturating would be cheaper, but the paper's rule compares benefits from
+    // the start, and one batch of k gradient descents is affordable).
+    let mut pending_batch: Vec<(Tensor, usize, Bitset)> = Vec::new();
+    let mut switched = false;
+
+    while result.tests.len() < config.max_tests {
+        if switched {
+            // Algorithm 2 only: add the pending batch (or a fresh one), test by test.
+            if pending_batch.is_empty() {
+                pending_batch = materialize_batch(&mut generator, analyzer)?;
+            }
+            let (input, class, set) = pending_batch.remove(0);
+            covered.union_with(&set);
+            result.tests.push(input);
+            result.sources.push(TestSource::Synthetic(class));
+            result
+                .coverage_curve
+                .push(covered.count_ones() as f32 / num_params as f32);
+            continue;
+        }
+
+        // Best remaining training candidate (Algorithm 1's next step).
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for (i, set) in candidate_sets.iter().enumerate() {
+            if taken[i] {
+                continue;
+            }
+            let gain = covered.union_gain(set);
+            if best.map(|(g, _)| gain > g).unwrap_or(true) {
+                best = Some((gain, i));
+            }
+        }
+        let train_gain = best.map(|(g, _)| g).unwrap_or(0);
+
+        // Per-test gain of the pending synthetic batch.
+        if pending_batch.is_empty() {
+            pending_batch = materialize_batch(&mut generator, analyzer)?;
+        }
+        let batch_gain: usize = {
+            let mut union = covered.clone();
+            let mut total = 0usize;
+            for (_, _, set) in &pending_batch {
+                total += union.union_gain(set);
+                union.union_with(set);
+            }
+            total
+        };
+        let synthetic_gain_per_test = batch_gain / pending_batch.len().max(1);
+
+        // The paper's switch rule: move to Algorithm 2 once its per-test benefit
+        // exceeds Algorithm 1's. Also switch if the training set is exhausted.
+        if best.is_none() || synthetic_gain_per_test > train_gain {
+            switched = true;
+            result.switch_point = Some(result.tests.len());
+            continue;
+        }
+
+        let (_, index) = best.expect("checked above");
+        taken[index] = true;
+        covered.union_with(&candidate_sets[index]);
+        result.tests.push(candidates[index].clone());
+        result.sources.push(TestSource::TrainingSample(index));
+        result
+            .coverage_curve
+            .push(covered.count_ones() as f32 / num_params as f32);
+    }
+    Ok(result)
+}
+
+fn materialize_batch(
+    generator: &mut GradientGenerator<'_>,
+    analyzer: &CoverageAnalyzer<'_>,
+) -> Result<Vec<(Tensor, usize, Bitset)>> {
+    let batch = generator.generate_batch()?;
+    batch
+        .into_iter()
+        .map(|t| {
+            let set = analyzer.activation_set(&t.input)?;
+            Ok((t.input, t.target_class, set))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::CoverageConfig;
+    use crate::select::select_from_training_set;
+    use dnnip_nn::layers::Activation;
+    use dnnip_nn::zoo;
+    use dnnip_nn::Network;
+
+    fn net() -> Network {
+        zoo::tiny_mlp(6, 16, 4, Activation::Relu, 17).unwrap()
+    }
+
+    fn candidates(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| Tensor::from_fn(&[6], |j| ((i * 6 + j) as f32 * 0.37).sin().max(0.0)))
+            .collect()
+    }
+
+    #[test]
+    fn produces_the_requested_number_of_tests() {
+        let network = net();
+        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let pool = candidates(20);
+        let config = CombinedConfig {
+            max_tests: 12,
+            ..CombinedConfig::default()
+        };
+        let result = generate_combined(&analyzer, &pool, &config).unwrap();
+        assert_eq!(result.tests.len(), 12);
+        assert_eq!(result.sources.len(), 12);
+        assert_eq!(result.coverage_curve.len(), 12);
+        assert_eq!(
+            result.num_training_tests() + result.num_synthetic_tests(),
+            12
+        );
+        // Coverage curve is non-decreasing.
+        for w in result.coverage_curve.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6);
+        }
+    }
+
+    #[test]
+    fn switches_to_synthesis_when_training_set_saturates() {
+        let network = net();
+        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        // A tiny, highly redundant candidate pool saturates almost immediately.
+        let pool: Vec<Tensor> = vec![candidates(1)[0].clone(); 5];
+        let config = CombinedConfig {
+            max_tests: 8,
+            ..CombinedConfig::default()
+        };
+        let result = generate_combined(&analyzer, &pool, &config).unwrap();
+        assert!(result.switch_point.is_some(), "generator never switched");
+        assert!(result.num_synthetic_tests() > 0);
+        assert_eq!(result.tests.len(), 8);
+    }
+
+    #[test]
+    fn combined_matches_or_beats_pure_training_selection() {
+        let network = net();
+        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let pool = candidates(15);
+        let budget = 10usize;
+        let combined = generate_combined(
+            &analyzer,
+            &pool,
+            &CombinedConfig {
+                max_tests: budget,
+                ..CombinedConfig::default()
+            },
+        )
+        .unwrap();
+        let training_only = select_from_training_set(&analyzer, &pool, budget).unwrap();
+        assert!(
+            combined.final_coverage() >= training_only.final_coverage() - 1e-6,
+            "combined {} vs training-only {}",
+            combined.final_coverage(),
+            training_only.final_coverage()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let network = net();
+        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        assert!(matches!(
+            generate_combined(&analyzer, &[], &CombinedConfig::default()),
+            Err(CoreError::EmptyCandidatePool)
+        ));
+        let pool = candidates(3);
+        let config = CombinedConfig {
+            max_tests: 0,
+            ..CombinedConfig::default()
+        };
+        assert!(generate_combined(&analyzer, &pool, &config).is_err());
+    }
+}

@@ -1,0 +1,370 @@
+//! The validation-coverage metric (paper Section IV-A, Eq. 2–5).
+//!
+//! A parameter θ is **activated** by input `x` when a perturbation of θ would
+//! propagate to the DNN output, which the paper measures through the gradient
+//! `∇θ F(x)`:
+//!
+//! * for ReLU networks the gradient is exactly zero for every parameter on an
+//!   inactive path, so "activated" means `∇θ F(x) ≠ 0` (Eq. 2);
+//! * for saturating activations (Tanh, Sigmoid) the gradient never vanishes
+//!   exactly, so a parameter counts as activated when `|∇θ F(x)| > ε`.
+//!
+//! [`CoverageAnalyzer`] computes per-input activation sets as [`Bitset`]s over
+//! the network's flat parameter space; the validation coverage of a test set is
+//! the density of the union of its members' activation sets (Eq. 4).
+
+use dnnip_nn::layers::Layer;
+use dnnip_nn::Network;
+use dnnip_tensor::Tensor;
+
+use crate::bitset::Bitset;
+use crate::{CoreError, Result};
+
+/// How the activation threshold ε is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EpsilonPolicy {
+    /// A parameter is activated iff its gradient is exactly non-zero (the paper's
+    /// rule for ReLU networks).
+    Exact,
+    /// A parameter is activated iff `|grad| > ε` for a fixed absolute ε.
+    Absolute(f32),
+    /// A parameter is activated iff `|grad| > fraction * max_i |grad_i|` for this
+    /// input — adapts to the gradient scale of each sample.
+    RelativeToMax(f32),
+    /// Choose automatically: [`EpsilonPolicy::Exact`] for networks whose
+    /// activations are all non-saturating, otherwise
+    /// [`EpsilonPolicy::RelativeToMax`] with the given fraction (the paper's
+    /// "small value ε" for Tanh/Sigmoid models).
+    Auto(f32),
+}
+
+impl Default for EpsilonPolicy {
+    fn default() -> Self {
+        EpsilonPolicy::Auto(1e-4)
+    }
+}
+
+/// How the (vector-valued) network output is reduced to the scalar whose
+/// parameter gradient defines activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputProjection {
+    /// Gradient of the **sum of all output logits** — one backward pass per
+    /// sample. This is the default: a parameter whose perturbation reaches *any*
+    /// output reaches their sum except on a measure-zero cancellation set.
+    #[default]
+    SumOfOutputs,
+    /// Gradient of each output logit separately, a parameter being activated if
+    /// any class gradient passes the threshold — `k` backward passes per sample,
+    /// immune to cancellation. Used by the ε-sensitivity ablation.
+    PerClassMax,
+}
+
+/// Configuration of the coverage analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CoverageConfig {
+    /// Threshold policy for the activation test.
+    pub epsilon: EpsilonPolicy,
+    /// Output-to-scalar projection.
+    pub projection: OutputProjection,
+}
+
+/// Computes parameter activation sets and validation coverage for one network.
+#[derive(Debug, Clone)]
+pub struct CoverageAnalyzer<'a> {
+    network: &'a Network,
+    config: CoverageConfig,
+    saturating: bool,
+}
+
+impl<'a> CoverageAnalyzer<'a> {
+    /// Create an analyzer for `network`.
+    pub fn new(network: &'a Network, config: CoverageConfig) -> Self {
+        let saturating = network.layers().iter().any(|l| match l {
+            Layer::Activation(a) => a.activation().is_saturating(),
+            _ => false,
+        });
+        Self {
+            network,
+            config,
+            saturating,
+        }
+    }
+
+    /// The analyzed network.
+    pub fn network(&self) -> &Network {
+        self.network
+    }
+
+    /// Total number of parameters (the length of every activation set).
+    pub fn num_parameters(&self) -> usize {
+        self.network.num_parameters()
+    }
+
+    /// Resolve the effective threshold for a gradient vector.
+    fn threshold(&self, grads: &[f32]) -> f32 {
+        let policy = match self.config.epsilon {
+            EpsilonPolicy::Auto(fraction) => {
+                if self.saturating {
+                    EpsilonPolicy::RelativeToMax(fraction)
+                } else {
+                    EpsilonPolicy::Exact
+                }
+            }
+            other => other,
+        };
+        match policy {
+            EpsilonPolicy::Exact => 0.0,
+            EpsilonPolicy::Absolute(eps) => eps,
+            EpsilonPolicy::RelativeToMax(fraction) => {
+                let max = grads.iter().fold(0.0f32, |m, g| m.max(g.abs()));
+                fraction * max
+            }
+            EpsilonPolicy::Auto(_) => unreachable!("Auto resolved above"),
+        }
+    }
+
+    fn set_from_grads(&self, grads: &[f32], out: &mut Bitset) {
+        let threshold = self.threshold(grads);
+        for (i, g) in grads.iter().enumerate() {
+            let activated = if threshold == 0.0 {
+                *g != 0.0
+            } else {
+                g.abs() > threshold
+            };
+            if activated {
+                out.set(i);
+            }
+        }
+    }
+
+    /// The activation set of a single input: bit `i` is set iff parameter `i` is
+    /// activated by this input under the configured policy (Eq. 2 / Eq. 5).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sample shape does not match the network input.
+    pub fn activation_set(&self, sample: &Tensor) -> Result<Bitset> {
+        let n = self.num_parameters();
+        let mut set = Bitset::new(n);
+        match self.config.projection {
+            OutputProjection::SumOfOutputs => {
+                let ones = vec![1.0f32; self.network.num_classes()];
+                let grads = self.network.parameter_gradients(sample, &ones)?;
+                self.set_from_grads(&grads, &mut set);
+            }
+            OutputProjection::PerClassMax => {
+                let classes = self.network.num_classes();
+                for class in 0..classes {
+                    let mut weights = vec![0.0f32; classes];
+                    weights[class] = 1.0;
+                    let grads = self.network.parameter_gradients(sample, &weights)?;
+                    self.set_from_grads(&grads, &mut set);
+                }
+            }
+        }
+        Ok(set)
+    }
+
+    /// Activation sets for a batch of inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any sample shape does not match the network input.
+    pub fn activation_sets(&self, samples: &[Tensor]) -> Result<Vec<Bitset>> {
+        samples.iter().map(|s| self.activation_set(s)).collect()
+    }
+
+    /// Validation coverage of a single input (Eq. 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sample shape does not match the network input.
+    pub fn coverage_of_sample(&self, sample: &Tensor) -> Result<f32> {
+        Ok(self.activation_set(sample)?.density())
+    }
+
+    /// Validation coverage of a test set (Eq. 4): density of the union of the
+    /// members' activation sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any sample shape does not match the network input.
+    pub fn coverage_of_set(&self, samples: &[Tensor]) -> Result<f32> {
+        let mut union = Bitset::new(self.num_parameters());
+        for sample in samples {
+            union.union_with(&self.activation_set(sample)?);
+        }
+        Ok(union.density())
+    }
+
+    /// Mean per-sample validation coverage over a collection of inputs (used for
+    /// the Fig. 2 image-family comparison).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyCandidatePool`] for an empty collection, or a
+    /// shape error for incompatible samples.
+    pub fn mean_sample_coverage(&self, samples: &[Tensor]) -> Result<f32> {
+        if samples.is_empty() {
+            return Err(CoreError::EmptyCandidatePool);
+        }
+        let mut total = 0.0f32;
+        for sample in samples {
+            total += self.coverage_of_sample(sample)?;
+        }
+        Ok(total / samples.len() as f32)
+    }
+}
+
+/// Validation coverage of a pre-computed family of activation sets (Eq. 4),
+/// without re-running any gradients.
+pub fn coverage_of_sets(sets: &[Bitset], num_parameters: usize) -> f32 {
+    if num_parameters == 0 {
+        return 0.0;
+    }
+    Bitset::union_of(num_parameters, sets).density()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnip_nn::layers::{Activation, ActivationLayer, Dense};
+    use dnnip_nn::zoo;
+
+    fn relu_net() -> Network {
+        zoo::tiny_mlp(4, 8, 3, Activation::Relu, 11).unwrap()
+    }
+
+    fn tanh_net() -> Network {
+        zoo::tiny_mlp(4, 8, 3, Activation::Tanh, 11).unwrap()
+    }
+
+    fn sample(seed: usize) -> Tensor {
+        Tensor::from_fn(&[4], |i| ((i + seed) as f32 * 0.61).sin())
+    }
+
+    #[test]
+    fn activation_set_has_parameter_length_and_reasonable_density() {
+        let net = relu_net();
+        let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        let set = analyzer.activation_set(&sample(0)).unwrap();
+        assert_eq!(set.len(), net.num_parameters());
+        let density = set.density();
+        assert!(density > 0.0, "some parameters must be active");
+        assert!(density <= 1.0);
+    }
+
+    #[test]
+    fn relu_dead_units_leave_parameters_unactivated() {
+        // Build a network where one hidden unit is guaranteed dead for the probe:
+        // its incoming weights are all negative and the input is positive.
+        let mut w1 = Tensor::zeros(&[2, 2]);
+        w1.set(&[0, 0], 1.0).unwrap();
+        w1.set(&[1, 0], 1.0).unwrap();
+        w1.set(&[0, 1], -1.0).unwrap();
+        w1.set(&[1, 1], -1.0).unwrap();
+        let b1 = Tensor::zeros(&[2]);
+        let w2 = Tensor::ones(&[2, 2]);
+        let b2 = Tensor::zeros(&[2]);
+        let net = Network::new(
+            vec![
+                Dense::new(w1, b1).unwrap().into(),
+                ActivationLayer::new(Activation::Relu).into(),
+                Dense::new(w2, b2).unwrap().into(),
+            ],
+            &[2],
+        )
+        .unwrap();
+        let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let set = analyzer.activation_set(&x).unwrap();
+        // Parameter layout: w1 (4), b1 (2), w2 (4), b2 (2).
+        // Unit 1 of the hidden layer is dead (pre-activation -2), so the weights
+        // feeding it (w1[0,1] = index 1, w1[1,1] = index 3) and its bias (index 5)
+        // and its outgoing weights (w2 row 1 = indices 8, 9) are NOT activated.
+        for dead in [1usize, 3, 5, 8, 9] {
+            assert!(!set.get(dead), "parameter {dead} should be inactive");
+        }
+        // The live unit's parameters are activated.
+        for live in [0usize, 2, 4, 6, 7] {
+            assert!(set.get(live), "parameter {live} should be active");
+        }
+        // The output biases always reach the output.
+        assert!(set.get(10) && set.get(11));
+        // Coverage of this sample is 7/12.
+        assert!((analyzer.coverage_of_sample(&x).unwrap() - 7.0 / 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_network_uses_epsilon_threshold() {
+        let net = tanh_net();
+        // With an exact policy, Tanh gradients are essentially never zero, so
+        // coverage is ~100%; the Auto policy thresholds small gradients away.
+        let exact = CoverageAnalyzer::new(
+            &net,
+            CoverageConfig {
+                epsilon: EpsilonPolicy::Exact,
+                ..CoverageConfig::default()
+            },
+        );
+        let auto = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        let x = sample(3);
+        let c_exact = exact.coverage_of_sample(&x).unwrap();
+        let c_auto = auto.coverage_of_sample(&x).unwrap();
+        assert!(c_exact >= c_auto);
+        assert!(c_exact > 0.95, "exact coverage {c_exact}");
+        // A large relative threshold prunes aggressively.
+        let strict = CoverageAnalyzer::new(
+            &net,
+            CoverageConfig {
+                epsilon: EpsilonPolicy::RelativeToMax(0.5),
+                ..CoverageConfig::default()
+            },
+        );
+        assert!(strict.coverage_of_sample(&x).unwrap() < c_auto);
+    }
+
+    #[test]
+    fn set_coverage_is_monotone_in_the_test_set() {
+        let net = relu_net();
+        let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        let samples: Vec<Tensor> = (0..6).map(sample).collect();
+        let c1 = analyzer.coverage_of_set(&samples[..1]).unwrap();
+        let c3 = analyzer.coverage_of_set(&samples[..3]).unwrap();
+        let c6 = analyzer.coverage_of_set(&samples).unwrap();
+        assert!(c3 >= c1);
+        assert!(c6 >= c3);
+    }
+
+    #[test]
+    fn per_class_projection_never_reduces_coverage() {
+        let net = relu_net();
+        let x = sample(5);
+        let sum_proj = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        let per_class = CoverageAnalyzer::new(
+            &net,
+            CoverageConfig {
+                projection: OutputProjection::PerClassMax,
+                ..CoverageConfig::default()
+            },
+        );
+        let a = sum_proj.coverage_of_sample(&x).unwrap();
+        let b = per_class.coverage_of_sample(&x).unwrap();
+        assert!(b >= a - 1e-6, "per-class {b} vs sum {a}");
+    }
+
+    #[test]
+    fn mean_sample_coverage_and_precomputed_union_agree_with_direct() {
+        let net = relu_net();
+        let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        let samples: Vec<Tensor> = (0..4).map(sample).collect();
+        let sets = analyzer.activation_sets(&samples).unwrap();
+        let direct = analyzer.coverage_of_set(&samples).unwrap();
+        let precomputed = coverage_of_sets(&sets, net.num_parameters());
+        assert!((direct - precomputed).abs() < 1e-6);
+        let mean = analyzer.mean_sample_coverage(&samples).unwrap();
+        assert!(mean <= direct + 1e-6, "mean {mean} cannot exceed union {direct}");
+        assert!(analyzer.mean_sample_coverage(&[]).is_err());
+        assert_eq!(coverage_of_sets(&[], 0), 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Uniform front-end over every functional-test generation strategy.
+//!
+//! The benchmark harness (Fig. 3, Tables II/III) sweeps several generation
+//! methods over the same model and budget; this module gives them one entry
+//! point, [`generate_tests`], plus a random-selection control that the paper does
+//! not plot but which is useful as a sanity floor.
+
+use dnnip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::combined::{generate_combined, CombinedConfig};
+use crate::coverage::{CoverageAnalyzer, CoverageConfig};
+use crate::gradgen::{GradGenConfig, GradientGenerator};
+use crate::neuron::{NeuronCoverageAnalyzer, NeuronCoverageConfig};
+use crate::select::select_from_training_set;
+use crate::{CoreError, Result};
+
+/// Which functional-test generation strategy to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GenerationMethod {
+    /// Algorithm 1: greedy selection from the training set by parameter coverage.
+    TrainingSetSelection,
+    /// Algorithm 2: gradient-based synthesis.
+    GradientBased,
+    /// The combined generator (Section IV-D).
+    Combined,
+    /// Baseline: greedy selection from the training set by **neuron** coverage
+    /// (the comparison method of Tables II/III).
+    NeuronCoverageBaseline,
+    /// Control: uniformly random selection from the training set.
+    RandomSelection,
+}
+
+impl GenerationMethod {
+    /// Short stable name used in reports and benchmark output.
+    pub fn name(self) -> &'static str {
+        match self {
+            GenerationMethod::TrainingSetSelection => "training-set-selection",
+            GenerationMethod::GradientBased => "gradient-based",
+            GenerationMethod::Combined => "combined",
+            GenerationMethod::NeuronCoverageBaseline => "neuron-coverage",
+            GenerationMethod::RandomSelection => "random-selection",
+        }
+    }
+
+    /// All methods, in the order used by the experiment tables.
+    pub fn all() -> [GenerationMethod; 5] {
+        [
+            GenerationMethod::TrainingSetSelection,
+            GenerationMethod::GradientBased,
+            GenerationMethod::Combined,
+            GenerationMethod::NeuronCoverageBaseline,
+            GenerationMethod::RandomSelection,
+        ]
+    }
+}
+
+/// Configuration shared by every generation method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationConfig {
+    /// Maximum number of functional tests to produce.
+    pub max_tests: usize,
+    /// Parameter-coverage configuration (threshold policy, projection).
+    pub coverage: CoverageConfig,
+    /// Gradient-generator configuration (used by `GradientBased` and `Combined`).
+    pub gradgen: GradGenConfig,
+    /// Neuron-coverage configuration (used by the baseline).
+    pub neuron: NeuronCoverageConfig,
+    /// Seed for the random-selection control.
+    pub seed: u64,
+}
+
+impl Default for GenerationConfig {
+    fn default() -> Self {
+        Self {
+            max_tests: 30,
+            coverage: CoverageConfig::default(),
+            gradgen: GradGenConfig::default(),
+            neuron: NeuronCoverageConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Output of [`generate_tests`]: the functional tests plus their
+/// parameter-coverage curve.
+#[derive(Debug, Clone)]
+pub struct GeneratedTests {
+    /// The functional-test inputs, in generation order.
+    pub inputs: Vec<Tensor>,
+    /// Validation (parameter) coverage after each test, regardless of which
+    /// metric drove the generation — so methods are always compared on the
+    /// paper's metric.
+    pub coverage_curve: Vec<f32>,
+    /// The method that produced the tests.
+    pub method: GenerationMethod,
+}
+
+impl GeneratedTests {
+    /// Final validation coverage (0.0 if no tests were generated).
+    pub fn final_coverage(&self) -> f32 {
+        self.coverage_curve.last().copied().unwrap_or(0.0)
+    }
+
+    /// Number of generated tests.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether no tests were generated.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+/// Compute the parameter-coverage curve of an ordered list of tests.
+fn coverage_curve(analyzer: &CoverageAnalyzer<'_>, inputs: &[Tensor]) -> Result<Vec<f32>> {
+    let mut covered = crate::bitset::Bitset::new(analyzer.num_parameters());
+    let mut curve = Vec::with_capacity(inputs.len());
+    for input in inputs {
+        covered.union_with(&analyzer.activation_set(input)?);
+        curve.push(covered.density());
+    }
+    Ok(curve)
+}
+
+/// Generate functional tests with the requested method.
+///
+/// `training_pool` is the candidate training set; the gradient-based method
+/// ignores it (but still requires the network via `analyzer`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for a zero budget,
+/// [`CoreError::EmptyCandidatePool`] when a selection-based method receives an
+/// empty pool, and propagates coverage/gradient errors.
+pub fn generate_tests(
+    analyzer: &CoverageAnalyzer<'_>,
+    training_pool: &[Tensor],
+    method: GenerationMethod,
+    config: &GenerationConfig,
+) -> Result<GeneratedTests> {
+    if config.max_tests == 0 {
+        return Err(CoreError::InvalidConfig {
+            reason: "max_tests must be at least 1".to_string(),
+        });
+    }
+    let inputs: Vec<Tensor> = match method {
+        GenerationMethod::TrainingSetSelection => {
+            let result = select_from_training_set(analyzer, training_pool, config.max_tests)?;
+            result
+                .selected
+                .iter()
+                .map(|&i| training_pool[i].clone())
+                .collect()
+        }
+        GenerationMethod::GradientBased => {
+            let mut generator = GradientGenerator::new(analyzer.network(), config.gradgen);
+            generator
+                .generate(config.max_tests)?
+                .into_iter()
+                .take(config.max_tests)
+                .map(|t| t.input)
+                .collect()
+        }
+        GenerationMethod::Combined => {
+            let combined_config = CombinedConfig {
+                max_tests: config.max_tests,
+                gradgen: config.gradgen,
+            };
+            generate_combined(analyzer, training_pool, &combined_config)?.tests
+        }
+        GenerationMethod::NeuronCoverageBaseline => {
+            let neuron = NeuronCoverageAnalyzer::new(analyzer.network(), config.neuron);
+            let result = neuron.select_by_neuron_coverage(training_pool, config.max_tests)?;
+            result
+                .selected
+                .iter()
+                .map(|&i| training_pool[i].clone())
+                .collect()
+        }
+        GenerationMethod::RandomSelection => {
+            if training_pool.is_empty() {
+                return Err(CoreError::EmptyCandidatePool);
+            }
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let mut indices: Vec<usize> = (0..training_pool.len()).collect();
+            indices.shuffle(&mut rng);
+            indices
+                .into_iter()
+                .take(config.max_tests)
+                .map(|i| training_pool[i].clone())
+                .collect()
+        }
+    };
+    let coverage_curve = coverage_curve(analyzer, &inputs)?;
+    Ok(GeneratedTests {
+        inputs,
+        coverage_curve,
+        method,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnip_nn::layers::Activation;
+    use dnnip_nn::zoo;
+    use dnnip_nn::Network;
+
+    fn net() -> Network {
+        zoo::tiny_mlp(6, 16, 4, Activation::Relu, 23).unwrap()
+    }
+
+    fn pool(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| Tensor::from_fn(&[6], |j| ((i * 7 + j) as f32 * 0.31).sin().abs()))
+            .collect()
+    }
+
+    #[test]
+    fn every_method_produces_tests_and_a_curve() {
+        let network = net();
+        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let candidates = pool(25);
+        let config = GenerationConfig {
+            max_tests: 8,
+            ..GenerationConfig::default()
+        };
+        for method in GenerationMethod::all() {
+            let out = generate_tests(&analyzer, &candidates, method, &config).unwrap();
+            assert!(!out.is_empty(), "{} produced nothing", method.name());
+            assert!(out.len() <= 8, "{} exceeded the budget", method.name());
+            assert_eq!(out.inputs.len(), out.coverage_curve.len());
+            assert!(out.final_coverage() > 0.0);
+            assert_eq!(out.method, method);
+            assert!(!method.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn greedy_selection_dominates_random_selection() {
+        let network = net();
+        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let candidates = pool(40);
+        let config = GenerationConfig {
+            max_tests: 6,
+            ..GenerationConfig::default()
+        };
+        let greedy = generate_tests(
+            &analyzer,
+            &candidates,
+            GenerationMethod::TrainingSetSelection,
+            &config,
+        )
+        .unwrap();
+        let random = generate_tests(
+            &analyzer,
+            &candidates,
+            GenerationMethod::RandomSelection,
+            &config,
+        )
+        .unwrap();
+        assert!(
+            greedy.final_coverage() >= random.final_coverage() - 1e-6,
+            "greedy {} vs random {}",
+            greedy.final_coverage(),
+            random.final_coverage()
+        );
+    }
+
+    #[test]
+    fn combined_dominates_each_individual_method_at_equal_budget() {
+        let network = net();
+        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let candidates = pool(25);
+        let config = GenerationConfig {
+            max_tests: 10,
+            ..GenerationConfig::default()
+        };
+        let combined = generate_tests(&analyzer, &candidates, GenerationMethod::Combined, &config)
+            .unwrap()
+            .final_coverage();
+        let training = generate_tests(
+            &analyzer,
+            &candidates,
+            GenerationMethod::TrainingSetSelection,
+            &config,
+        )
+        .unwrap()
+        .final_coverage();
+        assert!(combined >= training - 1e-6, "combined {combined} vs training {training}");
+    }
+
+    #[test]
+    fn zero_budget_and_empty_pool_are_rejected() {
+        let network = net();
+        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let candidates = pool(5);
+        let bad_config = GenerationConfig {
+            max_tests: 0,
+            ..GenerationConfig::default()
+        };
+        assert!(generate_tests(
+            &analyzer,
+            &candidates,
+            GenerationMethod::Combined,
+            &bad_config
+        )
+        .is_err());
+        let config = GenerationConfig::default();
+        assert!(generate_tests(
+            &analyzer,
+            &[],
+            GenerationMethod::RandomSelection,
+            &config
+        )
+        .is_err());
+        assert!(generate_tests(
+            &analyzer,
+            &[],
+            GenerationMethod::TrainingSetSelection,
+            &config
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Functional test generation for DNN IPs — the core contribution of the DATE
+//! 2019 paper *"On Functional Test Generation for Deep Neural Network IPs"*
+//! (Luo, Li, Wei, Xu).
+//!
+//! An IP vendor wants to ship a small set of functional tests `X` with golden
+//! outputs `Y` such that an IP user — who can only run the black-box IP — detects
+//! any tampering of the model parameters by replaying `X` and comparing against
+//! `Y`. The quality of a test set is its **validation coverage**: the fraction of
+//! parameters whose perturbation would propagate to the output of at least one
+//! test.
+//!
+//! This crate implements every piece of that pipeline:
+//!
+//! * [`bitset`] — compact activation sets over the flat parameter space.
+//! * [`coverage`] — the paper's validation-coverage metric (Eq. 2–5): a parameter
+//!   is *activated* by input `x` when `∇θ F(x)` is non-zero (ReLU) or exceeds an
+//!   ε threshold (saturating activations).
+//! * [`neuron`] — the neuron-coverage metric used by the hardware-testing
+//!   baseline the paper compares against (its Tables II/III "tests with neuron
+//!   coverage" columns).
+//! * [`select`] — **Algorithm 1**: greedy selection of functional tests from the
+//!   training set, maximizing marginal coverage gain.
+//! * [`gradgen`] — **Algorithm 2**: gradient-based synthesis of new tests that
+//!   the model classifies as each output category.
+//! * [`combined`] — the combined generator with the automatic switch point
+//!   (Section IV-D).
+//! * [`generator`] — a uniform front-end over all generation strategies (plus a
+//!   random-selection control), used by the benchmark harness.
+//! * [`protocol`] — the vendor/user validation protocol of Fig. 1: suite
+//!   packaging with golden outputs on the vendor side, black-box replay and
+//!   verdicts on the user side.
+//!
+//! # Example
+//!
+//! ```
+//! use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig};
+//! use dnnip_nn::{layers::Activation, zoo};
+//! use dnnip_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), dnnip_core::CoreError> {
+//! let net = zoo::tiny_mlp(4, 8, 3, Activation::Relu, 1)?;
+//! let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+//! let x = Tensor::from_vec(vec![0.4, -0.2, 0.9, 0.1], &[4])?;
+//! let set = analyzer.activation_set(&x)?;
+//! let coverage = set.count_ones() as f32 / net.num_parameters() as f32;
+//! assert!(coverage > 0.0 && coverage <= 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod bitset;
+pub mod combined;
+pub mod coverage;
+pub mod generator;
+pub mod gradgen;
+pub mod neuron;
+pub mod protocol;
+pub mod select;
+
+pub use error::{CoreError, Result};

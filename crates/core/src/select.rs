@@ -1,0 +1,299 @@
+//! Algorithm 1: greedy selection of functional tests from the training set.
+//!
+//! Each iteration adds the candidate whose activation set contributes the most
+//! not-yet-covered parameters (Eq. 7). Because the activation set of a sample
+//! does not change as the selection grows, the selection can run entirely over
+//! pre-computed [`Bitset`]s; a lazy-greedy (CELF-style) priority queue avoids
+//! re-evaluating every candidate at every iteration while producing exactly the
+//! same selection as the naive double loop in the paper's Algorithm 1 (the
+//! marginal-gain function is submodular, so stale upper bounds are safe).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dnnip_tensor::Tensor;
+
+use crate::bitset::Bitset;
+use crate::coverage::CoverageAnalyzer;
+use crate::{CoreError, Result};
+
+/// Result of a greedy training-set selection.
+#[derive(Debug, Clone, Default)]
+pub struct SelectionResult {
+    /// Indices of the selected candidates, in selection order.
+    pub selected: Vec<usize>,
+    /// Validation coverage after each selection (same length as `selected`).
+    pub coverage_curve: Vec<f32>,
+    /// Union of the activation sets of the selected candidates.
+    pub covered: Bitset,
+}
+
+impl SelectionResult {
+    /// Final validation coverage (0.0 if nothing was selected).
+    pub fn final_coverage(&self) -> f32 {
+        self.coverage_curve.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Greedy max-coverage selection over pre-computed activation sets.
+///
+/// Selects at most `max_tests` candidates; stops early when no candidate adds any
+/// new coverage (additional tests would be wasted).
+///
+/// # Errors
+///
+/// Returns [`CoreError::EmptyCandidatePool`] when `sets` is empty and
+/// [`CoreError::InvalidConfig`] when `num_parameters` is zero or a set has the
+/// wrong length.
+pub fn greedy_select(
+    sets: &[Bitset],
+    num_parameters: usize,
+    max_tests: usize,
+) -> Result<SelectionResult> {
+    if sets.is_empty() {
+        return Err(CoreError::EmptyCandidatePool);
+    }
+    if num_parameters == 0 {
+        return Err(CoreError::InvalidConfig {
+            reason: "network has no parameters".to_string(),
+        });
+    }
+    if let Some(bad) = sets.iter().find(|s| s.len() != num_parameters) {
+        return Err(CoreError::InvalidConfig {
+            reason: format!(
+                "activation set length {} does not match parameter count {num_parameters}",
+                bad.len()
+            ),
+        });
+    }
+
+    let mut covered = Bitset::new(num_parameters);
+    let mut result = SelectionResult {
+        covered: Bitset::new(num_parameters),
+        ..SelectionResult::default()
+    };
+
+    // Lazy greedy: heap of (upper-bound gain, candidate, round the bound was
+    // computed in). Gains only shrink as `covered` grows, so a bound computed in
+    // an earlier round is still an upper bound now.
+    let mut heap: BinaryHeap<(usize, Reverse<usize>, usize)> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.count_ones(), Reverse(i), 0usize))
+        .collect();
+    let mut round = 0usize;
+    let mut taken = vec![false; sets.len()];
+
+    while result.selected.len() < max_tests {
+        let Some((bound, Reverse(candidate), computed_round)) = heap.pop() else {
+            break;
+        };
+        if taken[candidate] {
+            continue;
+        }
+        if bound == 0 {
+            // Best possible gain is zero: every remaining candidate is redundant.
+            break;
+        }
+        if computed_round == round {
+            // The bound is fresh: this candidate really is the arg-max.
+            covered.union_with(&sets[candidate]);
+            taken[candidate] = true;
+            result.selected.push(candidate);
+            result
+                .coverage_curve
+                .push(covered.count_ones() as f32 / num_parameters as f32);
+            round += 1;
+        } else {
+            // Stale bound: recompute against the current covered set and re-queue.
+            let gain = covered.union_gain(&sets[candidate]);
+            heap.push((gain, Reverse(candidate), round));
+        }
+    }
+    result.covered = covered;
+    Ok(result)
+}
+
+/// Convenience wrapper: compute activation sets for `candidates` with `analyzer`
+/// and run [`greedy_select`] — Algorithm 1 end to end.
+///
+/// # Errors
+///
+/// Propagates coverage-analysis and selection errors.
+pub fn select_from_training_set(
+    analyzer: &CoverageAnalyzer<'_>,
+    candidates: &[Tensor],
+    max_tests: usize,
+) -> Result<SelectionResult> {
+    if candidates.is_empty() {
+        return Err(CoreError::EmptyCandidatePool);
+    }
+    let sets = analyzer.activation_sets(candidates)?;
+    greedy_select(&sets, analyzer.num_parameters(), max_tests)
+}
+
+/// Reference implementation of Algorithm 1 exactly as written in the paper
+/// (recompute ΔVC for every candidate at every iteration). Quadratic; used by
+/// tests to prove the lazy-greedy selection is equivalent and by the ablation
+/// bench to quantify the speedup.
+///
+/// # Errors
+///
+/// Same error conditions as [`greedy_select`].
+pub fn greedy_select_naive(
+    sets: &[Bitset],
+    num_parameters: usize,
+    max_tests: usize,
+) -> Result<SelectionResult> {
+    if sets.is_empty() {
+        return Err(CoreError::EmptyCandidatePool);
+    }
+    if num_parameters == 0 {
+        return Err(CoreError::InvalidConfig {
+            reason: "network has no parameters".to_string(),
+        });
+    }
+    let mut covered = Bitset::new(num_parameters);
+    let mut result = SelectionResult {
+        covered: Bitset::new(num_parameters),
+        ..SelectionResult::default()
+    };
+    let mut taken = vec![false; sets.len()];
+    while result.selected.len() < max_tests {
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for (i, set) in sets.iter().enumerate() {
+            if taken[i] {
+                continue;
+            }
+            let gain = covered.union_gain(set);
+            let better = match best {
+                None => true,
+                Some((bg, bi)) => gain > bg || (gain == bg && i < bi),
+            };
+            if better {
+                best = Some((gain, i));
+            }
+        }
+        let Some((gain, index)) = best else { break };
+        if gain == 0 {
+            break;
+        }
+        covered.union_with(&sets[index]);
+        taken[index] = true;
+        result.selected.push(index);
+        result
+            .coverage_curve
+            .push(covered.count_ones() as f32 / num_parameters as f32);
+    }
+    result.covered = covered;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::CoverageConfig;
+    use dnnip_nn::layers::Activation;
+    use dnnip_nn::zoo;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sets(n: usize, bits: usize, density: f64, seed: u64) -> Vec<Bitset> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut b = Bitset::new(bits);
+                for i in 0..bits {
+                    if rng.gen_bool(density) {
+                        b.set(i);
+                    }
+                }
+                b
+            })
+            .collect()
+    }
+
+    #[test]
+    fn picks_the_obviously_best_candidates_first() {
+        // Candidate 2 covers bits {0..20}, candidate 0 covers {0..5}, candidate 1
+        // covers {20..30}: greedy must pick 2 first, then 1.
+        let mut sets = vec![Bitset::new(40), Bitset::new(40), Bitset::new(40)];
+        for i in 0..5 {
+            sets[0].set(i);
+        }
+        for i in 20..30 {
+            sets[1].set(i);
+        }
+        for i in 0..20 {
+            sets[2].set(i);
+        }
+        let result = greedy_select(&sets, 40, 3).unwrap();
+        assert_eq!(result.selected[..2], [2, 1]);
+        assert!((result.final_coverage() - 30.0 / 40.0).abs() < 1e-6);
+        // Coverage curve is non-decreasing.
+        for w in result.coverage_curve.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn stops_when_no_candidate_adds_coverage() {
+        let mut a = Bitset::new(10);
+        a.set(1);
+        let sets = vec![a.clone(), a.clone(), a];
+        let result = greedy_select(&sets, 10, 3).unwrap();
+        assert_eq!(result.selected.len(), 1, "duplicates add nothing");
+    }
+
+    #[test]
+    fn lazy_and_naive_selection_agree() {
+        for seed in 0..5 {
+            let sets = random_sets(60, 300, 0.05, seed);
+            let lazy = greedy_select(&sets, 300, 20).unwrap();
+            let naive = greedy_select_naive(&sets, 300, 20).unwrap();
+            assert_eq!(lazy.coverage_curve, naive.coverage_curve, "seed {seed}");
+            assert_eq!(
+                lazy.covered.count_ones(),
+                naive.covered.count_ones(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_the_test_budget() {
+        let sets = random_sets(50, 200, 0.1, 3);
+        let result = greedy_select(&sets, 200, 7).unwrap();
+        assert!(result.selected.len() <= 7);
+        assert_eq!(result.selected.len(), result.coverage_curve.len());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            greedy_select(&[], 10, 5),
+            Err(CoreError::EmptyCandidatePool)
+        ));
+        let sets = vec![Bitset::new(10)];
+        assert!(greedy_select(&sets, 0, 5).is_err());
+        let mismatched = vec![Bitset::new(10), Bitset::new(20)];
+        assert!(greedy_select(&mismatched, 10, 5).is_err());
+        assert!(greedy_select_naive(&[], 10, 5).is_err());
+    }
+
+    #[test]
+    fn end_to_end_selection_on_a_real_network() {
+        let net = zoo::tiny_mlp(6, 10, 4, Activation::Relu, 2).unwrap();
+        let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        let candidates: Vec<Tensor> = (0..20)
+            .map(|i| Tensor::from_fn(&[6], |j| ((i * 6 + j) as f32 * 0.29).sin()))
+            .collect();
+        let result = select_from_training_set(&analyzer, &candidates, 5).unwrap();
+        assert!(!result.selected.is_empty());
+        assert!(result.final_coverage() > 0.0);
+        // Selecting more tests never hurts coverage.
+        let more = select_from_training_set(&analyzer, &candidates, 10).unwrap();
+        assert!(more.final_coverage() >= result.final_coverage());
+        assert!(select_from_training_set(&analyzer, &[], 5).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the core test-generation crate: bitset algebra,
+//! coverage invariants, greedy-selection guarantees and protocol round trips.
+
+use dnnip_core::bitset::Bitset;
+use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig, EpsilonPolicy};
+use dnnip_core::protocol::FunctionalTestSuite;
+use dnnip_core::select::{greedy_select, greedy_select_naive};
+use dnnip_faults::detection::MatchPolicy;
+use dnnip_nn::layers::Activation;
+use dnnip_nn::zoo;
+use dnnip_tensor::Tensor;
+use proptest::prelude::*;
+
+fn bitset_from_indices(len: usize, indices: &[usize]) -> Bitset {
+    let mut b = Bitset::new(len);
+    for &i in indices {
+        b.set(i % len.max(1));
+    }
+    b
+}
+
+/// Strategy producing a family of bitsets over a shared length.
+fn bitset_family() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
+    (16usize..200).prop_flat_map(|len| {
+        (
+            Just(len),
+            prop::collection::vec(prop::collection::vec(0..len, 0..len / 2), 1..12),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn union_gain_matches_count_difference((len, families) in bitset_family()) {
+        let sets: Vec<Bitset> = families.iter().map(|f| bitset_from_indices(len, f)).collect();
+        let mut union = Bitset::new(len);
+        for set in &sets {
+            let before = union.count_ones();
+            let gain = union.union_gain(set);
+            union.union_with(set);
+            prop_assert_eq!(union.count_ones(), before + gain);
+        }
+        // The union is at least as large as any member and at most the sum.
+        let max_member = sets.iter().map(Bitset::count_ones).max().unwrap_or(0);
+        let sum: usize = sets.iter().map(Bitset::count_ones).sum();
+        prop_assert!(union.count_ones() >= max_member);
+        prop_assert!(union.count_ones() <= sum.min(len));
+    }
+
+    #[test]
+    fn greedy_selection_is_within_budget_and_monotone((len, families) in bitset_family()) {
+        let sets: Vec<Bitset> = families.iter().map(|f| bitset_from_indices(len, f)).collect();
+        let budget = 1 + families.len() / 2;
+        let result = greedy_select(&sets, len, budget).unwrap();
+        prop_assert!(result.selected.len() <= budget);
+        prop_assert_eq!(result.selected.len(), result.coverage_curve.len());
+        for w in result.coverage_curve.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        // Greedy never selects a candidate twice.
+        let mut seen = result.selected.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), result.selected.len());
+    }
+
+    #[test]
+    fn lazy_greedy_equals_naive_greedy((len, families) in bitset_family()) {
+        let sets: Vec<Bitset> = families.iter().map(|f| bitset_from_indices(len, f)).collect();
+        let budget = families.len();
+        let lazy = greedy_select(&sets, len, budget).unwrap();
+        let naive = greedy_select_naive(&sets, len, budget).unwrap();
+        prop_assert_eq!(lazy.coverage_curve, naive.coverage_curve);
+        prop_assert_eq!(lazy.covered.count_ones(), naive.covered.count_ones());
+    }
+
+    #[test]
+    fn greedy_first_pick_is_the_densest_candidate((len, families) in bitset_family()) {
+        let sets: Vec<Bitset> = families.iter().map(|f| bitset_from_indices(len, f)).collect();
+        let best = sets.iter().map(Bitset::count_ones).max().unwrap_or(0);
+        if best > 0 {
+            let result = greedy_select(&sets, len, 1).unwrap();
+            prop_assert_eq!(sets[result.selected[0]].count_ones(), best);
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_under_epsilon(seed in 0u64..500, eps in 1e-5f32..0.5) {
+        // A stricter epsilon can only reduce the number of activated parameters.
+        let net = zoo::tiny_mlp(5, 9, 3, Activation::Tanh, seed).unwrap();
+        let sample = Tensor::from_fn(&[5], |i| ((i as u64 + seed) as f32 * 0.3).sin());
+        let loose = CoverageAnalyzer::new(&net, CoverageConfig {
+            epsilon: EpsilonPolicy::RelativeToMax(1e-6),
+            ..CoverageConfig::default()
+        });
+        let strict = CoverageAnalyzer::new(&net, CoverageConfig {
+            epsilon: EpsilonPolicy::RelativeToMax(eps),
+            ..CoverageConfig::default()
+        });
+        let l = loose.coverage_of_sample(&sample).unwrap();
+        let s = strict.coverage_of_sample(&sample).unwrap();
+        prop_assert!(s <= l + 1e-6, "strict {} vs loose {}", s, l);
+    }
+
+    #[test]
+    fn set_coverage_dominates_member_coverage(seed in 0u64..200, n in 2usize..6) {
+        let net = zoo::tiny_mlp(4, 8, 3, Activation::Relu, seed).unwrap();
+        let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        let samples: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::from_fn(&[4], |j| ((i * 4 + j) as f32 + seed as f32).sin()))
+            .collect();
+        let set_cov = analyzer.coverage_of_set(&samples).unwrap();
+        for s in &samples {
+            let single = analyzer.coverage_of_sample(s).unwrap();
+            prop_assert!(set_cov >= single - 1e-6);
+        }
+    }
+
+    #[test]
+    fn suite_serialization_round_trips(seed in 0u64..300, n in 1usize..6, tol in 1e-6f32..1e-2) {
+        let net = zoo::tiny_mlp(4, 6, 3, Activation::Relu, seed).unwrap();
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::from_fn(&[4], |j| ((i * 4 + j) as f32 * 0.21 + seed as f32).cos()))
+            .collect();
+        let suite = FunctionalTestSuite::from_network(
+            &net,
+            inputs,
+            MatchPolicy::OutputTolerance(tol),
+        )
+        .unwrap();
+        let restored = FunctionalTestSuite::from_bytes(&suite.to_bytes()).unwrap();
+        prop_assert_eq!(restored, suite);
+    }
+}

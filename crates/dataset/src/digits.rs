@@ -1,0 +1,267 @@
+//! MNIST-like procedural digit images.
+//!
+//! Each digit 0–9 is rendered as a seven-segment-style glyph built from thick
+//! line strokes on a normalized canvas, then perturbed with a random affine
+//! transform (shift, scale, shear), per-sample stroke-width variation and
+//! additive pixel noise. The result is a ten-class grayscale image family whose
+//! classes are visually distinct (circle-like 0, single-stroke 1, …) and easily
+//! learnable — the property the paper's Fig. 2/Fig. 4 analysis depends on.
+
+use dnnip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::LabeledDataset;
+
+/// Configuration of the digit generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DigitConfig {
+    /// Image side length (images are `[1, size, size]`).
+    pub size: usize,
+    /// Standard deviation of the additive Gaussian pixel noise.
+    pub noise_std: f32,
+    /// Maximum absolute translation as a fraction of the image size.
+    pub max_shift: f32,
+    /// Maximum relative scale jitter (e.g. 0.15 ⇒ scales in `[0.85, 1.15]`).
+    pub max_scale_jitter: f32,
+    /// Base half-thickness of a stroke in normalized units.
+    pub stroke_width: f32,
+}
+
+impl Default for DigitConfig {
+    fn default() -> Self {
+        Self {
+            size: 28,
+            noise_std: 0.05,
+            max_shift: 0.08,
+            max_scale_jitter: 0.12,
+            stroke_width: 0.09,
+        }
+    }
+}
+
+impl DigitConfig {
+    /// Default configuration at a given image size (16 for the scaled models,
+    /// 28 for the paper-scale models).
+    pub fn with_size(size: usize) -> Self {
+        Self {
+            size,
+            ..Self::default()
+        }
+    }
+}
+
+/// The seven segments of a classic display, as line segments in the unit square
+/// (x to the right, y downwards).
+///
+/// Layout:
+/// ```text
+///   0: top          (0.25,0.15)-(0.75,0.15)
+///   1: top-right    (0.75,0.15)-(0.75,0.50)
+///   2: bottom-right (0.75,0.50)-(0.75,0.85)
+///   3: bottom       (0.25,0.85)-(0.75,0.85)
+///   4: bottom-left  (0.25,0.50)-(0.25,0.85)
+///   5: top-left     (0.25,0.15)-(0.25,0.50)
+///   6: middle       (0.25,0.50)-(0.75,0.50)
+/// ```
+const SEGMENTS: [((f32, f32), (f32, f32)); 7] = [
+    ((0.25, 0.15), (0.75, 0.15)),
+    ((0.75, 0.15), (0.75, 0.50)),
+    ((0.75, 0.50), (0.75, 0.85)),
+    ((0.25, 0.85), (0.75, 0.85)),
+    ((0.25, 0.50), (0.25, 0.85)),
+    ((0.25, 0.15), (0.25, 0.50)),
+    ((0.25, 0.50), (0.75, 0.50)),
+];
+
+/// Which segments are lit for each digit (standard seven-segment encoding).
+const DIGIT_SEGMENTS: [[bool; 7]; 10] = [
+    // 0
+    [true, true, true, true, true, true, false],
+    // 1
+    [false, true, true, false, false, false, false],
+    // 2
+    [true, true, false, true, true, false, true],
+    // 3
+    [true, true, true, true, false, false, true],
+    // 4
+    [false, true, true, false, false, true, true],
+    // 5
+    [true, false, true, true, false, true, true],
+    // 6
+    [true, false, true, true, true, true, true],
+    // 7
+    [true, true, true, false, false, false, false],
+    // 8
+    [true, true, true, true, true, true, true],
+    // 9
+    [true, true, true, true, false, true, true],
+];
+
+/// Distance from point `(px, py)` to the segment `(a, b)` in normalized space.
+fn point_segment_distance(px: f32, py: f32, a: (f32, f32), b: (f32, f32)) -> f32 {
+    let (ax, ay) = a;
+    let (bx, by) = b;
+    let (dx, dy) = (bx - ax, by - ay);
+    let len_sq = dx * dx + dy * dy;
+    let t = if len_sq == 0.0 {
+        0.0
+    } else {
+        (((px - ax) * dx + (py - ay) * dy) / len_sq).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+}
+
+/// Render one digit with the given random jitter parameters.
+#[allow(clippy::too_many_arguments)]
+fn render_digit(
+    digit: usize,
+    config: &DigitConfig,
+    shift: (f32, f32),
+    scale: (f32, f32),
+    shear: f32,
+    stroke: f32,
+    rng: &mut StdRng,
+) -> Tensor {
+    let size = config.size;
+    let mut data = vec![0.0f32; size * size];
+    let lit = DIGIT_SEGMENTS[digit % 10];
+    for (yi, row) in data.chunks_mut(size).enumerate() {
+        for (xi, px) in row.iter_mut().enumerate() {
+            // Normalized pixel centre.
+            let x = (xi as f32 + 0.5) / size as f32;
+            let y = (yi as f32 + 0.5) / size as f32;
+            // Inverse affine: map the canvas point back into glyph space.
+            let gx = (x - 0.5 - shift.0) / scale.0 - shear * (y - 0.5) + 0.5;
+            let gy = (y - 0.5 - shift.1) / scale.1 + 0.5;
+            let mut intensity: f32 = 0.0;
+            for (seg, &on) in SEGMENTS.iter().zip(&lit) {
+                if !on {
+                    continue;
+                }
+                let d = point_segment_distance(gx, gy, seg.0, seg.1);
+                // Soft-edged stroke: 1 inside, fading to 0 over half a stroke width.
+                let v = 1.0 - ((d - stroke) / (stroke * 0.5)).clamp(0.0, 1.0);
+                intensity = intensity.max(v);
+            }
+            let noise = rng.gen_range(-1.0f32..1.0) * config.noise_std;
+            *px = (intensity + noise).clamp(0.0, 1.0);
+        }
+    }
+    Tensor::from_vec(data, &[1, size, size]).expect("size*size data matches shape")
+}
+
+/// Generate one digit image of the requested class.
+pub fn digit_image(class: usize, config: &DigitConfig, rng: &mut StdRng) -> Tensor {
+    let shift = (
+        rng.gen_range(-config.max_shift..=config.max_shift),
+        rng.gen_range(-config.max_shift..=config.max_shift),
+    );
+    let scale = (
+        1.0 + rng.gen_range(-config.max_scale_jitter..=config.max_scale_jitter),
+        1.0 + rng.gen_range(-config.max_scale_jitter..=config.max_scale_jitter),
+    );
+    let shear = rng.gen_range(-0.15f32..0.15);
+    let stroke = config.stroke_width * rng.gen_range(0.8f32..1.3);
+    render_digit(class, config, shift, scale, shear, stroke, rng)
+}
+
+/// Generate a balanced MNIST-like dataset with `count` samples (classes cycle
+/// 0–9), deterministically from `seed`.
+pub fn synthetic_mnist(config: &DigitConfig, count: usize, seed: u64) -> LabeledDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inputs = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = i % 10;
+        inputs.push(digit_image(class, config, &mut rng));
+        labels.push(class);
+    }
+    LabeledDataset::new(inputs, labels, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_have_expected_shape_and_range() {
+        let config = DigitConfig::with_size(16);
+        let data = synthetic_mnist(&config, 30, 1);
+        assert_eq!(data.len(), 30);
+        assert_eq!(data.num_classes, 10);
+        for img in &data.inputs {
+            assert_eq!(img.shape(), &[1, 16, 16]);
+            assert!(img.max().unwrap() <= 1.0);
+            assert!(img.min().unwrap() >= 0.0);
+            assert!(!img.has_non_finite());
+        }
+    }
+
+    #[test]
+    fn classes_cycle_and_are_balanced() {
+        let data = synthetic_mnist(&DigitConfig::with_size(16), 40, 2);
+        assert_eq!(data.class_counts(), vec![4; 10]);
+        assert_eq!(&data.labels[..5], &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = DigitConfig::with_size(16);
+        let a = synthetic_mnist(&config, 10, 7);
+        let b = synthetic_mnist(&config, 10, 7);
+        for (x, y) in a.inputs.iter().zip(&b.inputs) {
+            assert_eq!(x, y);
+        }
+        let c = synthetic_mnist(&config, 10, 8);
+        assert_ne!(a.inputs[0], c.inputs[0]);
+    }
+
+    #[test]
+    fn digit_one_is_darker_than_digit_eight() {
+        // "1" lights 2 segments, "8" lights all 7: the mean intensity must differ
+        // clearly, which is what makes the classes separable.
+        let config = DigitConfig::with_size(20);
+        let mut rng = StdRng::seed_from_u64(3);
+        let one: f32 = (0..10)
+            .map(|_| digit_image(1, &config, &mut rng).mean())
+            .sum::<f32>()
+            / 10.0;
+        let eight: f32 = (0..10)
+            .map(|_| digit_image(8, &config, &mut rng).mean())
+            .sum::<f32>()
+            / 10.0;
+        assert!(eight > one * 1.5, "eight {eight} vs one {one}");
+    }
+
+    #[test]
+    fn same_class_images_are_more_similar_than_different_class() {
+        let config = DigitConfig::with_size(16);
+        let mut rng = StdRng::seed_from_u64(11);
+        let a0 = digit_image(0, &config, &mut rng);
+        let b0 = digit_image(0, &config, &mut rng);
+        let a1 = digit_image(1, &config, &mut rng);
+        let same = a0.sub(&b0).unwrap().l2_norm();
+        let diff = a0.sub(&a1).unwrap().l2_norm();
+        assert!(same < diff, "same-class distance {same} vs cross-class {diff}");
+    }
+
+    #[test]
+    fn zero_has_a_hole_in_the_middle() {
+        // The defining feature of "0": centre pixels are dark, ring pixels bright.
+        let config = DigitConfig {
+            noise_std: 0.0,
+            max_shift: 0.0,
+            max_scale_jitter: 0.0,
+            ..DigitConfig::with_size(21)
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let zero = digit_image(0, &config, &mut rng);
+        let c = config.size / 2;
+        let centre = zero.get(&[0, c, c]).unwrap();
+        let left_edge = zero.get(&[0, c, (0.25 * config.size as f32) as usize]).unwrap();
+        assert!(centre < 0.2, "centre of 0 should be empty, got {centre}");
+        assert!(left_edge > 0.5, "ring of 0 should be lit, got {left_edge}");
+    }
+}

@@ -1,0 +1,283 @@
+//! CIFAR-10-like procedural colour-object images.
+//!
+//! Ten classes of parametric shapes and textures rendered in RGB over a noisy
+//! textured background. Every class pairs a characteristic geometry with a
+//! characteristic hue so that a small convolutional network can learn the
+//! distinction, while per-sample jitter (position, size, hue, background)
+//! provides intra-class variety.
+
+use dnnip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::LabeledDataset;
+
+/// Configuration of the colour-object generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectConfig {
+    /// Image side length (images are `[3, size, size]`).
+    pub size: usize,
+    /// Standard deviation of the background texture noise.
+    pub background_noise: f32,
+    /// Maximum per-channel hue jitter applied to the class colour.
+    pub color_jitter: f32,
+    /// Maximum absolute translation of the shape centre (fraction of the size).
+    pub max_shift: f32,
+}
+
+impl Default for ObjectConfig {
+    fn default() -> Self {
+        Self {
+            size: 32,
+            background_noise: 0.08,
+            color_jitter: 0.15,
+            max_shift: 0.12,
+        }
+    }
+}
+
+impl ObjectConfig {
+    /// Default configuration at a given image size (16 for the scaled models,
+    /// 32 for paper scale).
+    pub fn with_size(size: usize) -> Self {
+        Self {
+            size,
+            ..Self::default()
+        }
+    }
+}
+
+/// The ten object classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShapeClass {
+    Circle,
+    Square,
+    Triangle,
+    HorizontalStripes,
+    VerticalStripes,
+    Checkerboard,
+    Ring,
+    Cross,
+    Diamond,
+    GradientBlob,
+}
+
+const CLASSES: [ShapeClass; 10] = [
+    ShapeClass::Circle,
+    ShapeClass::Square,
+    ShapeClass::Triangle,
+    ShapeClass::HorizontalStripes,
+    ShapeClass::VerticalStripes,
+    ShapeClass::Checkerboard,
+    ShapeClass::Ring,
+    ShapeClass::Cross,
+    ShapeClass::Diamond,
+    ShapeClass::GradientBlob,
+];
+
+/// Characteristic RGB colour of each class (before jitter).
+const CLASS_COLORS: [[f32; 3]; 10] = [
+    [0.9, 0.2, 0.2], // circle: red
+    [0.2, 0.8, 0.2], // square: green
+    [0.2, 0.3, 0.9], // triangle: blue
+    [0.9, 0.8, 0.2], // horizontal stripes: yellow
+    [0.8, 0.3, 0.8], // vertical stripes: magenta
+    [0.2, 0.8, 0.8], // checkerboard: cyan
+    [0.9, 0.5, 0.1], // ring: orange
+    [0.6, 0.6, 0.9], // cross: light blue
+    [0.5, 0.9, 0.5], // diamond: light green
+    [0.9, 0.9, 0.9], // gradient blob: white
+];
+
+/// Shape membership function: 1.0 inside the shape, 0.0 outside, soft edges.
+fn shape_mask(class: ShapeClass, x: f32, y: f32, cx: f32, cy: f32, r: f32) -> f32 {
+    let dx = x - cx;
+    let dy = y - cy;
+    match class {
+        ShapeClass::Circle => soft_step(r - (dx * dx + dy * dy).sqrt()),
+        ShapeClass::Square => soft_step(r - dx.abs().max(dy.abs())),
+        ShapeClass::Triangle => {
+            // Upwards triangle: below the two slanted edges and above the base.
+            let inside = dy < r && dy > -r + 2.0 * dx.abs();
+            if inside {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        ShapeClass::HorizontalStripes => {
+            if ((y * 6.0).floor() as i32) % 2 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        ShapeClass::VerticalStripes => {
+            if ((x * 6.0).floor() as i32) % 2 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        ShapeClass::Checkerboard => {
+            if (((x * 4.0).floor() + (y * 4.0).floor()) as i32) % 2 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        ShapeClass::Ring => {
+            let d = (dx * dx + dy * dy).sqrt();
+            soft_step(r - d) * soft_step(d - r * 0.55)
+        }
+        ShapeClass::Cross => {
+            let in_v = dx.abs() < r * 0.3 && dy.abs() < r;
+            let in_h = dy.abs() < r * 0.3 && dx.abs() < r;
+            if in_v || in_h {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        ShapeClass::Diamond => soft_step(r - (dx.abs() + dy.abs())),
+        ShapeClass::GradientBlob => {
+            let d = (dx * dx + dy * dy).sqrt();
+            (1.0 - d / (r * 1.5)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+fn soft_step(v: f32) -> f32 {
+    (v * 20.0 + 0.5).clamp(0.0, 1.0)
+}
+
+/// Generate one colour-object image of the requested class.
+pub fn object_image(class: usize, config: &ObjectConfig, rng: &mut StdRng) -> Tensor {
+    let size = config.size;
+    let shape = CLASSES[class % 10];
+    let base = CLASS_COLORS[class % 10];
+    let color: Vec<f32> = base
+        .iter()
+        .map(|&c| {
+            (c + rng.gen_range(-config.color_jitter..=config.color_jitter)).clamp(0.05, 1.0)
+        })
+        .collect();
+    let bg: Vec<f32> = (0..3).map(|_| rng.gen_range(0.05f32..0.35)).collect();
+    let cx = 0.5 + rng.gen_range(-config.max_shift..=config.max_shift);
+    let cy = 0.5 + rng.gen_range(-config.max_shift..=config.max_shift);
+    let r = rng.gen_range(0.22f32..0.34);
+
+    let mut data = vec![0.0f32; 3 * size * size];
+    for yi in 0..size {
+        for xi in 0..size {
+            let x = (xi as f32 + 0.5) / size as f32;
+            let y = (yi as f32 + 0.5) / size as f32;
+            let m = shape_mask(shape, x, y, cx, cy, r);
+            for ch in 0..3 {
+                let noise = rng.gen_range(-1.0f32..1.0) * config.background_noise;
+                let v = bg[ch] * (1.0 - m) + color[ch] * m + noise;
+                data[(ch * size + yi) * size + xi] = v.clamp(0.0, 1.0);
+            }
+        }
+    }
+    Tensor::from_vec(data, &[3, size, size]).expect("3*size*size data matches shape")
+}
+
+/// Generate a balanced CIFAR-10-like dataset with `count` samples (classes cycle
+/// 0–9), deterministically from `seed`.
+pub fn synthetic_cifar(config: &ObjectConfig, count: usize, seed: u64) -> LabeledDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inputs = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = i % 10;
+        inputs.push(object_image(class, config, &mut rng));
+        labels.push(class);
+    }
+    LabeledDataset::new(inputs, labels, 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_have_expected_shape_and_range() {
+        let config = ObjectConfig::with_size(16);
+        let data = synthetic_cifar(&config, 20, 1);
+        assert_eq!(data.len(), 20);
+        for img in &data.inputs {
+            assert_eq!(img.shape(), &[3, 16, 16]);
+            assert!(img.min().unwrap() >= 0.0);
+            assert!(img.max().unwrap() <= 1.0);
+            assert!(!img.has_non_finite());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = ObjectConfig::with_size(16);
+        let a = synthetic_cifar(&config, 10, 3);
+        let b = synthetic_cifar(&config, 10, 3);
+        for (x, y) in a.inputs.iter().zip(&b.inputs) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn circle_class_is_predominantly_red() {
+        let config = ObjectConfig::with_size(24);
+        let mut rng = StdRng::seed_from_u64(9);
+        let img = object_image(0, &config, &mut rng);
+        let size = 24;
+        // Compare mean channel intensity inside the central region.
+        let mut sums = [0.0f32; 3];
+        for ch in 0..3 {
+            for y in 8..16 {
+                for x in 8..16 {
+                    sums[ch] += img.get(&[ch, y, x]).unwrap();
+                }
+            }
+        }
+        assert!(sums[0] > sums[1], "red {} should exceed green {}", sums[0], sums[1]);
+        assert!(sums[0] > sums[2], "red {} should exceed blue {}", sums[0], sums[2]);
+        let _ = size;
+    }
+
+    #[test]
+    fn stripe_classes_have_periodic_structure() {
+        let config = ObjectConfig {
+            background_noise: 0.0,
+            ..ObjectConfig::with_size(24)
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let h = object_image(3, &config, &mut rng);
+        // Horizontal stripes: rows alternate, so vertical neighbours differ more
+        // than horizontal neighbours on average.
+        let mut vert_diff = 0.0f32;
+        let mut horiz_diff = 0.0f32;
+        for y in 0..23 {
+            for x in 0..23 {
+                let v = h.get(&[0, y, x]).unwrap();
+                vert_diff += (v - h.get(&[0, y + 1, x]).unwrap()).abs();
+                horiz_diff += (v - h.get(&[0, y, x + 1]).unwrap()).abs();
+            }
+        }
+        assert!(
+            vert_diff > horiz_diff * 2.0,
+            "horizontal stripes: vertical variation {vert_diff} vs horizontal {horiz_diff}"
+        );
+    }
+
+    #[test]
+    fn different_classes_differ_more_than_same_class() {
+        let config = ObjectConfig::with_size(16);
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = object_image(1, &config, &mut rng);
+        let b = object_image(1, &config, &mut rng);
+        let c = object_image(6, &config, &mut rng);
+        let same = a.sub(&b).unwrap().l2_norm();
+        let cross = a.sub(&c).unwrap().l2_norm();
+        assert!(same < cross, "same {same} vs cross {cross}");
+    }
+}

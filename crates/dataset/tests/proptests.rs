@@ -1,0 +1,139 @@
+//! Property-based tests for the synthetic dataset generators: every family must
+//! produce well-formed, in-range, deterministic images for arbitrary sizes and
+//! seeds, and the labelled-dataset helpers must preserve sample/label pairing.
+
+use dnnip_dataset::digits::{digit_image, synthetic_mnist, DigitConfig};
+use dnnip_dataset::noise::{noise_images, NoiseConfig};
+use dnnip_dataset::objects::{object_image, synthetic_cifar, ObjectConfig};
+use dnnip_dataset::ood::{ood_images, OodConfig};
+use dnnip_dataset::render;
+use dnnip_dataset::LabeledDataset;
+use dnnip_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn assert_valid_image(img: &Tensor, channels: usize, size: usize) {
+    assert_eq!(img.shape(), &[channels, size, size]);
+    assert!(!img.has_non_finite());
+    assert!(img.min().unwrap() >= 0.0);
+    assert!(img.max().unwrap() <= 1.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn digits_are_valid_for_any_size_and_seed(size in 8usize..33, seed in 0u64..1000, class in 0usize..10) {
+        let config = DigitConfig::with_size(size);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = digit_image(class, &config, &mut rng);
+        assert_valid_image(&img, 1, size);
+        // A digit image is never blank: some stroke pixels are lit.
+        prop_assert!(img.sum() > 0.5, "digit {class} at size {size} is essentially blank");
+    }
+
+    #[test]
+    fn objects_are_valid_for_any_size_and_seed(size in 8usize..33, seed in 0u64..1000, class in 0usize..10) {
+        let config = ObjectConfig::with_size(size);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = object_image(class, &config, &mut rng);
+        assert_valid_image(&img, 3, size);
+    }
+
+    #[test]
+    fn noise_and_ood_families_are_valid(size in 8usize..25, seed in 0u64..1000, channels in 1usize..4) {
+        let shape = [channels, size, size];
+        let noise = noise_images(&shape, 2, &NoiseConfig::default(), seed);
+        for img in &noise {
+            assert_valid_image(img, channels, size);
+        }
+        let oods = ood_images(channels, size, 2, &OodConfig::default(), seed);
+        for img in &oods {
+            assert_valid_image(img, channels, size);
+        }
+    }
+
+    #[test]
+    fn datasets_are_balanced_and_deterministic(count in 10usize..60, seed in 0u64..500) {
+        let config = DigitConfig::with_size(12);
+        let a = synthetic_mnist(&config, count, seed);
+        let b = synthetic_mnist(&config, count, seed);
+        prop_assert_eq!(a.len(), count);
+        prop_assert_eq!(a.labels.clone(), b.labels.clone());
+        for (x, y) in a.inputs.iter().zip(&b.inputs) {
+            prop_assert_eq!(x, y);
+        }
+        // Class counts differ by at most one (labels cycle 0..10).
+        let counts = a.class_counts();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+
+        let objects = synthetic_cifar(&ObjectConfig::with_size(12), count, seed);
+        prop_assert_eq!(objects.len(), count);
+        prop_assert_eq!(objects.num_classes, 10);
+    }
+
+    #[test]
+    fn split_partitions_without_loss(count in 4usize..80, frac in 0.1f32..0.9, seed in 0u64..500) {
+        let data = synthetic_mnist(&DigitConfig::with_size(10), count, seed);
+        let (train, test) = data.split(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), count);
+        // Every sample value appears exactly once across the two splits (check via
+        // per-sample sums as a cheap fingerprint).
+        let mut original: Vec<i64> = data.inputs.iter().map(|t| (t.sum() * 1e4) as i64).collect();
+        let mut recombined: Vec<i64> = train
+            .inputs
+            .iter()
+            .chain(&test.inputs)
+            .map(|t| (t.sum() * 1e4) as i64)
+            .collect();
+        original.sort_unstable();
+        recombined.sort_unstable();
+        prop_assert_eq!(original, recombined);
+    }
+
+    #[test]
+    fn subset_preserves_pairing(count in 10usize..40, seed in 0u64..200) {
+        let data = synthetic_mnist(&DigitConfig::with_size(10), count, seed);
+        let indices: Vec<usize> = (0..count).step_by(3).collect();
+        let sub = data.subset(&indices);
+        prop_assert_eq!(sub.len(), indices.len());
+        for (k, &i) in indices.iter().enumerate() {
+            prop_assert_eq!(sub.labels[k], data.labels[i]);
+            prop_assert_eq!(&sub.inputs[k], &data.inputs[i]);
+        }
+    }
+
+    #[test]
+    fn rendering_never_panics_and_has_stable_dimensions(size in 2usize..20, seed in 0u64..200) {
+        let config = DigitConfig::with_size(size);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = digit_image((seed % 10) as usize, &config, &mut rng);
+        let art = render::ascii_art(&img);
+        prop_assert_eq!(art.lines().count(), size);
+        prop_assert!(art.lines().all(|l| l.chars().count() == size));
+        let pgm = render::to_pgm(&img).unwrap();
+        prop_assert!(pgm.len() > size * size);
+    }
+
+    #[test]
+    fn extend_concatenates(count_a in 1usize..20, count_b in 1usize..20, seed in 0u64..100) {
+        let mut a = synthetic_mnist(&DigitConfig::with_size(10), count_a, seed);
+        let b = synthetic_mnist(&DigitConfig::with_size(10), count_b, seed + 1);
+        let expected = count_a + count_b;
+        a.extend(b);
+        prop_assert_eq!(a.len(), expected);
+        prop_assert_eq!(a.labels.len(), expected);
+    }
+}
+
+#[test]
+fn empty_dataset_behaves() {
+    let d = LabeledDataset::default();
+    assert!(d.is_empty());
+    assert_eq!(d.class_counts(), Vec::<usize>::new());
+    let (train, test) = d.split(0.5, 0);
+    assert!(train.is_empty() && test.is_empty());
+}

@@ -1,0 +1,117 @@
+//! Bit-level faults in the accelerator's weight memory.
+//!
+//! The paper motivates its validation scheme with hardware attacks (laser fault
+//! injection, memory tampering on accelerators). Those operate below the
+//! parameter level: they flip bits of the stored fixed-point words. This module
+//! provides the corresponding fault model for [`AcceleratorIp`]'s weight memory.
+
+use dnnip_accel::ip::AcceleratorIp;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::{FaultError, Result};
+
+/// A set of bit positions to flip in a weight-memory image.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitFlipFault {
+    /// Absolute bit indices into the memory image (bit 0 = LSB of byte 0).
+    pub bits: Vec<usize>,
+}
+
+impl BitFlipFault {
+    /// Create a fault flipping the given bits.
+    pub fn new(bits: Vec<usize>) -> Self {
+        Self { bits }
+    }
+
+    /// Number of bits flipped.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether no bits are flipped.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Apply the fault to an accelerator's weight memory in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any bit index is outside the memory image.
+    pub fn apply(&self, ip: &mut AcceleratorIp) -> Result<()> {
+        for &bit in &self.bits {
+            ip.memory_mut().flip_bit(bit)?;
+        }
+        Ok(())
+    }
+}
+
+/// Generate a fault flipping `count` distinct random bits of a memory image with
+/// `num_bits` total bits.
+///
+/// # Errors
+///
+/// Returns [`FaultError::InvalidConfig`] when `count` is zero or exceeds the
+/// number of available bits.
+pub fn random_bit_flips(num_bits: usize, count: usize, rng: &mut StdRng) -> Result<BitFlipFault> {
+    if count == 0 || count > num_bits {
+        return Err(FaultError::InvalidConfig {
+            reason: format!("cannot flip {count} bits in a memory of {num_bits} bits"),
+        });
+    }
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < count {
+        chosen.insert(rng.gen_range(0..num_bits));
+    }
+    Ok(BitFlipFault::new(chosen.into_iter().collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnip_accel::quant::BitWidth;
+    use dnnip_nn::layers::Activation;
+    use dnnip_nn::zoo;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_flips_are_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fault = random_bit_flips(256, 16, &mut rng).unwrap();
+        assert_eq!(fault.len(), 16);
+        assert!(fault.bits.iter().all(|&b| b < 256));
+        let unique: std::collections::HashSet<_> = fault.bits.iter().collect();
+        assert_eq!(unique.len(), 16);
+        assert!(!fault.is_empty());
+    }
+
+    #[test]
+    fn invalid_counts_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(random_bit_flips(8, 0, &mut rng).is_err());
+        assert!(random_bit_flips(8, 9, &mut rng).is_err());
+    }
+
+    #[test]
+    fn apply_changes_memory_and_is_reversible() {
+        let net = zoo::tiny_mlp(4, 8, 3, Activation::Relu, 4).unwrap();
+        let mut ip = AcceleratorIp::from_network(&net, BitWidth::Int16);
+        let golden = AcceleratorIp::from_network(&net, BitWidth::Int16);
+        let mut rng = StdRng::seed_from_u64(9);
+        let fault = random_bit_flips(ip.memory().num_bits(), 8, &mut rng).unwrap();
+        fault.apply(&mut ip).unwrap();
+        assert!(ip.memory().count_differences(golden.memory()) > 0);
+        // Applying the same flips again restores the image (XOR is an involution).
+        fault.apply(&mut ip).unwrap();
+        assert_eq!(ip.memory().count_differences(golden.memory()), 0);
+    }
+
+    #[test]
+    fn out_of_range_bit_fails() {
+        let net = zoo::tiny_mlp(4, 8, 3, Activation::Relu, 4).unwrap();
+        let mut ip = AcceleratorIp::from_network(&net, BitWidth::Int8);
+        let fault = BitFlipFault::new(vec![ip.memory().num_bits()]);
+        assert!(fault.apply(&mut ip).is_err());
+    }
+}

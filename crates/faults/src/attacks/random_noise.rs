@@ -1,0 +1,137 @@
+//! Random Gaussian parameter perturbation.
+//!
+//! Models non-adversarial corruption (memory faults, ageing, radiation): a random
+//! subset of parameters receives additive Gaussian noise.
+
+use dnnip_nn::Network;
+use dnnip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use super::Attack;
+use crate::{FaultError, ParamEdit, Perturbation, Result};
+
+/// Configuration of the random perturbation model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomPerturbation {
+    /// Number of parameters to perturb.
+    pub num_params: usize,
+    /// Standard deviation of the additive Gaussian noise.
+    pub std: f32,
+}
+
+impl Default for RandomPerturbation {
+    fn default() -> Self {
+        Self {
+            num_params: 16,
+            std: 1.0,
+        }
+    }
+}
+
+fn normal_sample(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0f32..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+impl Attack for RandomPerturbation {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn generate(
+        &self,
+        network: &Network,
+        _probes: &[Tensor],
+        rng: &mut StdRng,
+    ) -> Result<Perturbation> {
+        if self.num_params == 0 {
+            return Err(FaultError::InvalidConfig {
+                reason: "random perturbation must touch at least one parameter".to_string(),
+            });
+        }
+        let total = network.num_parameters();
+        let mut indices: Vec<usize> = (0..total).collect();
+        indices.shuffle(rng);
+        indices.truncate(self.num_params.min(total));
+        let mut edits = Vec::with_capacity(indices.len());
+        for index in indices {
+            let old = network.parameter(index)?;
+            edits.push(ParamEdit {
+                index,
+                new_value: old + self.std * normal_sample(rng),
+            });
+        }
+        Ok(Perturbation::new(edits, "random"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnip_nn::layers::Activation;
+    use dnnip_nn::zoo;
+    use rand::SeedableRng;
+
+    #[test]
+    fn touches_the_requested_number_of_parameters() {
+        let net = zoo::tiny_mlp(6, 12, 3, Activation::Relu, 2).unwrap();
+        let attack = RandomPerturbation {
+            num_params: 5,
+            std: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = attack.generate(&net, &[], &mut rng).unwrap();
+        assert_eq!(p.len(), 5);
+        // Indices are unique.
+        let mut idx = p.indices();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), 5);
+    }
+
+    #[test]
+    fn caps_at_total_parameter_count() {
+        let net = zoo::tiny_mlp(2, 2, 2, Activation::Relu, 0).unwrap();
+        let attack = RandomPerturbation {
+            num_params: 10_000,
+            std: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let p = attack.generate(&net, &[], &mut rng).unwrap();
+        assert_eq!(p.len(), net.num_parameters());
+    }
+
+    #[test]
+    fn noise_scale_tracks_std() {
+        let net = zoo::tiny_mlp(8, 32, 4, Activation::Relu, 5).unwrap();
+        let small = RandomPerturbation {
+            num_params: 50,
+            std: 0.01,
+        };
+        let large = RandomPerturbation {
+            num_params: 50,
+            std: 2.0,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let ps = small.generate(&net, &[], &mut rng).unwrap();
+        let pl = large.generate(&net, &[], &mut rng).unwrap();
+        assert!(
+            pl.max_abs_change(&net).unwrap() > ps.max_abs_change(&net).unwrap(),
+            "larger std must produce larger changes"
+        );
+    }
+
+    #[test]
+    fn zero_params_rejected() {
+        let net = zoo::tiny_mlp(2, 2, 2, Activation::Relu, 0).unwrap();
+        let attack = RandomPerturbation {
+            num_params: 0,
+            std: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(attack.generate(&net, &[], &mut rng).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the fault-injection crate: perturbations only touch
+//! what they claim to touch, attacks respect their budgets, detection logic is
+//! consistent, and memory faults are involutive.
+
+use dnnip_accel::ip::{AcceleratorIp, DnnIp, FloatIp};
+use dnnip_accel::quant::BitWidth;
+use dnnip_faults::attacks::{
+    random_bit_flips, Attack, GradientDescentAttack, RandomPerturbation, SingleBiasAttack,
+};
+use dnnip_faults::detection::{golden_outputs, is_detected, MatchPolicy};
+use dnnip_faults::{ParamEdit, Perturbation};
+use dnnip_nn::layers::Activation;
+use dnnip_nn::zoo;
+use dnnip_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn probes(n: usize, dim: usize, seed: u64) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| Tensor::from_fn(&[dim], |j| ((i * dim + j) as f32 * 0.17 + seed as f32).sin()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn perturbation_touches_exactly_its_indices(seed in 0u64..300, k in 1usize..10) {
+        let net = zoo::tiny_mlp(5, 9, 3, Activation::Relu, seed).unwrap();
+        let total = net.num_parameters();
+        let edits: Vec<ParamEdit> = (0..k)
+            .map(|i| ParamEdit { index: (i * 7 + seed as usize) % total, new_value: i as f32 })
+            .collect();
+        let p = Perturbation::new(edits.clone(), "prop");
+        let tampered = p.apply_to_network(&net).unwrap();
+        let before = net.parameters_flat();
+        let after = tampered.parameters_flat();
+        let touched: std::collections::HashSet<usize> = edits.iter().map(|e| e.index).collect();
+        for i in 0..total {
+            if touched.contains(&i) {
+                // The last edit for an index wins; just check it's one of the new values.
+                prop_assert!(edits.iter().any(|e| e.index == i && e.new_value == after[i]));
+            } else {
+                prop_assert_eq!(before[i], after[i], "untouched parameter {} changed", i);
+            }
+        }
+    }
+
+    #[test]
+    fn sba_touches_one_bias_and_gda_respects_budget(seed in 0u64..200) {
+        let net = zoo::tiny_mlp(6, 12, 4, Activation::Tanh, seed).unwrap();
+        let pr = probes(4, 6, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let sba = SingleBiasAttack::default().generate(&net, &pr, &mut rng).unwrap();
+        prop_assert_eq!(sba.len(), 1);
+        prop_assert!(net.param_layout().bias_indices().contains(&sba.edits[0].index));
+
+        let gda_cfg = GradientDescentAttack { num_params: 12, max_change: 0.7, ..Default::default() };
+        let gda = gda_cfg.generate(&net, &pr, &mut rng).unwrap();
+        prop_assert!(gda.len() <= 12);
+        prop_assert!(gda.max_abs_change(&net).unwrap() <= 0.7 + 1e-5);
+
+        let rnd = RandomPerturbation { num_params: 9, std: 0.3 }.generate(&net, &pr, &mut rng).unwrap();
+        prop_assert_eq!(rnd.len(), 9);
+    }
+
+    #[test]
+    fn unperturbed_ip_is_never_flagged(seed in 0u64..200, n_tests in 1usize..8) {
+        let net = zoo::tiny_mlp(5, 8, 3, Activation::Relu, seed).unwrap();
+        let ip = FloatIp::new(net);
+        let tests = probes(n_tests, 5, seed);
+        let golden = golden_outputs(&ip, &tests).unwrap();
+        for policy in [MatchPolicy::ArgMax, MatchPolicy::OutputTolerance(1e-5)] {
+            prop_assert!(!is_detected(&ip, &tests, &golden, policy).unwrap());
+        }
+    }
+
+    #[test]
+    fn argmax_detection_implies_tolerance_detection(seed in 0u64..150) {
+        // If the predicted class of some test changed, the raw outputs certainly
+        // changed too: ArgMax-detected ⇒ OutputTolerance-detected.
+        let net = zoo::tiny_mlp(5, 8, 3, Activation::Relu, seed).unwrap();
+        let tests = probes(6, 5, seed);
+        let golden = golden_outputs(&FloatIp::new(net.clone()), &tests).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = RandomPerturbation { num_params: 6, std: 1.5 }
+            .generate(&net, &[], &mut rng)
+            .unwrap();
+        let tampered_ip = FloatIp::new(p.apply_to_network(&net).unwrap());
+        let by_argmax = is_detected(&tampered_ip, &tests, &golden, MatchPolicy::ArgMax).unwrap();
+        let by_tol = is_detected(&tampered_ip, &tests, &golden, MatchPolicy::OutputTolerance(1e-6)).unwrap();
+        prop_assert!(!by_argmax || by_tol);
+    }
+
+    #[test]
+    fn bit_flips_are_involutive_on_the_accelerator(seed in 0u64..200, flips in 1usize..32) {
+        let net = zoo::tiny_mlp(4, 6, 3, Activation::Relu, seed).unwrap();
+        let mut ip = AcceleratorIp::from_network(&net, BitWidth::Int16);
+        let golden = AcceleratorIp::from_network(&net, BitWidth::Int16);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fault = random_bit_flips(ip.memory().num_bits(), flips, &mut rng).unwrap();
+        fault.apply(&mut ip).unwrap();
+        let differing_bytes = ip.memory().count_differences(golden.memory());
+        prop_assert!(differing_bytes >= 1);
+        prop_assert!(differing_bytes <= fault.len());
+        fault.apply(&mut ip).unwrap();
+        prop_assert_eq!(ip.memory().count_differences(golden.memory()), 0);
+        // And the restored IP behaves identically to the golden one.
+        let x = Tensor::from_fn(&[4], |i| i as f32 * 0.1);
+        prop_assert!(ip.infer(&x).unwrap().approx_eq(&golden.infer(&x).unwrap(), 1e-6));
+    }
+}

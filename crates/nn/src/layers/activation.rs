@@ -1,0 +1,241 @@
+//! Element-wise activation functions and the layer wrapping them.
+
+use dnnip_tensor::Tensor;
+
+use super::{LayerCache, ParamGrads};
+use crate::{NnError, Result};
+
+/// Element-wise non-linearity applied by an [`ActivationLayer`].
+///
+/// The paper's MNIST model uses [`Activation::Tanh`]; its CIFAR-10 model uses
+/// [`Activation::Relu`]. [`Activation::Sigmoid`] is provided because the paper's
+/// ε-threshold activation rule (Section IV-A) is defined for saturating
+/// activations in general, and [`Activation::Identity`] is useful for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Rectified linear unit, `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid, `1 / (1 + e^-x)`.
+    Sigmoid,
+    /// Pass-through (no non-linearity).
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation to a scalar.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative of the activation evaluated at pre-activation `x`.
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Whether the function saturates (has regions where the gradient goes to
+    /// zero asymptotically rather than exactly). Saturating activations require
+    /// the ε-threshold activation rule of the paper rather than an exact
+    /// non-zero-gradient test.
+    pub fn is_saturating(self) -> bool {
+        matches!(self, Activation::Tanh | Activation::Sigmoid)
+    }
+
+    /// Stable lowercase name used in model summaries and serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Identity => "identity",
+        }
+    }
+
+    /// Parse a name produced by [`Activation::name`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Deserialize`] for unknown names.
+    pub fn from_name(name: &str) -> Result<Self> {
+        match name {
+            "relu" => Ok(Activation::Relu),
+            "tanh" => Ok(Activation::Tanh),
+            "sigmoid" => Ok(Activation::Sigmoid),
+            "identity" => Ok(Activation::Identity),
+            other => Err(NnError::Deserialize(format!("unknown activation `{other}`"))),
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A layer applying an [`Activation`] element-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivationLayer {
+    activation: Activation,
+}
+
+impl ActivationLayer {
+    /// Create an activation layer.
+    pub fn new(activation: Activation) -> Self {
+        Self { activation }
+    }
+
+    /// The wrapped activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Layer name, e.g. `Activation(Relu)`.
+    pub fn name(&self) -> String {
+        format!("Activation({:?})", self.activation)
+    }
+
+    /// Forward pass: apply the activation element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; the signature matches the other layers for uniform dispatch.
+    pub fn forward(&self, input: &Tensor) -> Result<(Tensor, LayerCache)> {
+        let act = self.activation;
+        let out = input.map(|x| act.apply(x));
+        Ok((
+            out,
+            LayerCache::Activation {
+                input: input.clone(),
+            },
+        ))
+    }
+
+    /// Backward pass: multiply by the activation derivative at the cached input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cache is of the wrong variant or the gradient shape
+    /// does not match the cached input.
+    pub fn backward(
+        &self,
+        cache: &LayerCache,
+        grad_output: &Tensor,
+    ) -> Result<(Tensor, Option<ParamGrads>)> {
+        let LayerCache::Activation { input } = cache else {
+            return Err(NnError::BadInputShape {
+                layer: self.name(),
+                got: vec![],
+                expected: "Activation cache".to_string(),
+            });
+        };
+        let act = self.activation;
+        let grad_in = grad_output.zip_map(input, "activation_backward", |g, x| {
+            g * act.derivative(x)
+        })?;
+        Ok((grad_in, None))
+    }
+
+    /// Output shape equals the input shape.
+    ///
+    /// # Errors
+    ///
+    /// Never fails; present for uniform dispatch.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        Ok(input_shape.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative(-0.5), 0.0);
+        assert_eq!(Activation::Relu.derivative(0.5), 1.0);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for act in [Activation::Tanh, Activation::Sigmoid, Activation::Identity] {
+            for &x in &[-2.0f32, -0.3, 0.0, 0.7, 1.9] {
+                let num = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let ana = act.derivative(x);
+                assert!(
+                    (num - ana).abs() < 1e-3,
+                    "{act:?} derivative at {x}: numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_classification() {
+        assert!(Activation::Tanh.is_saturating());
+        assert!(Activation::Sigmoid.is_saturating());
+        assert!(!Activation::Relu.is_saturating());
+        assert!(!Activation::Identity.is_saturating());
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for act in [
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
+            assert_eq!(Activation::from_name(act.name()).unwrap(), act);
+        }
+        assert!(Activation::from_name("swish").is_err());
+    }
+
+    #[test]
+    fn layer_forward_backward_round_trip() {
+        let layer = ActivationLayer::new(Activation::Relu);
+        let input = Tensor::from_vec(vec![-1.0, 2.0, -3.0, 4.0], &[2, 2]).unwrap();
+        let (out, cache) = layer.forward(&input).unwrap();
+        assert_eq!(out.data(), &[0.0, 2.0, 0.0, 4.0]);
+        let grad_out = Tensor::ones(&[2, 2]);
+        let (grad_in, pg) = layer.backward(&cache, &grad_out).unwrap();
+        assert!(pg.is_none());
+        assert_eq!(grad_in.data(), &[0.0, 1.0, 0.0, 1.0]);
+        assert_eq!(layer.output_shape(&[5, 7]).unwrap(), vec![5, 7]);
+    }
+
+    #[test]
+    fn backward_rejects_wrong_cache() {
+        let layer = ActivationLayer::new(Activation::Tanh);
+        let cache = LayerCache::Flatten {
+            input_shape: vec![1, 2],
+        };
+        assert!(layer.backward(&cache, &Tensor::zeros(&[1, 2])).is_err());
+    }
+}

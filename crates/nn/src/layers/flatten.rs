@@ -1,0 +1,106 @@
+//! Flatten layer: reshape `[N, ...]` to `[N, prod(...)]`.
+
+use dnnip_tensor::Tensor;
+
+use super::{LayerCache, ParamGrads};
+use crate::{NnError, Result};
+
+/// Reshape a batched tensor `[N, d1, d2, ...]` into a matrix `[N, d1*d2*...]`.
+///
+/// Sits between the convolutional stack and the fully-connected head in both
+/// Table-I architectures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Flatten;
+
+impl Flatten {
+    /// Create a flatten layer.
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInputShape`] for inputs of rank < 2 (there must be a
+    /// batch dimension and at least one feature dimension).
+    pub fn forward(&self, input: &Tensor) -> Result<(Tensor, LayerCache)> {
+        if input.ndim() < 2 {
+            return Err(NnError::BadInputShape {
+                layer: "Flatten".to_string(),
+                got: input.shape().to_vec(),
+                expected: "[N, ...] with rank >= 2".to_string(),
+            });
+        }
+        let n = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        let out = input.reshape(&[n, rest])?;
+        Ok((
+            out,
+            LayerCache::Flatten {
+                input_shape: input.shape().to_vec(),
+            },
+        ))
+    }
+
+    /// Backward pass: reshape the gradient back to the cached input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cache variant is wrong or the gradient size does
+    /// not match the cached shape.
+    pub fn backward(
+        &self,
+        cache: &LayerCache,
+        grad_output: &Tensor,
+    ) -> Result<(Tensor, Option<ParamGrads>)> {
+        let LayerCache::Flatten { input_shape } = cache else {
+            return Err(NnError::BadInputShape {
+                layer: "Flatten".to_string(),
+                got: vec![],
+                expected: "Flatten cache".to_string(),
+            });
+        };
+        Ok((grad_output.reshape(input_shape)?, None))
+    }
+
+    /// Output shape: `[N, prod(rest)]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInputShape`] for shapes of rank < 2.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        if input_shape.len() < 2 {
+            return Err(NnError::BadInputShape {
+                layer: "Flatten".to_string(),
+                got: input_shape.to_vec(),
+                expected: "[N, ...] with rank >= 2".to_string(),
+            });
+        }
+        Ok(vec![input_shape[0], input_shape[1..].iter().product()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_backward_round_trip() {
+        let layer = Flatten::new();
+        let input = Tensor::from_fn(&[2, 3, 4, 4], |i| i as f32);
+        let (out, cache) = layer.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[2, 48]);
+        let (grad_in, pg) = layer.backward(&cache, &out).unwrap();
+        assert!(pg.is_none());
+        assert_eq!(grad_in, input);
+        assert_eq!(layer.output_shape(&[2, 3, 4, 4]).unwrap(), vec![2, 48]);
+    }
+
+    #[test]
+    fn rejects_rank_one_input() {
+        let layer = Flatten::new();
+        assert!(layer.forward(&Tensor::zeros(&[4])).is_err());
+        assert!(layer.output_shape(&[4]).is_err());
+    }
+}

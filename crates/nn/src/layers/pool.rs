@@ -1,0 +1,138 @@
+//! Max-pooling layer.
+
+use dnnip_tensor::conv::{maxpool2d_backward, maxpool2d_forward};
+use dnnip_tensor::{shape::conv_out_dim, Tensor};
+
+use super::{LayerCache, ParamGrads};
+use crate::{NnError, Result};
+
+/// Max pooling over square, non-overlapping (or strided) windows.
+///
+/// The paper's models use 2×2 pooling with stride 2 after every pair of
+/// convolutions (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+}
+
+impl MaxPool2d {
+    /// Create a max-pooling layer with a `kernel`×`kernel` window and the given
+    /// stride.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        Self { kernel, stride }
+    }
+
+    /// Window size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Layer name, e.g. `MaxPool2d(2x2, s=2)`.
+    pub fn name(&self) -> String {
+        format!("MaxPool2d({}x{}, s={})", self.kernel, self.kernel, self.stride)
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input is not rank-4 or the window does not fit.
+    pub fn forward(&self, input: &Tensor) -> Result<(Tensor, LayerCache)> {
+        let pooled = maxpool2d_forward(input, self.kernel, self.stride)?;
+        Ok((
+            pooled.output,
+            LayerCache::MaxPool2d {
+                argmax: pooled.argmax,
+                input_shape: input.shape().to_vec(),
+            },
+        ))
+    }
+
+    /// Backward pass: route every output gradient to the winning input element.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the cache variant is wrong or the gradient shape does
+    /// not match the recorded argmax bookkeeping.
+    pub fn backward(
+        &self,
+        cache: &LayerCache,
+        grad_output: &Tensor,
+    ) -> Result<(Tensor, Option<ParamGrads>)> {
+        let LayerCache::MaxPool2d { argmax, input_shape } = cache else {
+            return Err(NnError::BadInputShape {
+                layer: self.name(),
+                got: vec![],
+                expected: "MaxPool2d cache".to_string(),
+            });
+        };
+        let grad_in = maxpool2d_backward(grad_output, argmax, input_shape)?;
+        Ok((grad_in, None))
+    }
+
+    /// Output shape: `[N, C, OH, OW]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the input shape is not rank-4 or the window does not
+    /// fit.
+    pub fn output_shape(&self, input_shape: &[usize]) -> Result<Vec<usize>> {
+        if input_shape.len() != 4 {
+            return Err(NnError::BadInputShape {
+                layer: self.name(),
+                got: input_shape.to_vec(),
+                expected: "[N, C, H, W]".to_string(),
+            });
+        }
+        let oh = conv_out_dim(input_shape[2], self.kernel, self.stride, 0)?;
+        let ow = conv_out_dim(input_shape[3], self.kernel, self.stride, 0)?;
+        Ok(vec![input_shape[0], input_shape[1], oh, ow])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_halves_spatial_size() {
+        let layer = MaxPool2d::new(2, 2);
+        let input = Tensor::from_fn(&[1, 2, 8, 8], |i| i as f32);
+        let (out, _) = layer.forward(&input).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 4, 4]);
+        assert_eq!(layer.output_shape(&[1, 2, 8, 8]).unwrap(), vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn backward_routes_to_max_positions() {
+        let layer = MaxPool2d::new(2, 2);
+        let input = Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32);
+        let (out, cache) = layer.forward(&input).unwrap();
+        let grad_out = Tensor::ones(out.shape());
+        let (grad_in, pg) = layer.backward(&cache, &grad_out).unwrap();
+        assert!(pg.is_none());
+        assert_eq!(grad_in.sum(), 4.0);
+        // The maxima of an increasing ramp live in the bottom-right of each window.
+        assert_eq!(grad_in.get(&[0, 0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(grad_in.get(&[0, 0, 3, 3]).unwrap(), 1.0);
+        assert_eq!(grad_in.get(&[0, 0, 0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let layer = MaxPool2d::new(2, 2);
+        assert!(layer.forward(&Tensor::zeros(&[4, 4])).is_err());
+        assert!(layer.output_shape(&[4, 4]).is_err());
+        assert!(layer.output_shape(&[1, 1, 1, 1]).is_err());
+        let cache = LayerCache::Flatten {
+            input_shape: vec![1],
+        };
+        assert!(layer.backward(&cache, &Tensor::zeros(&[1])).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! Versioned binary serialization of trained networks.
+//!
+//! The format is intentionally simple and self-contained (no external
+//! serialization crates): a magic string, a format version, the input shape, and
+//! then every layer as a tag byte followed by its configuration and parameters
+//! in little-endian `f32`. It is used by:
+//!
+//! * the accelerator crate, which builds a quantized weight-memory image from a
+//!   saved model;
+//! * the vendor/user protocol, which ships the vendor's golden model alongside
+//!   the generated functional tests in examples and tests.
+
+use crate::layers::{Activation, ActivationLayer, Conv2d, Dense, Flatten, Layer, MaxPool2d};
+use crate::{Network, NnError, Result};
+use dnnip_tensor::Tensor;
+
+const MAGIC: &[u8; 8] = b"DNNIPNET";
+const VERSION: u32 = 1;
+
+const TAG_CONV2D: u8 = 1;
+const TAG_DENSE: u8 = 2;
+const TAG_MAXPOOL: u8 = 3;
+const TAG_FLATTEN: u8 = 4;
+const TAG_ACTIVATION: u8 = 5;
+
+const ACT_RELU: u8 = 0;
+const ACT_TANH: u8 = 1;
+const ACT_SIGMOID: u8 = 2;
+const ACT_IDENTITY: u8 = 3;
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32_slice(&mut self, values: &[f32]) {
+        self.u32(values.len() as u32);
+        for v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    fn shape(&mut self, shape: &[usize]) {
+        self.u32(shape.len() as u32);
+        for &d in shape {
+            self.u32(d as u32);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(NnError::Deserialize(format!(
+                "unexpected end of stream at byte {} (wanted {n} more)",
+                self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn f32_vec(&mut self) -> Result<Vec<f32>> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n * 4)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+    fn shape(&mut self) -> Result<Vec<usize>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32()? as usize);
+        }
+        Ok(out)
+    }
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn activation_code(act: Activation) -> u8 {
+    match act {
+        Activation::Relu => ACT_RELU,
+        Activation::Tanh => ACT_TANH,
+        Activation::Sigmoid => ACT_SIGMOID,
+        Activation::Identity => ACT_IDENTITY,
+    }
+}
+
+fn activation_from_code(code: u8) -> Result<Activation> {
+    match code {
+        ACT_RELU => Ok(Activation::Relu),
+        ACT_TANH => Ok(Activation::Tanh),
+        ACT_SIGMOID => Ok(Activation::Sigmoid),
+        ACT_IDENTITY => Ok(Activation::Identity),
+        other => Err(NnError::Deserialize(format!("unknown activation code {other}"))),
+    }
+}
+
+/// Serialize a network into a self-contained byte vector.
+pub fn to_bytes(network: &Network) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(VERSION);
+    w.shape(network.input_shape());
+    w.u32(network.num_layers() as u32);
+    for layer in network.layers() {
+        match layer {
+            Layer::Conv2d(conv) => {
+                w.u8(TAG_CONV2D);
+                let (weight, bias) = conv.parameters();
+                w.shape(weight.shape());
+                w.u32(conv.geometry().stride as u32);
+                w.u32(conv.geometry().pad as u32);
+                w.f32_slice(weight.data());
+                w.f32_slice(bias.data());
+            }
+            Layer::Dense(dense) => {
+                w.u8(TAG_DENSE);
+                let (weight, bias) = dense.parameters();
+                w.shape(weight.shape());
+                w.f32_slice(weight.data());
+                w.f32_slice(bias.data());
+            }
+            Layer::MaxPool2d(pool) => {
+                w.u8(TAG_MAXPOOL);
+                w.u32(pool.kernel() as u32);
+                w.u32(pool.stride() as u32);
+            }
+            Layer::Flatten(_) => {
+                w.u8(TAG_FLATTEN);
+            }
+            Layer::Activation(act) => {
+                w.u8(TAG_ACTIVATION);
+                w.u8(activation_code(act.activation()));
+            }
+        }
+    }
+    w.buf
+}
+
+/// Reconstruct a network from bytes produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] for truncated or malformed streams, unknown
+/// layer tags, or version mismatches, and propagates shape-chain validation
+/// errors from [`Network::new`].
+pub fn from_bytes(bytes: &[u8]) -> Result<Network> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(MAGIC.len())?;
+    if magic != MAGIC {
+        return Err(NnError::Deserialize("bad magic".to_string()));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(NnError::Deserialize(format!(
+            "unsupported format version {version} (expected {VERSION})"
+        )));
+    }
+    let input_shape = r.shape()?;
+    let num_layers = r.u32()? as usize;
+    let mut layers: Vec<Layer> = Vec::with_capacity(num_layers);
+    for _ in 0..num_layers {
+        let tag = r.u8()?;
+        match tag {
+            TAG_CONV2D => {
+                let wshape = r.shape()?;
+                let stride = r.u32()? as usize;
+                let pad = r.u32()? as usize;
+                let wdata = r.f32_vec()?;
+                let bdata = r.f32_vec()?;
+                let weight = Tensor::from_vec(wdata, &wshape)?;
+                let bias_len = bdata.len();
+                let bias = Tensor::from_vec(bdata, &[bias_len])?;
+                layers.push(Conv2d::new(weight, bias, stride, pad)?.into());
+            }
+            TAG_DENSE => {
+                let wshape = r.shape()?;
+                let wdata = r.f32_vec()?;
+                let bdata = r.f32_vec()?;
+                let weight = Tensor::from_vec(wdata, &wshape)?;
+                let bias_len = bdata.len();
+                let bias = Tensor::from_vec(bdata, &[bias_len])?;
+                layers.push(Dense::new(weight, bias)?.into());
+            }
+            TAG_MAXPOOL => {
+                let k = r.u32()? as usize;
+                let s = r.u32()? as usize;
+                layers.push(MaxPool2d::new(k, s).into());
+            }
+            TAG_FLATTEN => layers.push(Flatten::new().into()),
+            TAG_ACTIVATION => {
+                let code = r.u8()?;
+                layers.push(ActivationLayer::new(activation_from_code(code)?).into());
+            }
+            other => {
+                return Err(NnError::Deserialize(format!("unknown layer tag {other}")));
+            }
+        }
+    }
+    if !r.finished() {
+        return Err(NnError::Deserialize(format!(
+            "{} trailing bytes after the last layer",
+            bytes.len() - r.pos
+        )));
+    }
+    Network::new(layers, &input_shape)
+}
+
+/// Save a network to a file.
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] wrapping the I/O error message on failure.
+pub fn to_file(network: &Network, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, to_bytes(network))
+        .map_err(|e| NnError::Deserialize(format!("writing {}: {e}", path.display())))
+}
+
+/// Load a network from a file written by [`to_file`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] for I/O errors or malformed content.
+pub fn from_file(path: &std::path::Path) -> Result<Network> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| NnError::Deserialize(format!("reading {}: {e}", path.display())))?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Activation;
+    use crate::zoo;
+
+    #[test]
+    fn round_trip_preserves_structure_and_parameters() {
+        let net = zoo::mnist_model_scaled(42).unwrap();
+        let bytes = to_bytes(&net);
+        let restored = from_bytes(&bytes).unwrap();
+        assert_eq!(restored.num_layers(), net.num_layers());
+        assert_eq!(restored.input_shape(), net.input_shape());
+        assert_eq!(restored.parameters_flat(), net.parameters_flat());
+        assert_eq!(restored.num_classes(), net.num_classes());
+    }
+
+    #[test]
+    fn round_trip_preserves_behaviour() {
+        let net = zoo::tiny_cnn(4, 3, Activation::Tanh, 17).unwrap();
+        let bytes = to_bytes(&net);
+        let restored = from_bytes(&bytes).unwrap();
+        let x = dnnip_tensor::Tensor::from_fn(&[1, 8, 8], |i| (i as f32 * 0.13).sin());
+        let a = net.forward_sample(&x).unwrap();
+        let b = restored.forward_sample(&x).unwrap();
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn corrupted_streams_are_rejected() {
+        let net = zoo::tiny_mlp(4, 6, 3, Activation::Relu, 0).unwrap();
+        let bytes = to_bytes(&net);
+        assert!(from_bytes(&bytes[..bytes.len() - 4]).is_err(), "truncated");
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(from_bytes(&bad_magic).is_err(), "bad magic");
+        let mut bad_version = bytes.clone();
+        bad_version[8] = 99;
+        assert!(from_bytes(&bad_version).is_err(), "bad version");
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(from_bytes(&trailing).is_err(), "trailing bytes");
+        assert!(from_bytes(&[]).is_err(), "empty stream");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let net = zoo::tiny_mlp(3, 4, 2, Activation::Sigmoid, 5).unwrap();
+        let dir = std::env::temp_dir().join("dnnip_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.dnnip");
+        to_file(&net, &path).unwrap();
+        let restored = from_file(&path).unwrap();
+        assert_eq!(restored.parameters_flat(), net.parameters_flat());
+        std::fs::remove_file(&path).ok();
+        assert!(from_file(&dir.join("missing.dnnip")).is_err());
+    }
+}

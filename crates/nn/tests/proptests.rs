@@ -1,0 +1,108 @@
+//! Property-based tests for the neural-network substrate: gradient correctness
+//! against finite differences on random networks, flat-parameter round trips,
+//! softmax/loss invariants and serialization.
+
+use dnnip_nn::loss::{cross_entropy, one_hot};
+use dnnip_nn::layers::Activation;
+use dnnip_nn::{serialize, zoo};
+use dnnip_tensor::Tensor;
+use proptest::prelude::*;
+
+fn activation_strategy() -> impl Strategy<Value = Activation> {
+    prop_oneof![
+        Just(Activation::Relu),
+        Just(Activation::Tanh),
+        Just(Activation::Sigmoid),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn parameter_gradients_match_finite_differences(
+        seed in 0u64..200,
+        act in activation_strategy(),
+    ) {
+        let net = zoo::tiny_mlp(4, 6, 3, act, seed).unwrap();
+        let sample = Tensor::from_fn(&[4], |i| ((i as u64 * 13 + seed) % 17) as f32 * 0.1 - 0.8);
+        let grads = net.parameter_gradients(&sample, &[1.0; 3]).unwrap();
+        let objective = |n: &dnnip_nn::Network| n.forward_sample(&sample).unwrap().sum();
+        let eps = 1e-2f32;
+        // Spot-check a few parameter indices spread across the layers.
+        for idx in [0usize, 5, 11, 23, net.num_parameters() - 1] {
+            let mut plus = net.clone();
+            plus.perturb_parameter(idx, eps).unwrap();
+            let mut minus = net.clone();
+            minus.perturb_parameter(idx, -eps).unwrap();
+            let numeric = (objective(&plus) - objective(&minus)) / (2.0 * eps);
+            prop_assert!(
+                (numeric - grads[idx]).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "idx {}: numeric {} vs analytic {}", idx, numeric, grads[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradients_match_finite_differences(seed in 0u64..200, class in 0usize..3) {
+        let net = zoo::tiny_mlp(5, 7, 3, Activation::Tanh, seed).unwrap();
+        let sample = Tensor::from_fn(&[5], |i| ((i as u64 * 7 + seed) % 23) as f32 * 0.05 - 0.5);
+        let grad = net.input_gradient_for_class(&sample, class).unwrap();
+        let eps = 1e-2f32;
+        for idx in 0..5 {
+            let mut plus = sample.clone();
+            plus.data_mut()[idx] += eps;
+            let mut minus = sample.clone();
+            minus.data_mut()[idx] -= eps;
+            let numeric = (net.forward_sample(&plus).unwrap().data()[class]
+                - net.forward_sample(&minus).unwrap().data()[class])
+                / (2.0 * eps);
+            prop_assert!(
+                (numeric - grad.data()[idx]).abs() < 5e-2 * (1.0 + numeric.abs()),
+                "idx {}: numeric {} vs analytic {}", idx, numeric, grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn flat_parameter_round_trip_preserves_behaviour(seed in 0u64..200, scale in 0.1f32..2.0) {
+        let mut net = zoo::tiny_cnn(3, 4, Activation::Relu, seed).unwrap();
+        let params: Vec<f32> = net.parameters_flat().iter().map(|p| p * scale).collect();
+        net.set_parameters_flat(&params).unwrap();
+        prop_assert_eq!(net.parameters_flat(), params);
+        // Per-index access agrees with the flat vector.
+        let flat = net.parameters_flat();
+        for idx in [0usize, flat.len() / 2, flat.len() - 1] {
+            prop_assert_eq!(net.parameter(idx).unwrap(), flat[idx]);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_positive_and_gradient_rows_sum_to_zero(
+        seed in 0u64..500, n in 1usize..5
+    ) {
+        let logits = Tensor::from_fn(&[n, 4], |i| (((i as u64 + seed) * 37) % 19) as f32 * 0.3 - 2.0);
+        let labels: Vec<usize> = (0..n).map(|i| (i + seed as usize) % 4).collect();
+        let out = cross_entropy(&logits, &labels).unwrap();
+        prop_assert!(out.value >= 0.0);
+        // Softmax-CE gradient rows sum to zero: (p - onehot) sums to 1 - 1.
+        for row in 0..n {
+            let s: f32 = out.grad_logits.data()[row * 4..(row + 1) * 4].iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {} grad sum {}", row, s);
+        }
+        let oh = one_hot(&labels, 4).unwrap();
+        prop_assert_eq!(oh.sum() as usize, n);
+    }
+
+    #[test]
+    fn serialization_round_trip_is_exact(seed in 0u64..200, act in activation_strategy()) {
+        let net = zoo::tiny_mlp(3, 5, 2, act, seed).unwrap();
+        let restored = serialize::from_bytes(&serialize::to_bytes(&net)).unwrap();
+        prop_assert_eq!(restored.parameters_flat(), net.parameters_flat());
+        let x = Tensor::from_fn(&[3], |i| (i as f32 + seed as f32 * 0.01).sin());
+        prop_assert!(restored
+            .forward_sample(&x)
+            .unwrap()
+            .approx_eq(&net.forward_sample(&x).unwrap(), 1e-6));
+    }
+}

@@ -1,0 +1,593 @@
+//! Convolution and pooling primitives on `[N, C, H, W]` tensors.
+//!
+//! Two independent forward implementations of the 2-D convolution are provided:
+//! a direct 7-deep loop nest ([`conv2d_forward`]) and an im2col + matmul
+//! formulation ([`conv2d_forward_im2col`]). They are required to agree bit-for-bit
+//! on the same inputs, which gives the test suite a strong cross-check and the
+//! benchmark crate an ablation point (direct vs im2col throughput).
+//!
+//! All functions operate on single-precision tensors in the layouts used by
+//! `dnnip-nn`:
+//!
+//! * activations: `[N, C, H, W]`
+//! * convolution weights: `[OC, C, KH, KW]`
+//! * convolution bias: `[OC]`
+
+use crate::shape::{self, conv_out_dim};
+use crate::{Result, Tensor, TensorError};
+
+/// Geometry of a convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride applied along both spatial axes.
+    pub stride: usize,
+    /// Zero padding applied on every spatial border.
+    pub pad: usize,
+}
+
+impl Conv2dGeometry {
+    /// Geometry with a square `k`×`k` kernel, the given stride and padding.
+    pub fn square(k: usize, stride: usize, pad: usize) -> Self {
+        Self {
+            kh: k,
+            kw: k,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output spatial size for an input of `h`×`w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the window does not fit.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        Ok((
+            conv_out_dim(h, self.kh, self.stride, self.pad)?,
+            conv_out_dim(w, self.kw, self.stride, self.pad)?,
+        ))
+    }
+}
+
+fn expect_rank4(t: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
+    if t.ndim() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: t.shape().to_vec(),
+            op,
+        });
+    }
+    Ok((t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]))
+}
+
+/// Direct (loop-nest) 2-D convolution forward pass.
+///
+/// * `input` — `[N, C, H, W]`
+/// * `weight` — `[OC, C, KH, KW]`
+/// * `bias` — `[OC]`
+///
+/// Returns the output activations `[N, OC, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when tensor ranks, channel counts or window geometry
+/// are inconsistent.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    geom: Conv2dGeometry,
+) -> Result<Tensor> {
+    let (n, c, h, w) = expect_rank4(input, "conv2d_forward")?;
+    let (oc, wc, kh, kw) = expect_rank4(weight, "conv2d_forward(weight)")?;
+    check_conv_args(c, wc, kh, kw, bias, oc, geom)?;
+    let (oh, ow) = geom.output_hw(h, w)?;
+
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    let ind = input.data();
+    let wd = weight.data();
+    let bd = bias.data();
+
+    for ni in 0..n {
+        for oci in 0..oc {
+            let b = bd[oci];
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut acc = b;
+                    for ci in 0..c {
+                        for khi in 0..kh {
+                            let ih = ohi * geom.stride + khi;
+                            if ih < geom.pad || ih - geom.pad >= h {
+                                continue;
+                            }
+                            let ih = ih - geom.pad;
+                            for kwi in 0..kw {
+                                let iw = owi * geom.stride + kwi;
+                                if iw < geom.pad || iw - geom.pad >= w {
+                                    continue;
+                                }
+                                let iw = iw - geom.pad;
+                                let iv = ind[((ni * c + ci) * h + ih) * w + iw];
+                                let wv = wd[((oci * c + ci) * kh + khi) * kw + kwi];
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    out[((ni * oc + oci) * oh + ohi) * ow + owi] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, oc, oh, ow])
+}
+
+fn check_conv_args(
+    c: usize,
+    wc: usize,
+    kh: usize,
+    kw: usize,
+    bias: &Tensor,
+    oc: usize,
+    geom: Conv2dGeometry,
+) -> Result<()> {
+    if wc != c {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!("weight expects {wc} input channels, input has {c}"),
+        });
+    }
+    if kh != geom.kh || kw != geom.kw {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!(
+                "weight kernel {kh}x{kw} disagrees with geometry {}x{}",
+                geom.kh, geom.kw
+            ),
+        });
+    }
+    if bias.ndim() != 1 || bias.shape()[0] != oc {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![oc],
+            rhs: bias.shape().to_vec(),
+            op: "conv2d(bias)",
+        });
+    }
+    Ok(())
+}
+
+/// Lower one `[C, H, W]` sample into an im2col matrix `[C*KH*KW, OH*OW]`.
+///
+/// Column `p` of the result holds the receptive field that produces output pixel
+/// `p` (row-major over `OH`×`OW`); zero padding contributes explicit zeros.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] for non-rank-3 input or invalid window geometry.
+pub fn im2col(sample: &Tensor, geom: Conv2dGeometry) -> Result<Tensor> {
+    if sample.ndim() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: sample.shape().to_vec(),
+            op: "im2col",
+        });
+    }
+    let (c, h, w) = (sample.shape()[0], sample.shape()[1], sample.shape()[2]);
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let sd = sample.data();
+    for ci in 0..c {
+        for khi in 0..geom.kh {
+            for kwi in 0..geom.kw {
+                let r = (ci * geom.kh + khi) * geom.kw + kwi;
+                for ohi in 0..oh {
+                    let ih = ohi * geom.stride + khi;
+                    if ih < geom.pad || ih - geom.pad >= h {
+                        continue;
+                    }
+                    let ih = ih - geom.pad;
+                    for owi in 0..ow {
+                        let iw = owi * geom.stride + kwi;
+                        if iw < geom.pad || iw - geom.pad >= w {
+                            continue;
+                        }
+                        let iw = iw - geom.pad;
+                        out[r * cols + ohi * ow + owi] = sd[(ci * h + ih) * w + iw];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// 2-D convolution forward pass via im2col + matrix multiplication.
+///
+/// Produces exactly the same output as [`conv2d_forward`]; used as a cross-check
+/// and as the faster path for wide layers.
+///
+/// # Errors
+///
+/// Same error conditions as [`conv2d_forward`].
+pub fn conv2d_forward_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    geom: Conv2dGeometry,
+) -> Result<Tensor> {
+    let (n, c, h, w) = expect_rank4(input, "conv2d_forward_im2col")?;
+    let (oc, wc, kh, kw) = expect_rank4(weight, "conv2d_forward_im2col(weight)")?;
+    check_conv_args(c, wc, kh, kw, bias, oc, geom)?;
+    let (oh, ow) = geom.output_hw(h, w)?;
+
+    // Weight matrix [OC, C*KH*KW].
+    let wmat = weight.reshape(&[oc, c * kh * kw])?;
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    let bd = bias.data();
+
+    for ni in 0..n {
+        let sample = Tensor::from_vec(
+            input.data()[ni * c * h * w..(ni + 1) * c * h * w].to_vec(),
+            &[c, h, w],
+        )?;
+        let cols = im2col(&sample, geom)?; // [C*KH*KW, OH*OW]
+        let prod = crate::ops::matmul(&wmat, &cols)?; // [OC, OH*OW]
+        let pd = prod.data();
+        for oci in 0..oc {
+            for p in 0..oh * ow {
+                out[(ni * oc + oci) * oh * ow + p] = pd[oci * oh * ow + p] + bd[oci];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, oc, oh, ow])
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGradients {
+    /// Gradient of the loss with respect to the layer input, `[N, C, H, W]`.
+    pub grad_input: Tensor,
+    /// Gradient of the loss with respect to the weights, `[OC, C, KH, KW]`.
+    pub grad_weight: Tensor,
+    /// Gradient of the loss with respect to the bias, `[OC]`.
+    pub grad_bias: Tensor,
+}
+
+/// Full backward pass of the 2-D convolution.
+///
+/// Given the forward inputs and `grad_output = ∂L/∂output` (`[N, OC, OH, OW]`),
+/// computes the gradients with respect to the input, the weights and the bias.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when any operand shape is inconsistent with the
+/// convolution geometry.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_output: &Tensor,
+    geom: Conv2dGeometry,
+) -> Result<Conv2dGradients> {
+    let (n, c, h, w) = expect_rank4(input, "conv2d_backward")?;
+    let (oc, wc, kh, kw) = expect_rank4(weight, "conv2d_backward(weight)")?;
+    if wc != c {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!("weight expects {wc} input channels, input has {c}"),
+        });
+    }
+    let (oh, ow) = geom.output_hw(h, w)?;
+    shape::check_same(grad_output.shape(), &[n, oc, oh, ow], "conv2d_backward(grad_output)")?;
+
+    let mut gi = vec![0.0f32; n * c * h * w];
+    let mut gw = vec![0.0f32; oc * c * kh * kw];
+    let mut gb = vec![0.0f32; oc];
+    let ind = input.data();
+    let wd = weight.data();
+    let god = grad_output.data();
+
+    for ni in 0..n {
+        for oci in 0..oc {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let go = god[((ni * oc + oci) * oh + ohi) * ow + owi];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    gb[oci] += go;
+                    for ci in 0..c {
+                        for khi in 0..kh {
+                            let ih = ohi * geom.stride + khi;
+                            if ih < geom.pad || ih - geom.pad >= h {
+                                continue;
+                            }
+                            let ih = ih - geom.pad;
+                            for kwi in 0..kw {
+                                let iw = owi * geom.stride + kwi;
+                                if iw < geom.pad || iw - geom.pad >= w {
+                                    continue;
+                                }
+                                let iw = iw - geom.pad;
+                                let in_idx = ((ni * c + ci) * h + ih) * w + iw;
+                                let w_idx = ((oci * c + ci) * kh + khi) * kw + kwi;
+                                gw[w_idx] += ind[in_idx] * go;
+                                gi[in_idx] += wd[w_idx] * go;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(Conv2dGradients {
+        grad_input: Tensor::from_vec(gi, &[n, c, h, w])?,
+        grad_weight: Tensor::from_vec(gw, &[oc, c, kh, kw])?,
+        grad_bias: Tensor::from_vec(gb, &[oc])?,
+    })
+}
+
+/// Result of [`maxpool2d_forward`]: pooled activations plus the argmax bookkeeping
+/// needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct MaxPool2dOutput {
+    /// Pooled activations, `[N, C, OH, OW]`.
+    pub output: Tensor,
+    /// For every output element, the flat index into the input tensor of the
+    /// element that won the max (used to route gradients).
+    pub argmax: Vec<usize>,
+}
+
+/// Max-pooling forward pass with a square window and no padding.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] for non-rank-4 input or invalid window geometry.
+pub fn maxpool2d_forward(input: &Tensor, k: usize, stride: usize) -> Result<MaxPool2dOutput> {
+    let (n, c, h, w) = expect_rank4(input, "maxpool2d_forward")?;
+    let oh = conv_out_dim(h, k, stride, 0)?;
+    let ow = conv_out_dim(w, k, stride, 0)?;
+    let ind = input.data();
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let mut argmax = vec![0usize; n * c * oh * ow];
+
+    for ni in 0..n {
+        for ci in 0..c {
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for khi in 0..k {
+                        for kwi in 0..k {
+                            let ih = ohi * stride + khi;
+                            let iw = owi * stride + kwi;
+                            let idx = ((ni * c + ci) * h + ih) * w + iw;
+                            if ind[idx] > best {
+                                best = ind[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o_idx = ((ni * c + ci) * oh + ohi) * ow + owi;
+                    out[o_idx] = best;
+                    argmax[o_idx] = best_idx;
+                }
+            }
+        }
+    }
+    Ok(MaxPool2dOutput {
+        output: Tensor::from_vec(out, &[n, c, oh, ow])?,
+        argmax,
+    })
+}
+
+/// Max-pooling backward pass: routes each output gradient to the input element
+/// that won the corresponding max.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when `grad_output` does not match the recorded
+/// argmax bookkeeping.
+pub fn maxpool2d_backward(
+    grad_output: &Tensor,
+    argmax: &[usize],
+    input_shape: &[usize],
+) -> Result<Tensor> {
+    if grad_output.len() != argmax.len() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_output.shape().to_vec(),
+            rhs: vec![argmax.len()],
+            op: "maxpool2d_backward",
+        });
+    }
+    let mut gi = vec![0.0f32; shape::num_elements(input_shape)];
+    for (&g, &idx) in grad_output.data().iter().zip(argmax) {
+        if idx >= gi.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![idx],
+                shape: input_shape.to_vec(),
+            });
+        }
+        gi[idx] += g;
+    }
+    Tensor::from_vec(gi, input_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_input() -> Tensor {
+        // 1 sample, 1 channel, 4x4 with values 0..16
+        Tensor::from_fn(&[1, 1, 4, 4], |i| i as f32)
+    }
+
+    #[test]
+    fn conv_identity_kernel_preserves_interior() {
+        // 1x1 kernel with weight 1 and no bias reproduces the input exactly.
+        let input = simple_input();
+        let weight = Tensor::ones(&[1, 1, 1, 1]);
+        let bias = Tensor::zeros(&[1]);
+        let geom = Conv2dGeometry::square(1, 1, 0);
+        let out = conv2d_forward(&input, &weight, &bias, geom).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv_known_values_3x3() {
+        // 3x3 averaging-like kernel of all ones over a 4x4 ramp, valid padding.
+        let input = simple_input();
+        let weight = Tensor::ones(&[1, 1, 3, 3]);
+        let bias = Tensor::from_vec(vec![1.0], &[1]).unwrap();
+        let geom = Conv2dGeometry::square(3, 1, 0);
+        let out = conv2d_forward(&input, &weight, &bias, geom).unwrap();
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        // Top-left 3x3 window sums 0+1+2+4+5+6+8+9+10 = 45, plus bias 1.
+        assert_eq!(out.get(&[0, 0, 0, 0]).unwrap(), 46.0);
+        // Bottom-right window sums 5..7,9..11,13..15 = 90, plus bias 1.
+        assert_eq!(out.get(&[0, 0, 1, 1]).unwrap(), 91.0);
+    }
+
+    #[test]
+    fn conv_padding_keeps_spatial_size() {
+        let input = simple_input();
+        let weight = Tensor::ones(&[2, 1, 3, 3]);
+        let bias = Tensor::zeros(&[2]);
+        let geom = Conv2dGeometry::square(3, 1, 1);
+        let out = conv2d_forward(&input, &weight, &bias, geom).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 4, 4]);
+        // Corner output only sees a 2x2 valid region: 0+1+4+5 = 10.
+        assert_eq!(out.get(&[0, 0, 0, 0]).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn direct_and_im2col_agree() {
+        let input = Tensor::from_fn(&[2, 3, 6, 5], |i| (i as f32 * 0.37).sin());
+        let weight = Tensor::from_fn(&[4, 3, 3, 3], |i| (i as f32 * 0.11).cos());
+        let bias = Tensor::from_fn(&[4], |i| i as f32 * 0.5);
+        for (stride, pad) in [(1, 0), (1, 1), (2, 0), (2, 1)] {
+            let geom = Conv2dGeometry::square(3, stride, pad);
+            let a = conv2d_forward(&input, &weight, &bias, geom).unwrap();
+            let b = conv2d_forward_im2col(&input, &weight, &bias, geom).unwrap();
+            assert!(a.approx_eq(&b, 1e-4), "mismatch at stride {stride} pad {pad}");
+        }
+    }
+
+    #[test]
+    fn conv_rejects_inconsistent_shapes() {
+        let input = simple_input();
+        let weight = Tensor::ones(&[1, 2, 3, 3]); // wrong channel count
+        let bias = Tensor::zeros(&[1]);
+        let geom = Conv2dGeometry::square(3, 1, 0);
+        assert!(conv2d_forward(&input, &weight, &bias, geom).is_err());
+        let weight = Tensor::ones(&[1, 1, 3, 3]);
+        let bad_bias = Tensor::zeros(&[2]);
+        assert!(conv2d_forward(&input, &weight, &bad_bias, geom).is_err());
+        // Geometry disagreeing with the weight kernel.
+        let geom2 = Conv2dGeometry::square(5, 1, 0);
+        assert!(conv2d_forward(&input, &weight, &bias, geom2).is_err());
+    }
+
+    #[test]
+    fn conv_backward_matches_finite_differences() {
+        let input = Tensor::from_fn(&[1, 2, 5, 5], |i| ((i * 7 % 13) as f32 - 6.0) * 0.1);
+        let weight = Tensor::from_fn(&[3, 2, 3, 3], |i| ((i * 5 % 11) as f32 - 5.0) * 0.1);
+        let bias = Tensor::from_fn(&[3], |i| i as f32 * 0.1);
+        let geom = Conv2dGeometry::square(3, 1, 1);
+
+        // Loss = sum of outputs, so grad_output = ones.
+        let out = conv2d_forward(&input, &weight, &bias, geom).unwrap();
+        let grad_out = Tensor::ones(out.shape());
+        let grads = conv2d_backward(&input, &weight, &grad_out, geom).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |inp: &Tensor, w: &Tensor, b: &Tensor| {
+            conv2d_forward(inp, w, b, geom).unwrap().sum()
+        };
+
+        // Check a handful of weight gradients by central differences.
+        for &idx in &[0usize, 7, 23, 41, 53] {
+            let mut wp = weight.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            let ana = grads.grad_weight.data()[idx];
+            assert!(
+                (num - ana).abs() < 1e-1 * (1.0 + num.abs()),
+                "weight grad mismatch at {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Check a handful of input gradients.
+        for &idx in &[0usize, 11, 24, 37] {
+            let mut ip = input.clone();
+            ip.data_mut()[idx] += eps;
+            let mut im = input.clone();
+            im.data_mut()[idx] -= eps;
+            let num = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
+            let ana = grads.grad_input.data()[idx];
+            assert!(
+                (num - ana).abs() < 1e-1 * (1.0 + num.abs()),
+                "input grad mismatch at {idx}: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Bias gradient for a sum loss is the number of output pixels per channel.
+        let expected_gb = (out.len() / 3) as f32;
+        for &g in grads.grad_bias.data() {
+            assert!((g - expected_gb).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_shape_and_content() {
+        let sample = Tensor::from_fn(&[1, 3, 3], |i| i as f32);
+        let geom = Conv2dGeometry::square(2, 1, 0);
+        let cols = im2col(&sample, geom).unwrap();
+        assert_eq!(cols.shape(), &[4, 4]);
+        // First column is the top-left 2x2 window [0,1,3,4].
+        assert_eq!(cols.get(&[0, 0]).unwrap(), 0.0);
+        assert_eq!(cols.get(&[1, 0]).unwrap(), 1.0);
+        assert_eq!(cols.get(&[2, 0]).unwrap(), 3.0);
+        assert_eq!(cols.get(&[3, 0]).unwrap(), 4.0);
+        assert!(im2col(&Tensor::zeros(&[3, 3]), geom).is_err());
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward_route_correctly() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let pooled = maxpool2d_forward(&input, 2, 2).unwrap();
+        assert_eq!(pooled.output.shape(), &[1, 1, 2, 2]);
+        assert_eq!(pooled.output.data(), &[4.0, 8.0, 12.0, 16.0]);
+
+        let grad_out = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let gi = maxpool2d_backward(&grad_out, &pooled.argmax, input.shape()).unwrap();
+        assert_eq!(gi.shape(), input.shape());
+        // Gradient lands exactly on the max positions.
+        assert_eq!(gi.get(&[0, 0, 1, 1]).unwrap(), 1.0);
+        assert_eq!(gi.get(&[0, 0, 1, 3]).unwrap(), 2.0);
+        assert_eq!(gi.get(&[0, 0, 3, 1]).unwrap(), 3.0);
+        assert_eq!(gi.get(&[0, 0, 3, 3]).unwrap(), 4.0);
+        assert_eq!(gi.sum(), 10.0);
+    }
+
+    #[test]
+    fn maxpool_rejects_bad_geometry() {
+        let input = Tensor::zeros(&[1, 1, 3, 3]);
+        assert!(maxpool2d_forward(&input, 4, 2).is_err());
+        assert!(maxpool2d_forward(&Tensor::zeros(&[3, 3]), 2, 2).is_err());
+        let grad = Tensor::zeros(&[1, 1, 1, 1]);
+        assert!(maxpool2d_backward(&grad, &[0, 1], &[1, 1, 3, 3]).is_err());
+        assert!(maxpool2d_backward(&grad, &[100], &[1, 1, 3, 3]).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Error type shared by all fallible tensor operations.
+
+use std::fmt;
+
+/// Convenience alias for `Result<T, TensorError>`.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor construction and tensor operations.
+///
+/// Every variant carries enough context to diagnose the failing call without a
+/// debugger: the offending shapes or indices are embedded in the error itself.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The number of elements implied by the requested shape does not match the
+    /// number of elements provided (or present in the source tensor).
+    ShapeDataMismatch {
+        /// Requested shape.
+        shape: Vec<usize>,
+        /// Number of elements actually available.
+        data_len: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An operation required a tensor of a specific rank.
+    RankMismatch {
+        /// Expected rank.
+        expected: usize,
+        /// Actual shape encountered.
+        actual: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// Shape of the left matrix.
+        lhs: Vec<usize>,
+        /// Shape of the right matrix.
+        rhs: Vec<usize>,
+    },
+    /// A multi-dimensional index is out of bounds or has the wrong rank.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: Vec<usize>,
+        /// Shape of the tensor being indexed.
+        shape: Vec<usize>,
+    },
+    /// Convolution / pooling geometry is invalid (e.g. kernel larger than the
+    /// padded input, or a zero-sized dimension).
+    InvalidGeometry {
+        /// Human-readable description of the geometric constraint violated.
+        reason: String,
+    },
+    /// A shape with zero elements was supplied where a non-empty tensor is required.
+    EmptyTensor {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, data_len } => write!(
+                f,
+                "shape {shape:?} implies {} elements but {data_len} were provided",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::RankMismatch { expected, actual, op } => write!(
+                f,
+                "`{op}` expects a rank-{expected} tensor, got shape {actual:?}"
+            ),
+            TensorError::MatmulDimMismatch { lhs, rhs } => write!(
+                f,
+                "matrix multiply dimension mismatch: {lhs:?} x {rhs:?}"
+            ),
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidGeometry { reason } => {
+                write!(f, "invalid geometry: {reason}")
+            }
+            TensorError::EmptyTensor { op } => {
+                write!(f, "`{op}` requires a non-empty tensor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_shapes() {
+        let err = TensorError::ShapeMismatch {
+            lhs: vec![2, 3],
+            rhs: vec![3, 2],
+            op: "add",
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("[2, 3]"));
+        assert!(msg.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn display_shape_data_mismatch_reports_counts() {
+        let err = TensorError::ShapeDataMismatch {
+            shape: vec![2, 2],
+            data_len: 3,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('4'));
+        assert!(msg.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,123 @@
+//! Reproducible weight initializers.
+//!
+//! Every initializer takes an explicit `rand::Rng` so callers control seeding;
+//! nothing in the workspace draws from thread-local entropy. The schemes match
+//! the usual deep-learning conventions:
+//!
+//! * [`uniform`] / [`normal`] — plain distributions with caller-chosen parameters.
+//! * [`xavier_uniform`] — Glorot & Bengio scaling, the default for `Tanh`/`Sigmoid`
+//!   layers (the paper's MNIST model).
+//! * [`he_normal`] — He et al. scaling, the default for `ReLU` layers (the paper's
+//!   CIFAR-10 model).
+
+use rand::Rng;
+use rand_distributions::StandardNormal;
+
+use crate::Tensor;
+
+/// Minimal internal normal sampler (Box–Muller) so we do not depend on
+/// `rand_distr`; exposed through [`normal`].
+mod rand_distributions {
+    /// Marker type for the standard normal distribution sampled via Box–Muller.
+    pub struct StandardNormal;
+
+    impl StandardNormal {
+        /// Draw one standard-normal sample using two uniform draws.
+        pub fn sample<R: rand::Rng + ?Sized>(rng: &mut R) -> f32 {
+            // Box–Muller transform; avoid u1 == 0 to keep ln finite.
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+        }
+    }
+}
+
+/// Tensor with elements drawn uniformly from `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` (propagated from the underlying RNG range check).
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+    Tensor::from_fn(shape, |_| rng.gen_range(lo..hi))
+}
+
+/// Tensor with elements drawn from a normal distribution `N(mean, std²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], mean: f32, std: f32) -> Tensor {
+    Tensor::from_fn(shape, |_| mean + std * StandardNormal::sample(rng))
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// Suited to `Tanh`/`Sigmoid` activations.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(rng, shape, -a, a)
+}
+
+/// He normal initialization: `N(0, sqrt(2 / fan_in)²)`.
+///
+/// Suited to `ReLU` activations.
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, shape: &[usize], fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    normal(rng, shape, 0.0, std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds_and_seed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform(&mut rng, &[100], -0.5, 0.5);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let t2 = uniform(&mut rng2, &[100], -0.5, 0.5);
+        assert_eq!(t, t2, "same seed must reproduce the same tensor");
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = normal(&mut rng, &[10_000], 1.0, 2.0);
+        let mean = t.mean();
+        let var = t.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean} too far from 1.0");
+        assert!((var - 4.0).abs() < 0.3, "variance {var} too far from 4.0");
+        assert!(!t.has_non_finite());
+    }
+
+    #[test]
+    fn xavier_bound_shrinks_with_fanin() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let wide = xavier_uniform(&mut rng, &[1000], 10, 10);
+        let narrow = xavier_uniform(&mut rng, &[1000], 1000, 1000);
+        assert!(wide.max_abs() > narrow.max_abs());
+        assert!(narrow.max_abs() <= (6.0f32 / 2000.0).sqrt() + 1e-6);
+    }
+
+    #[test]
+    fn he_normal_scale_tracks_fanin() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = he_normal(&mut rng, &[20_000], 50);
+        let std = t.map(|x| x * x).mean().sqrt();
+        let expected = (2.0f32 / 50.0).sqrt();
+        assert!((std - expected).abs() < 0.02, "std {std} vs expected {expected}");
+    }
+
+    #[test]
+    fn zero_fanin_does_not_divide_by_zero() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = he_normal(&mut rng, &[10], 0);
+        assert!(!t.has_non_finite());
+        let t2 = xavier_uniform(&mut rng, &[10], 0, 0);
+        assert!(!t2.has_non_finite());
+    }
+}

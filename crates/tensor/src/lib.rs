@@ -1,0 +1,49 @@
+//! Dense `f32` tensor substrate for the `dnnip` workspace.
+//!
+//! This crate provides the numerical foundation every other `dnnip` crate builds on:
+//!
+//! * [`Tensor`] — an owned, row-major, dense `f32` array of arbitrary rank with
+//!   shape-checked element-wise arithmetic, reductions and reshaping.
+//! * [`ops`] — linear-algebra kernels (matrix multiplication, transposition,
+//!   batched row access) used by the fully-connected layers.
+//! * [`conv`] — convolution and pooling primitives (direct and im2col-based
+//!   forward passes, full backward passes) used by the convolutional layers.
+//! * [`init`] — reproducible weight initializers (uniform, normal, Xavier/Glorot,
+//!   He) driven by an explicit RNG so every experiment is seedable.
+//!
+//! The crate deliberately avoids `unsafe`, views and broadcasting magic: all
+//! operations copy into freshly-allocated output tensors and validate shapes,
+//! returning [`TensorError`] on mismatch. The networks used by the DATE 2019
+//! reproduction are small enough that clarity and testability win over raw
+//! throughput; the benchmark crate measures the kernels that matter (matmul,
+//! conv2d) so regressions stay visible.
+//!
+//! # Example
+//!
+//! ```
+//! use dnnip_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), dnnip_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::full(&[2, 2], 0.5);
+//! let sum = a.add(&b)?;
+//! assert_eq!(sum.data(), &[1.5, 2.5, 3.5, 4.5]);
+//! let prod = dnnip_tensor::ops::matmul(&a, &b)?;
+//! assert_eq!(prod.shape(), &[2, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod tensor;
+
+pub mod conv;
+pub mod init;
+pub mod ops;
+pub mod shape;
+
+pub use error::{Result, TensorError};
+pub use tensor::Tensor;

@@ -1,0 +1,169 @@
+//! Small helpers for working with row-major shapes.
+//!
+//! Shapes are plain `&[usize]` slices throughout the workspace; this module
+//! collects the handful of computations (element counts, strides, offsets,
+//! output sizes of convolution/pooling windows) that several crates need.
+
+use crate::{Result, TensorError};
+
+/// Total number of elements implied by a shape.
+///
+/// An empty shape (`&[]`) describes a scalar and has one element.
+///
+/// ```
+/// assert_eq!(dnnip_tensor::shape::num_elements(&[2, 3, 4]), 24);
+/// assert_eq!(dnnip_tensor::shape::num_elements(&[]), 1);
+/// ```
+pub fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Row-major strides of a shape.
+///
+/// ```
+/// assert_eq!(dnnip_tensor::shape::strides(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Convert a multi-dimensional index into a flat row-major offset.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IndexOutOfBounds`] if the index rank does not match
+/// the shape rank or any component is out of range.
+pub fn offset(shape: &[usize], index: &[usize]) -> Result<usize> {
+    if index.len() != shape.len() {
+        return Err(TensorError::IndexOutOfBounds {
+            index: index.to_vec(),
+            shape: shape.to_vec(),
+        });
+    }
+    let mut off = 0usize;
+    let strides = strides(shape);
+    for ((&i, &dim), &stride) in index.iter().zip(shape).zip(&strides) {
+        if i >= dim {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: shape.to_vec(),
+            });
+        }
+        off += i * stride;
+    }
+    Ok(off)
+}
+
+/// Spatial output size of a convolution / pooling window along one dimension.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidGeometry`] when the kernel does not fit in the
+/// padded input or when `stride` is zero.
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> Result<usize> {
+    if stride == 0 {
+        return Err(TensorError::InvalidGeometry {
+            reason: "stride must be non-zero".to_string(),
+        });
+    }
+    if kernel == 0 {
+        return Err(TensorError::InvalidGeometry {
+            reason: "kernel size must be non-zero".to_string(),
+        });
+    }
+    let padded = input + 2 * pad;
+    if kernel > padded {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!(
+                "kernel {kernel} larger than padded input {padded} (input {input}, pad {pad})"
+            ),
+        });
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+/// Check that two shapes are identical, reporting the operation name on failure.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+pub fn check_same(lhs: &[usize], rhs: &[usize], op: &'static str) -> Result<()> {
+    if lhs != rhs {
+        return Err(TensorError::ShapeMismatch {
+            lhs: lhs.to_vec(),
+            rhs: rhs.to_vec(),
+            op,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_elements_handles_scalars_and_zeros() {
+        assert_eq!(num_elements(&[]), 1);
+        assert_eq!(num_elements(&[5]), 5);
+        assert_eq!(num_elements(&[2, 0, 3]), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides(&[4]), vec![1]);
+        assert_eq!(strides(&[2, 3]), vec![3, 1]);
+        assert_eq!(strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_round_trips_through_strides() {
+        let shape = [3, 4, 5];
+        let mut seen = vec![false; num_elements(&shape)];
+        for i in 0..3 {
+            for j in 0..4 {
+                for k in 0..5 {
+                    let off = offset(&shape, &[i, j, k]).unwrap();
+                    assert!(!seen[off], "offset {off} visited twice");
+                    seen[off] = true;
+                }
+            }
+        }
+        assert!(seen.into_iter().all(|v| v));
+    }
+
+    #[test]
+    fn offset_rejects_bad_indices() {
+        assert!(offset(&[2, 2], &[0, 2]).is_err());
+        assert!(offset(&[2, 2], &[0]).is_err());
+        assert!(offset(&[2, 2], &[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn conv_out_dim_matches_known_cases() {
+        // 28x28 input, 3x3 kernel, stride 1, no padding -> 26.
+        assert_eq!(conv_out_dim(28, 3, 1, 0).unwrap(), 26);
+        // Same padding keeps the size.
+        assert_eq!(conv_out_dim(28, 3, 1, 1).unwrap(), 28);
+        // 2x2 pooling with stride 2 halves the size.
+        assert_eq!(conv_out_dim(28, 2, 2, 0).unwrap(), 14);
+    }
+
+    #[test]
+    fn conv_out_dim_rejects_invalid_geometry() {
+        assert!(conv_out_dim(2, 3, 1, 0).is_err());
+        assert!(conv_out_dim(8, 3, 0, 0).is_err());
+        assert!(conv_out_dim(8, 0, 1, 0).is_err());
+    }
+
+    #[test]
+    fn check_same_reports_op() {
+        let err = check_same(&[1, 2], &[2, 1], "sub").unwrap_err();
+        assert!(matches!(err, TensorError::ShapeMismatch { op: "sub", .. }));
+    }
+}

@@ -1,0 +1,106 @@
+//! User-side attack detection on a tampered accelerator IP.
+//!
+//! A man-in-the-middle modifies the accelerator's off-chip weight memory (single
+//! bias attack, gradient descent attack, random corruption and raw bit flips);
+//! the user replays the vendor's functional-test suite and catches it.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example attack_detection
+//! ```
+
+use dnnip::dataset::digits::{synthetic_mnist, DigitConfig};
+use dnnip::faults::attacks::random_bit_flips;
+use dnnip::nn::train::{train, TrainConfig};
+use dnnip::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Vendor: train, generate tests, package the suite, ship the quantized IP.
+    let data = synthetic_mnist(&DigitConfig::with_size(16), 300, 5);
+    let mut model = zoo::mnist_model_scaled(3)?;
+    train(
+        &mut model,
+        &data.inputs,
+        &data.labels,
+        &TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            ..TrainConfig::default()
+        },
+    )?;
+
+    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let tests = generate_tests(
+        &analyzer,
+        &data.inputs,
+        GenerationMethod::Combined,
+        &GenerationConfig {
+            max_tests: 20,
+            ..GenerationConfig::default()
+        },
+    )?;
+    let suite = FunctionalTestSuite::from_network(&model, tests.inputs.clone(), MatchPolicy::ArgMax)?;
+    println!(
+        "Vendor released {} functional tests (coverage {:.1}%)",
+        suite.len(),
+        tests.final_coverage() * 100.0
+    );
+
+    let pristine_ip = AcceleratorIp::from_network(&model, BitWidth::Int16);
+    println!(
+        "Pristine IP validates: {}",
+        suite.validate(&pristine_ip)?.passed
+    );
+
+    let probes = &data.inputs[..16];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+
+    // Attack 1: single bias attack on the weight memory.
+    let sba = SingleBiasAttack::with_magnitude(8.0).generate(&model, probes, &mut rng)?;
+    let mut ip = AcceleratorIp::from_network(&model, BitWidth::Int16);
+    sba.apply_to_accelerator(&mut ip)?;
+    report("single bias attack", &suite, &ip)?;
+
+    // Attack 2: gradient descent attack (many small, stealthy edits).
+    let gda = GradientDescentAttack::default().generate(&model, probes, &mut rng)?;
+    let mut ip = AcceleratorIp::from_network(&model, BitWidth::Int16);
+    gda.apply_to_accelerator(&mut ip)?;
+    println!("  (GDA touched {} parameters)", gda.len());
+    report("gradient descent attack", &suite, &ip)?;
+
+    // Attack 3: random parameter corruption.
+    let noise = RandomPerturbation {
+        num_params: 24,
+        std: 1.0,
+    }
+    .generate(&model, probes, &mut rng)?;
+    let mut ip = AcceleratorIp::from_network(&model, BitWidth::Int16);
+    noise.apply_to_accelerator(&mut ip)?;
+    report("random corruption", &suite, &ip)?;
+
+    // Attack 4: raw bit flips in the weight memory (rowhammer / laser model).
+    let mut ip = AcceleratorIp::from_network(&model, BitWidth::Int16);
+    let flips = random_bit_flips(ip.memory().num_bits(), 64, &mut rng)?;
+    flips.apply(&mut ip)?;
+    report("64 random bit flips", &suite, &ip)?;
+
+    Ok(())
+}
+
+fn report(
+    name: &str,
+    suite: &FunctionalTestSuite,
+    ip: &AcceleratorIp,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let verdict = suite.validate(ip)?;
+    println!(
+        "{name:<26} -> detected = {} (first failing test: {:?}, {} / {} mismatches)",
+        !verdict.passed,
+        verdict.first_failure,
+        verdict.num_mismatches,
+        verdict.num_tests
+    );
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Parameter coverage vs neuron coverage on the same model and budget — the
+//! comparison that motivates the paper (its Tables II/III baseline), plus the
+//! Fig. 2 image-family ranking (training set vs out-of-distribution vs noise).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example coverage_comparison
+//! ```
+
+use dnnip::core::neuron::{NeuronCoverageAnalyzer, NeuronCoverageConfig};
+use dnnip::dataset::digits::{synthetic_mnist, DigitConfig};
+use dnnip::dataset::{noise, ood};
+use dnnip::nn::train::{train, TrainConfig};
+use dnnip::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = synthetic_mnist(&DigitConfig::with_size(16), 300, 9);
+    let mut model = zoo::mnist_model_scaled(13)?;
+    train(
+        &mut model,
+        &data.inputs,
+        &data.labels,
+        &TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            ..TrainConfig::default()
+        },
+    )?;
+
+    // --- Fig. 2 style comparison: mean per-image validation coverage. ---
+    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let n_images = 50;
+    let training_images = &data.inputs[..n_images];
+    let ood_images = ood::ood_images(1, 16, n_images, &ood::OodConfig::default(), 4);
+    let noise_images = noise::noise_images(
+        &[1, 16, 16],
+        n_images,
+        &noise::NoiseConfig::default(),
+        4,
+    );
+    println!("Mean per-image validation coverage (Fig. 2 analogue):");
+    println!(
+        "  training images : {:.1}%",
+        analyzer.mean_sample_coverage(training_images)? * 100.0
+    );
+    println!(
+        "  OOD images      : {:.1}%",
+        analyzer.mean_sample_coverage(&ood_images)? * 100.0
+    );
+    println!(
+        "  noise images    : {:.1}%",
+        analyzer.mean_sample_coverage(&noise_images)? * 100.0
+    );
+
+    // --- Same budget, two selection metrics. ---
+    let budget = 15usize;
+    let param_tests = generate_tests(
+        &analyzer,
+        &data.inputs,
+        GenerationMethod::Combined,
+        &GenerationConfig {
+            max_tests: budget,
+            ..GenerationConfig::default()
+        },
+    )?;
+    let neuron_analyzer = NeuronCoverageAnalyzer::new(&model, NeuronCoverageConfig::default());
+    let neuron_selection = neuron_analyzer.select_by_neuron_coverage(&data.inputs, budget)?;
+    let neuron_tests: Vec<Tensor> = neuron_selection
+        .selected
+        .iter()
+        .map(|&i| data.inputs[i].clone())
+        .collect();
+
+    println!("\nWith a budget of {budget} functional tests:");
+    println!(
+        "  proposed (parameter coverage) : parameter coverage {:.1}%, neuron coverage {:.1}%",
+        param_tests.final_coverage() * 100.0,
+        neuron_analyzer.coverage_of_set(&param_tests.inputs)? * 100.0
+    );
+    println!(
+        "  baseline (neuron coverage)    : parameter coverage {:.1}%, neuron coverage {:.1}%",
+        analyzer.coverage_of_set(&neuron_tests)? * 100.0,
+        neuron_selection.final_coverage() * 100.0
+    );
+
+    // --- And the consequence: detection rates under the three attack models. ---
+    let probes = &data.inputs[..12];
+    let detection = DetectionConfig {
+        trials: 60,
+        seed: 5,
+        policy: MatchPolicy::ArgMax,
+    };
+    println!("\nDetection rate over {} trials (argmax policy):", detection.trials);
+    for (label, attack) in [
+        ("SBA", &SingleBiasAttack::default() as &dyn Attack),
+        ("GDA", &GradientDescentAttack::default() as &dyn Attack),
+        ("random", &RandomPerturbation::default() as &dyn Attack),
+    ] {
+        let proposed = detection_rate(&model, attack, probes, &param_tests.inputs, &detection)?;
+        let baseline = detection_rate(&model, attack, probes, &neuron_tests, &detection)?;
+        println!(
+            "  {label:<7}: proposed {:.1}%  vs  neuron-coverage baseline {:.1}%",
+            proposed.detection_rate() * 100.0,
+            baseline.detection_rate() * 100.0
+        );
+    }
+    Ok(())
+}

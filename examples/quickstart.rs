@@ -1,0 +1,91 @@
+//! Quickstart: train a small model, generate functional tests with the combined
+//! method, and validate a (clean and a tampered) black-box IP.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dnnip::dataset::digits::{synthetic_mnist, DigitConfig};
+use dnnip::nn::train::{evaluate, train, TrainConfig};
+use dnnip::prelude::*;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. Vendor side: train a model on a (synthetic) digit dataset.
+    // ------------------------------------------------------------------
+    let digits = DigitConfig::with_size(16);
+    let data = synthetic_mnist(&digits, 400, 1);
+    let (train_set, test_set) = data.split(0.8, 2);
+
+    let mut model = zoo::mnist_model_scaled(7)?;
+    println!("Model under test:\n{}", model.summary());
+
+    let config = TrainConfig {
+        epochs: 3,
+        batch_size: 16,
+        learning_rate: 0.05,
+        ..TrainConfig::default()
+    };
+    let report = train(&mut model, &train_set.inputs, &train_set.labels, &config)?;
+    let test_accuracy = evaluate(&model, &test_set.inputs, &test_set.labels)?;
+    println!(
+        "Trained for {} epochs: train accuracy {:.1}%, held-out accuracy {:.1}%",
+        report.epochs.len(),
+        report.final_accuracy() * 100.0,
+        test_accuracy * 100.0
+    );
+
+    // ------------------------------------------------------------------
+    // 2. Vendor side: generate functional tests with the combined method.
+    // ------------------------------------------------------------------
+    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let generation = GenerationConfig {
+        max_tests: 20,
+        ..GenerationConfig::default()
+    };
+    let tests = generate_tests(
+        &analyzer,
+        &train_set.inputs,
+        GenerationMethod::Combined,
+        &generation,
+    )?;
+    println!(
+        "Generated {} functional tests, validation coverage {:.1}%",
+        tests.len(),
+        tests.final_coverage() * 100.0
+    );
+
+    let suite = FunctionalTestSuite::from_network(
+        &model,
+        tests.inputs.clone(),
+        MatchPolicy::OutputTolerance(1e-3),
+    )?;
+
+    // ------------------------------------------------------------------
+    // 3. User side: validate a clean IP, then a tampered one.
+    // ------------------------------------------------------------------
+    let clean_ip = FloatIp::new(model.clone());
+    let verdict = suite.validate(&clean_ip)?;
+    println!(
+        "Clean IP: passed = {}, mismatches = {}/{}",
+        verdict.passed, verdict.num_mismatches, verdict.num_tests
+    );
+
+    // An attacker flips one bias by a large amount (single bias attack).
+    let attack = SingleBiasAttack::with_magnitude(10.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let perturbation = attack.generate(&model, &train_set.inputs[..8], &mut rng)?;
+    let tampered = perturbation.apply_to_network(&model)?;
+    let verdict = suite.validate(&FloatIp::new(tampered))?;
+    println!(
+        "Tampered IP (SBA on parameter {:?}): passed = {}, first failing test = {:?}",
+        perturbation.indices(),
+        verdict.passed,
+        verdict.first_failure
+    );
+
+    Ok(())
+}
