@@ -174,7 +174,10 @@ mod tests {
         let net = zoo::tiny_cnn(4, 3, Activation::Relu, 9).unwrap();
         let ip = FloatIp::new(net.clone());
         let x = sample(&[1, 8, 8], 0);
-        assert!(ip.infer(&x).unwrap().approx_eq(&net.forward_sample(&x).unwrap(), 1e-6));
+        assert!(ip
+            .infer(&x)
+            .unwrap()
+            .approx_eq(&net.forward_sample(&x).unwrap(), 1e-6));
         assert_eq!(ip.input_shape(), &[1, 8, 8]);
         assert_eq!(ip.num_classes(), 3);
         assert_eq!(ip.predict(&x).unwrap(), net.predict_sample(&x).unwrap());

@@ -250,7 +250,10 @@ mod tests {
         assert_eq!(mem.count_differences(&golden), 1);
         let before = golden.read_parameter(3).unwrap();
         let after = mem.read_parameter(3).unwrap();
-        assert!((before - after).abs() > 1e-3, "MSB flip must move the value");
+        assert!(
+            (before - after).abs() > 1e-3,
+            "MSB flip must move the value"
+        );
         // Flipping the same bit again restores the original image.
         mem.flip_bit(bit).unwrap();
         assert_eq!(mem.count_differences(&golden), 0);
@@ -276,8 +279,8 @@ mod tests {
         let layout = net.param_layout();
         for seg in layout.segments() {
             if seg.kind == dnnip_nn::params::ParamKind::Bias {
-                for i in seg.offset..seg.offset + seg.len {
-                    assert_eq!(restored[i], 0.0);
+                for &value in &restored[seg.offset..seg.offset + seg.len] {
+                    assert_eq!(value, 0.0);
                 }
             }
         }

@@ -106,14 +106,16 @@ impl QuantScale {
     /// configured width.
     pub fn decode(&self, bytes: &[u8]) -> Result<i32> {
         match self.width {
-            BitWidth::Int8 => bytes
-                .first()
-                .map(|&b| b as i8 as i32)
-                .ok_or(AccelError::AddressOutOfRange {
-                    address: 0,
-                    size: bytes.len(),
-                    unit: "byte",
-                }),
+            BitWidth::Int8 => {
+                bytes
+                    .first()
+                    .map(|&b| b as i8 as i32)
+                    .ok_or(AccelError::AddressOutOfRange {
+                        address: 0,
+                        size: bytes.len(),
+                        unit: "byte",
+                    })
+            }
             BitWidth::Int16 => {
                 if bytes.len() < 2 {
                     return Err(AccelError::AddressOutOfRange {

@@ -24,7 +24,11 @@ fn bench_activation_set(c: &mut Criterion) {
     let tiny_analyzer = CoverageAnalyzer::new(&tiny, CoverageConfig::default());
     let tiny_sample = Tensor::from_fn(&[1, 8, 8], |i| (i as f32 * 0.19).sin().abs());
     c.bench_function("activation_set_tiny_cnn", |bench| {
-        bench.iter(|| tiny_analyzer.activation_set(black_box(&tiny_sample)).unwrap())
+        bench.iter(|| {
+            tiny_analyzer
+                .activation_set(black_box(&tiny_sample))
+                .unwrap()
+        })
     });
 }
 

@@ -38,8 +38,13 @@ fn bench_generation_methods(c: &mut Criterion) {
     ] {
         group.bench_function(method.name(), |bench| {
             bench.iter(|| {
-                generate_tests(black_box(&analyzer), black_box(&candidates), method, &config)
-                    .unwrap()
+                generate_tests(
+                    black_box(&analyzer),
+                    black_box(&candidates),
+                    method,
+                    &config,
+                )
+                .unwrap()
             })
         });
     }

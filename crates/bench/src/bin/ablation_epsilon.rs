@@ -43,9 +43,13 @@ fn main() {
                 ..CoverageConfig::default()
             },
         );
-        let train_cov = analyzer.mean_sample_coverage(training).expect("training coverage");
+        let train_cov = analyzer
+            .mean_sample_coverage(training)
+            .expect("training coverage");
         let ood_cov = analyzer.mean_sample_coverage(&oods).expect("ood coverage");
-        let noise_cov = analyzer.mean_sample_coverage(&noisy).expect("noise coverage");
+        let noise_cov = analyzer
+            .mean_sample_coverage(&noisy)
+            .expect("noise coverage");
         let ordering = train_cov >= ood_cov && ood_cov >= noise_cov;
         println!(
             "  {eps:>12.0e} | {} | {} | {} | {}",

@@ -94,7 +94,11 @@ fn main() {
         println!(
             "  int{:<4} | {:>24} | {:>23} | {}",
             width.bits(),
-            if fp_strict { "YES (quantization error)" } else { "no" },
+            if fp_strict {
+                "YES (quantization error)"
+            } else {
+                "no"
+            },
             if fp_argmax { "YES" } else { "no" },
             pct(detected as f32 / trials as f32, 8)
         );

@@ -8,7 +8,9 @@
 //! cargo run --release -p dnnip-bench --bin fig2_image_sets [smoke|default|paper]
 //! ```
 
-use dnnip_bench::{holdout_accuracy, pct, prepare_cifar, prepare_mnist, ExperimentProfile, PreparedModel};
+use dnnip_bench::{
+    holdout_accuracy, pct, prepare_cifar, prepare_mnist, ExperimentProfile, PreparedModel,
+};
 use dnnip_core::coverage::CoverageAnalyzer;
 use dnnip_dataset::{noise, ood};
 
@@ -17,15 +19,30 @@ fn family_coverages(model: &PreparedModel, images_per_family: usize) -> (f32, f3
     let shape = model.network.input_shape();
     let (channels, size) = (shape[0], shape[1]);
 
-    let noisy = noise::noise_images(shape, images_per_family, &noise::NoiseConfig::default(), 101);
-    let oods = ood::ood_images(channels, size, images_per_family, &ood::OodConfig::default(), 102);
+    let noisy = noise::noise_images(
+        shape,
+        images_per_family,
+        &noise::NoiseConfig::default(),
+        101,
+    );
+    let oods = ood::ood_images(
+        channels,
+        size,
+        images_per_family,
+        &ood::OodConfig::default(),
+        102,
+    );
     let n = images_per_family.min(model.dataset.len());
     let training = &model.dataset.inputs[..n];
 
     (
-        analyzer.mean_sample_coverage(&noisy).expect("noise coverage"),
+        analyzer
+            .mean_sample_coverage(&noisy)
+            .expect("noise coverage"),
         analyzer.mean_sample_coverage(&oods).expect("ood coverage"),
-        analyzer.mean_sample_coverage(training).expect("training coverage"),
+        analyzer
+            .mean_sample_coverage(training)
+            .expect("training coverage"),
     )
 }
 
@@ -35,7 +52,10 @@ fn main() {
     println!("profile: {}\n", profile.name());
 
     let images = profile.fig2_images();
-    for prepare in [prepare_mnist as fn(ExperimentProfile, u64) -> PreparedModel, prepare_cifar] {
+    for prepare in [
+        prepare_mnist as fn(ExperimentProfile, u64) -> PreparedModel,
+        prepare_cifar,
+    ] {
         let model = prepare(profile, 7);
         let holdout = holdout_accuracy(&model, 999);
         println!(
@@ -50,8 +70,6 @@ fn main() {
         println!("  noisy images (rand)   {}", pct(noise_cov, 8));
         println!("  OOD images (imagenet) {}", pct(ood_cov, 8));
         println!("  training set          {}", pct(train_cov, 8));
-        println!(
-            "  paper reports (MNIST): 13% / 22% / 46%   (CIFAR): 12% / 18% / 36%\n"
-        );
+        println!("  paper reports (MNIST): 13% / 22% / 46%   (CIFAR): 12% / 18% / 36%\n");
     }
 }

@@ -75,6 +75,8 @@ fn main() {
         pool.len(),
         pct(whole_pool, 8)
     );
-    println!("  paper's qualitative shape: selection saturates (~86-90%), gradient-based keeps rising,");
+    println!(
+        "  paper's qualitative shape: selection saturates (~86-90%), gradient-based keeps rising,"
+    );
     println!("  combined dominates at small budgets (30 tests ≈ 92% in the paper).");
 }

@@ -29,8 +29,12 @@ fn main() {
     let out_dir = PathBuf::from("target/fig4");
     std::fs::create_dir_all(&out_dir).ok();
 
-    let classes = if profile == ExperimentProfile::Smoke { 3 } else { 10 };
-    for class in 0..classes {
+    let classes = if profile == ExperimentProfile::Smoke {
+        3
+    } else {
+        10
+    };
+    for (class, synth) in synthetic.iter().enumerate().take(classes) {
         let real_idx = model
             .dataset
             .indices_of_class(class)
@@ -38,7 +42,6 @@ fn main() {
             .copied()
             .expect("class present in the training set");
         let real = &model.dataset.inputs[real_idx];
-        let synth = &synthetic[class];
         println!(
             "digit {class}: real training sample (left) vs synthetic sample (right), \
              classified as {} (target {class})",
@@ -47,7 +50,10 @@ fn main() {
                 .predict_sample(&synth.input)
                 .expect("prediction")
         );
-        println!("{}", render::ascii_gallery(&[real, &synth.input], "   |   "));
+        println!(
+            "{}",
+            render::ascii_gallery(&[real, &synth.input], "   |   ")
+        );
 
         if let Some(pgm) = render::to_pgm(real) {
             std::fs::write(out_dir.join(format!("real_{class}.pgm")), pgm).ok();

@@ -6,8 +6,8 @@
 //! cargo run --release -p dnnip-bench --bin table2_mnist_detection [smoke|default|paper]
 //! ```
 
-use dnnip_bench::{prepare_mnist, ExperimentProfile};
 use dnnip_bench::detection_table::print_detection_table;
+use dnnip_bench::{prepare_mnist, ExperimentProfile};
 
 fn main() {
     let profile = ExperimentProfile::from_env_or_args();

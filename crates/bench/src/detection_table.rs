@@ -39,7 +39,11 @@ pub fn detection_table(
     let pool = &model.dataset.inputs[..pool_size];
     let probes: Vec<Tensor> = model.dataset.inputs[..profile.probe_count().min(pool_size)].to_vec();
 
-    let max_budget = *profile.table_test_counts().iter().max().expect("non-empty budgets");
+    let max_budget = *profile
+        .table_test_counts()
+        .iter()
+        .max()
+        .expect("non-empty budgets");
 
     // Generate the largest suites once; smaller budgets are prefixes, which is
     // exactly how the paper sweeps N (the greedy orders are nested).
@@ -101,12 +105,24 @@ pub fn detection_table(
         for (i, (_, attack)) in attacks.iter().enumerate() {
             let baseline_tests = &baseline_all[..n.min(baseline_all.len())];
             let proposed_tests = &proposed_all[..n.min(proposed_all.len())];
-            row.baseline[i] = detection_rate(&model.network, attack.as_ref(), &probes, baseline_tests, &config)
-                .expect("baseline detection")
-                .detection_rate();
-            row.proposed[i] = detection_rate(&model.network, attack.as_ref(), &probes, proposed_tests, &config)
-                .expect("proposed detection")
-                .detection_rate();
+            row.baseline[i] = detection_rate(
+                &model.network,
+                attack.as_ref(),
+                &probes,
+                baseline_tests,
+                &config,
+            )
+            .expect("baseline detection")
+            .detection_rate();
+            row.proposed[i] = detection_rate(
+                &model.network,
+                attack.as_ref(),
+                &probes,
+                proposed_tests,
+                &config,
+            )
+            .expect("proposed detection")
+            .detection_rate();
         }
         rows.push(row);
     }

@@ -271,7 +271,11 @@ pub fn prepare_mnist(profile: ExperimentProfile, seed: u64) -> PreparedModel {
 /// Panics if model construction or training fails (see [`prepare_mnist`]).
 pub fn prepare_cifar(profile: ExperimentProfile, seed: u64) -> PreparedModel {
     let size = profile.image_size().max(16);
-    let size = if profile == ExperimentProfile::Paper { 32 } else { size };
+    let size = if profile == ExperimentProfile::Paper {
+        32
+    } else {
+        size
+    };
     let dataset = synthetic_cifar(&ObjectConfig::with_size(size), profile.dataset_size(), seed);
     let mut network = match profile {
         ExperimentProfile::Paper => zoo::cifar_model(seed).expect("valid Table-I geometry"),
@@ -319,8 +323,14 @@ mod tests {
 
     #[test]
     fn profile_parsing_and_accessors() {
-        assert_eq!(ExperimentProfile::parse("smoke"), Some(ExperimentProfile::Smoke));
-        assert_eq!(ExperimentProfile::parse("PAPER"), Some(ExperimentProfile::Paper));
+        assert_eq!(
+            ExperimentProfile::parse("smoke"),
+            Some(ExperimentProfile::Smoke)
+        );
+        assert_eq!(
+            ExperimentProfile::parse("PAPER"),
+            Some(ExperimentProfile::Paper)
+        );
         assert_eq!(ExperimentProfile::parse("bogus"), None);
         for p in [
             ExperimentProfile::Smoke,
@@ -348,12 +358,20 @@ mod tests {
     fn smoke_profile_prepares_trained_models_quickly() {
         let mnist = prepare_mnist(ExperimentProfile::Smoke, 1);
         assert_eq!(mnist.network.num_classes(), 10);
-        assert!(mnist.train_accuracy > 0.3, "accuracy {}", mnist.train_accuracy);
+        assert!(
+            mnist.train_accuracy > 0.3,
+            "accuracy {}",
+            mnist.train_accuracy
+        );
         assert_eq!(mnist.dataset.len(), ExperimentProfile::Smoke.dataset_size());
 
         let cifar = prepare_cifar(ExperimentProfile::Smoke, 1);
         assert_eq!(cifar.network.num_classes(), 10);
-        assert!(cifar.train_accuracy > 0.2, "accuracy {}", cifar.train_accuracy);
+        assert!(
+            cifar.train_accuracy > 0.2,
+            "accuracy {}",
+            cifar.train_accuracy
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ impl Bitset {
     /// Panics if `i >= len` — activation sets are always built against a known
     /// parameter count, so an out-of-range index is a logic error.
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 

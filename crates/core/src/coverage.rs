@@ -363,7 +363,10 @@ mod tests {
         let precomputed = coverage_of_sets(&sets, net.num_parameters());
         assert!((direct - precomputed).abs() < 1e-6);
         let mean = analyzer.mean_sample_coverage(&samples).unwrap();
-        assert!(mean <= direct + 1e-6, "mean {mean} cannot exceed union {direct}");
+        assert!(
+            mean <= direct + 1e-6,
+            "mean {mean} cannot exceed union {direct}"
+        );
         assert!(analyzer.mean_sample_coverage(&[]).is_err());
         assert_eq!(coverage_of_sets(&[], 0), 0.0);
     }

@@ -291,7 +291,10 @@ mod tests {
         )
         .unwrap()
         .final_coverage();
-        assert!(combined >= training - 1e-6, "combined {combined} vs training {training}");
+        assert!(
+            combined >= training - 1e-6,
+            "combined {combined} vs training {training}"
+        );
     }
 
     #[test]
@@ -311,13 +314,9 @@ mod tests {
         )
         .is_err());
         let config = GenerationConfig::default();
-        assert!(generate_tests(
-            &analyzer,
-            &[],
-            GenerationMethod::RandomSelection,
-            &config
-        )
-        .is_err());
+        assert!(
+            generate_tests(&analyzer, &[], GenerationMethod::RandomSelection, &config).is_err()
+        );
         assert!(generate_tests(
             &analyzer,
             &[],

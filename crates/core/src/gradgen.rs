@@ -222,18 +222,24 @@ mod tests {
         let mut generator = GradientGenerator::new(&network, config);
         let batch = generator.generate_batch().unwrap();
         let hits = batch.iter().filter(|t| t.classified_correctly).count();
-        assert!(hits >= 3, "only {hits}/4 synthetic tests reached their class");
+        assert!(
+            hits >= 3,
+            "only {hits}/4 synthetic tests reached their class"
+        );
     }
 
     #[test]
     fn gradient_descent_reduces_the_target_loss() {
         let network = net();
-        let generator = GradientGenerator::new(&network, GradGenConfig {
-            eta: 0.5,
-            steps: 30,
-            clamp: None,
-            ..GradGenConfig::default()
-        });
+        let generator = GradientGenerator::new(
+            &network,
+            GradGenConfig {
+                eta: 0.5,
+                steps: 30,
+                clamp: None,
+                ..GradGenConfig::default()
+            },
+        );
         let zero = Tensor::zeros(&[6]);
         let initial_loss = {
             let batch = network.batch_one(&zero).unwrap();
@@ -252,10 +258,13 @@ mod tests {
     #[test]
     fn generate_respects_budget_in_whole_batches() {
         let network = net();
-        let mut generator = GradientGenerator::new(&network, GradGenConfig {
-            steps: 3,
-            ..GradGenConfig::default()
-        });
+        let mut generator = GradientGenerator::new(
+            &network,
+            GradGenConfig {
+                steps: 3,
+                ..GradGenConfig::default()
+            },
+        );
         let tests = generator.generate(10).unwrap();
         // 4 classes per batch -> 12 tests is the smallest multiple >= 10.
         assert_eq!(tests.len(), 12);
@@ -265,10 +274,13 @@ mod tests {
     fn later_rounds_differ_from_the_first_and_add_coverage() {
         let network = net();
         let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
-        let mut generator = GradientGenerator::new(&network, GradGenConfig {
-            steps: 10,
-            ..GradGenConfig::default()
-        });
+        let mut generator = GradientGenerator::new(
+            &network,
+            GradGenConfig {
+                steps: 10,
+                ..GradGenConfig::default()
+            },
+        );
         let first = generator.generate_batch().unwrap();
         let second = generator.generate_batch().unwrap();
         assert_ne!(
@@ -289,12 +301,15 @@ mod tests {
     #[test]
     fn clamp_keeps_inputs_in_range() {
         let network = net();
-        let mut generator = GradientGenerator::new(&network, GradGenConfig {
-            eta: 5.0,
-            steps: 10,
-            clamp: Some((0.0, 1.0)),
-            ..GradGenConfig::default()
-        });
+        let mut generator = GradientGenerator::new(
+            &network,
+            GradGenConfig {
+                eta: 5.0,
+                steps: 10,
+                clamp: Some((0.0, 1.0)),
+                ..GradGenConfig::default()
+            },
+        );
         for t in generator.generate_batch().unwrap() {
             assert!(t.input.min().unwrap() >= 0.0);
             assert!(t.input.max().unwrap() <= 1.0);

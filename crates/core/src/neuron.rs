@@ -196,7 +196,9 @@ mod tests {
         assert!(result.final_coverage() > 0.0);
         // Selected neuron coverage is at least the coverage of the first 5 samples
         // (greedy dominates an arbitrary subset of the same size).
-        let arbitrary = analyzer.coverage_of_set(&ss[..result.selected.len()]).unwrap();
+        let arbitrary = analyzer
+            .coverage_of_set(&ss[..result.selected.len()])
+            .unwrap();
         assert!(result.final_coverage() >= arbitrary - 1e-6);
         assert!(analyzer.select_by_neuron_coverage(&[], 5).is_err());
     }

@@ -294,9 +294,12 @@ mod tests {
         // catching real attacks (this is why the vendor picks the policy).
         let network = net();
         let inputs = tests_for(&network, 6);
-        let strict =
-            FunctionalTestSuite::from_network(&network, inputs.clone(), MatchPolicy::OutputTolerance(1e-6))
-                .unwrap();
+        let strict = FunctionalTestSuite::from_network(
+            &network,
+            inputs.clone(),
+            MatchPolicy::OutputTolerance(1e-6),
+        )
+        .unwrap();
         let argmax =
             FunctionalTestSuite::from_network(&network, inputs, MatchPolicy::ArgMax).unwrap();
         let accel = AcceleratorIp::from_network(&network, BitWidth::Int8);
@@ -349,9 +352,12 @@ mod tests {
     #[test]
     fn argmax_suite_round_trips_policy() {
         let network = net();
-        let suite =
-            FunctionalTestSuite::from_network(&network, tests_for(&network, 2), MatchPolicy::ArgMax)
-                .unwrap();
+        let suite = FunctionalTestSuite::from_network(
+            &network,
+            tests_for(&network, 2),
+            MatchPolicy::ArgMax,
+        )
+        .unwrap();
         let restored = FunctionalTestSuite::from_bytes(&suite.to_bytes()).unwrap();
         assert_eq!(restored.policy, MatchPolicy::ArgMax);
     }

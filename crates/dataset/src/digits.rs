@@ -244,7 +244,10 @@ mod tests {
         let a1 = digit_image(1, &config, &mut rng);
         let same = a0.sub(&b0).unwrap().l2_norm();
         let diff = a0.sub(&a1).unwrap().l2_norm();
-        assert!(same < diff, "same-class distance {same} vs cross-class {diff}");
+        assert!(
+            same < diff,
+            "same-class distance {same} vs cross-class {diff}"
+        );
     }
 
     #[test]
@@ -260,7 +263,9 @@ mod tests {
         let zero = digit_image(0, &config, &mut rng);
         let c = config.size / 2;
         let centre = zero.get(&[0, c, c]).unwrap();
-        let left_edge = zero.get(&[0, c, (0.25 * config.size as f32) as usize]).unwrap();
+        let left_edge = zero
+            .get(&[0, c, (0.25 * config.size as f32) as usize])
+            .unwrap();
         assert!(centre < 0.2, "centre of 0 should be empty, got {centre}");
         assert!(left_edge > 0.5, "ring of 0 should be lit, got {left_edge}");
     }

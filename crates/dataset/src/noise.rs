@@ -44,7 +44,9 @@ pub fn noise_image(shape: &[usize], config: &NoiseConfig, rng: &mut StdRng) -> T
 /// Generate `count` noise images of the given shape, deterministically from `seed`.
 pub fn noise_images(shape: &[usize], count: usize, config: &NoiseConfig, seed: u64) -> Vec<Tensor> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count).map(|_| noise_image(shape, config, &mut rng)).collect()
+    (0..count)
+        .map(|_| noise_image(shape, config, &mut rng))
+        .collect()
 }
 
 #[cfg(test)]

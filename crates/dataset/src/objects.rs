@@ -158,9 +158,7 @@ pub fn object_image(class: usize, config: &ObjectConfig, rng: &mut StdRng) -> Te
     let base = CLASS_COLORS[class % 10];
     let color: Vec<f32> = base
         .iter()
-        .map(|&c| {
-            (c + rng.gen_range(-config.color_jitter..=config.color_jitter)).clamp(0.05, 1.0)
-        })
+        .map(|&c| (c + rng.gen_range(-config.color_jitter..=config.color_jitter)).clamp(0.05, 1.0))
         .collect();
     let bg: Vec<f32> = (0..3).map(|_| rng.gen_range(0.05f32..0.35)).collect();
     let cx = 0.5 + rng.gen_range(-config.max_shift..=config.max_shift);
@@ -232,15 +230,25 @@ mod tests {
         let size = 24;
         // Compare mean channel intensity inside the central region.
         let mut sums = [0.0f32; 3];
-        for ch in 0..3 {
+        for (ch, sum) in sums.iter_mut().enumerate() {
             for y in 8..16 {
                 for x in 8..16 {
-                    sums[ch] += img.get(&[ch, y, x]).unwrap();
+                    *sum += img.get(&[ch, y, x]).unwrap();
                 }
             }
         }
-        assert!(sums[0] > sums[1], "red {} should exceed green {}", sums[0], sums[1]);
-        assert!(sums[0] > sums[2], "red {} should exceed blue {}", sums[0], sums[2]);
+        assert!(
+            sums[0] > sums[1],
+            "red {} should exceed green {}",
+            sums[0],
+            sums[1]
+        );
+        assert!(
+            sums[0] > sums[2],
+            "red {} should exceed blue {}",
+            sums[0],
+            sums[2]
+        );
         let _ = size;
     }
 

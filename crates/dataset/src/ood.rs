@@ -164,6 +164,9 @@ mod tests {
         let img = &ood_images(1, 16, 1, &OodConfig::default(), 9)[0];
         let mean = img.mean();
         let var = img.map(|x| (x - mean) * (x - mean)).mean();
-        assert!(var > 1e-3, "variance {var} too small — image is nearly constant");
+        assert!(
+            var > 1e-3,
+            "variance {var} too small — image is nearly constant"
+        );
     }
 }

@@ -93,8 +93,8 @@ impl Attack for GradientDescentAttack {
             for &i in indices.iter() {
                 let proposed = params[i] - self.step_size * grads.param_grads[i];
                 // Clamp to the stealthiness budget around the original value.
-                params[i] = proposed
-                    .clamp(original[i] - self.max_change, original[i] + self.max_change);
+                params[i] =
+                    proposed.clamp(original[i] - self.max_change, original[i] + self.max_change);
             }
             tampered.set_parameters_flat(&params)?;
 
@@ -186,7 +186,10 @@ mod tests {
                 effective += 1;
             }
         }
-        assert!(effective >= 7, "only {effective}/10 GDA attacks were effective");
+        assert!(
+            effective >= 7,
+            "only {effective}/10 GDA attacks were effective"
+        );
     }
 
     #[test]

@@ -81,7 +81,13 @@ mod tests {
             .collect();
         // Huge boost to one output-class bias flips predictions towards it.
         let last_bias = net.num_parameters() - 1;
-        let p = Perturbation::new(vec![ParamEdit { index: last_bias, new_value: 100.0 }], "t");
+        let p = Perturbation::new(
+            vec![ParamEdit {
+                index: last_bias,
+                new_value: 100.0,
+            }],
+            "t",
+        );
         assert!(changes_any_prediction(&net, &p, &probes).unwrap());
         // The empty perturbation never changes anything.
         assert!(!changes_any_prediction(&net, &Perturbation::default(), &probes).unwrap());
@@ -99,7 +105,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         for attack in &attacks {
             let p = attack.generate(&net, &probes, &mut rng).unwrap();
-            assert!(!p.is_empty(), "{} produced an empty perturbation", attack.name());
+            assert!(
+                !p.is_empty(),
+                "{} produced an empty perturbation",
+                attack.name()
+            );
             assert!(!attack.name().is_empty());
         }
     }

@@ -153,6 +153,9 @@ mod tests {
             let p = attack.generate(&net, &[], &mut rng).unwrap();
             seen.insert(p.edits[0].index);
         }
-        assert!(seen.len() > 3, "expected variety of victim biases, got {seen:?}");
+        assert!(
+            seen.len() > 3,
+            "expected variety of victim biases, got {seen:?}"
+        );
     }
 }

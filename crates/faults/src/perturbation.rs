@@ -87,7 +87,8 @@ impl Perturbation {
     /// Returns an error if any edit index is out of range for the memory image.
     pub fn apply_to_accelerator(&self, ip: &mut AcceleratorIp) -> Result<()> {
         for edit in &self.edits {
-            ip.memory_mut().write_parameter(edit.index, edit.new_value)?;
+            ip.memory_mut()
+                .write_parameter(edit.index, edit.new_value)?;
         }
         Ok(())
     }
@@ -109,8 +110,14 @@ mod tests {
     fn basic_accessors() {
         let p = Perturbation::new(
             vec![
-                ParamEdit { index: 1, new_value: 2.0 },
-                ParamEdit { index: 7, new_value: -1.0 },
+                ParamEdit {
+                    index: 1,
+                    new_value: 2.0,
+                },
+                ParamEdit {
+                    index: 7,
+                    new_value: -1.0,
+                },
             ],
             "test",
         );
@@ -123,17 +130,19 @@ mod tests {
     #[test]
     fn apply_to_network_changes_only_listed_indices() {
         let network = net();
-        let p = Perturbation::new(vec![ParamEdit { index: 3, new_value: 9.0 }], "test");
+        let p = Perturbation::new(
+            vec![ParamEdit {
+                index: 3,
+                new_value: 9.0,
+            }],
+            "test",
+        );
         let tampered = p.apply_to_network(&network).unwrap();
         assert_eq!(tampered.parameter(3).unwrap(), 9.0);
         // All other parameters are untouched.
         let orig = network.parameters_flat();
         let new = tampered.parameters_flat();
-        let diffs = orig
-            .iter()
-            .zip(&new)
-            .filter(|(a, b)| a != b)
-            .count();
+        let diffs = orig.iter().zip(&new).filter(|(a, b)| a != b).count();
         assert_eq!(diffs, 1);
         assert!((p.max_abs_change(&network).unwrap() - (9.0 - orig[3]).abs()).abs() < 1e-6);
     }
@@ -157,7 +166,13 @@ mod tests {
         let network = net();
         let mut ip = AcceleratorIp::from_network(&network, BitWidth::Int16);
         let golden = AcceleratorIp::from_network(&network, BitWidth::Int16);
-        let p = Perturbation::new(vec![ParamEdit { index: 0, new_value: 0.3 }], "test");
+        let p = Perturbation::new(
+            vec![ParamEdit {
+                index: 0,
+                new_value: 0.3,
+            }],
+            "test",
+        );
         p.apply_to_accelerator(&mut ip).unwrap();
         assert!(ip.memory().count_differences(golden.memory()) >= 1);
         let read_back = ip.memory().read_parameter(0).unwrap();

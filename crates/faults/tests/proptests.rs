@@ -18,7 +18,11 @@ use rand::SeedableRng;
 
 fn probes(n: usize, dim: usize, seed: u64) -> Vec<Tensor> {
     (0..n)
-        .map(|i| Tensor::from_fn(&[dim], |j| ((i * dim + j) as f32 * 0.17 + seed as f32).sin()))
+        .map(|i| {
+            Tensor::from_fn(&[dim], |j| {
+                ((i * dim + j) as f32 * 0.17 + seed as f32).sin()
+            })
+        })
         .collect()
 }
 

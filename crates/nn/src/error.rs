@@ -54,15 +54,25 @@ impl fmt::Display for NnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
-            NnError::BadInputShape { layer, got, expected } => {
-                write!(f, "layer `{layer}` got input shape {got:?}, expected {expected}")
+            NnError::BadInputShape {
+                layer,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "layer `{layer}` got input shape {got:?}, expected {expected}"
+                )
             }
             NnError::EmptyNetwork => write!(f, "network has no layers"),
             NnError::ParamLengthMismatch { expected, got } => {
                 write!(f, "parameter vector length {got} does not match network parameter count {expected}")
             }
             NnError::ParamIndexOutOfRange { index, num_params } => {
-                write!(f, "parameter index {index} out of range for {num_params} parameters")
+                write!(
+                    f,
+                    "parameter index {index} out of range for {num_params} parameters"
+                )
             }
             NnError::InvalidLabel { label, classes } => {
                 write!(f, "label {label} out of range for {classes} classes")
@@ -94,7 +104,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = NnError::ParamLengthMismatch { expected: 10, got: 7 };
+        let e = NnError::ParamLengthMismatch {
+            expected: 10,
+            got: 7,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains('7'));
         let t: NnError = TensorError::EmptyTensor { op: "max" }.into();

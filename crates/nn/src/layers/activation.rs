@@ -85,7 +85,9 @@ impl Activation {
             "tanh" => Ok(Activation::Tanh),
             "sigmoid" => Ok(Activation::Sigmoid),
             "identity" => Ok(Activation::Identity),
-            other => Err(NnError::Deserialize(format!("unknown activation `{other}`"))),
+            other => Err(NnError::Deserialize(format!(
+                "unknown activation `{other}`"
+            ))),
         }
     }
 }
@@ -153,9 +155,8 @@ impl ActivationLayer {
             });
         };
         let act = self.activation;
-        let grad_in = grad_output.zip_map(input, "activation_backward", |g, x| {
-            g * act.derivative(x)
-        })?;
+        let grad_in =
+            grad_output.zip_map(input, "activation_backward", |g, x| g * act.derivative(x))?;
         Ok((grad_in, None))
     }
 

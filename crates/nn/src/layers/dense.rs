@@ -194,10 +194,7 @@ mod tests {
         // grad_in = grad_out · Wᵀ = [1*1 + (-1)*2, 1*3 + (-1)*4, 1*5 + (-1)*6]
         assert_eq!(grad_in.data(), &[-1.0, -1.0, -1.0]);
         // grad_W = xᵀ · grad_out
-        assert_eq!(
-            grads.weight.data(),
-            &[1.0, -1.0, 2.0, -2.0, 3.0, -3.0]
-        );
+        assert_eq!(grads.weight.data(), &[1.0, -1.0, 2.0, -2.0, 3.0, -3.0]);
         assert_eq!(grads.bias.data(), &[1.0, -1.0]);
     }
 

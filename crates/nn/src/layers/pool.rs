@@ -35,7 +35,10 @@ impl MaxPool2d {
 
     /// Layer name, e.g. `MaxPool2d(2x2, s=2)`.
     pub fn name(&self) -> String {
-        format!("MaxPool2d({}x{}, s={})", self.kernel, self.kernel, self.stride)
+        format!(
+            "MaxPool2d({}x{}, s={})",
+            self.kernel, self.kernel, self.stride
+        )
     }
 
     /// Forward pass.
@@ -65,7 +68,11 @@ impl MaxPool2d {
         cache: &LayerCache,
         grad_output: &Tensor,
     ) -> Result<(Tensor, Option<ParamGrads>)> {
-        let LayerCache::MaxPool2d { argmax, input_shape } = cache else {
+        let LayerCache::MaxPool2d {
+            argmax,
+            input_shape,
+        } = cache
+        else {
             return Err(NnError::BadInputShape {
                 layer: self.name(),
                 got: vec![],

@@ -115,11 +115,7 @@ impl Loss {
         match self {
             Loss::CrossEntropy => cross_entropy(logits, labels),
             Loss::MeanSquaredError => {
-                let classes = logits
-                    .shape()
-                    .last()
-                    .copied()
-                    .unwrap_or(0);
+                let classes = logits.shape().last().copied().unwrap_or(0);
                 let target = one_hot(labels, classes)?;
                 mean_squared_error(logits, &target)
             }
@@ -135,10 +131,7 @@ mod tests {
     fn one_hot_encoding() {
         let t = one_hot(&[0, 2, 1], 3).unwrap();
         assert_eq!(t.shape(), &[3, 3]);
-        assert_eq!(
-            t.data(),
-            &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0]
-        );
+        assert_eq!(t.data(), &[1.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
         assert!(one_hot(&[3], 3).is_err());
     }
 

@@ -479,6 +479,8 @@ mod tests {
         assert_eq!(net.num_layers(), 5);
         assert_eq!(net.input_shape(), &[1, 6, 6]);
         assert_eq!(net.num_classes(), 4);
+        // oc * ic * kh * kw + biases, spelled out factor by factor.
+        #[allow(clippy::identity_op)]
         let expected_params = 2 * 1 * 3 * 3 + 2 + 18 * 4 + 4;
         assert_eq!(net.num_parameters(), expected_params);
         let summary = net.summary();
@@ -499,7 +501,10 @@ mod tests {
         let sample = Tensor::from_fn(&[1, 6, 6], |i| (i as f32 * 0.01).sin());
         let logits = net.forward_sample(&sample).unwrap();
         assert_eq!(logits.shape(), &[4]);
-        assert_eq!(net.predict_sample(&sample).unwrap(), logits.argmax().unwrap());
+        assert_eq!(
+            net.predict_sample(&sample).unwrap(),
+            logits.argmax().unwrap()
+        );
         // The first row of the batched forward equals the single-sample forward.
         assert!(ops::row(&out, 0).unwrap().approx_eq(&logits, 1e-5));
 

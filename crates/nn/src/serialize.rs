@@ -119,7 +119,9 @@ fn activation_from_code(code: u8) -> Result<Activation> {
         ACT_TANH => Ok(Activation::Tanh),
         ACT_SIGMOID => Ok(Activation::Sigmoid),
         ACT_IDENTITY => Ok(Activation::Identity),
-        other => Err(NnError::Deserialize(format!("unknown activation code {other}"))),
+        other => Err(NnError::Deserialize(format!(
+            "unknown activation code {other}"
+        ))),
     }
 }
 

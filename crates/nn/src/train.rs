@@ -241,7 +241,10 @@ mod tests {
         let report = train(&mut net, &inputs, &labels, &config).unwrap();
         let after = report.final_accuracy();
         assert!(after >= before);
-        assert!(after > 0.95, "expected near-perfect separation, got {after}");
+        assert!(
+            after > 0.95,
+            "expected near-perfect separation, got {after}"
+        );
         assert!(report.final_loss() < 0.3);
         assert_eq!(report.epochs.len(), 20);
     }

@@ -181,7 +181,12 @@ pub fn tiny_mlp(
 /// # Errors
 ///
 /// Never fails for the fixed geometry.
-pub fn tiny_cnn(channels: usize, classes: usize, activation: Activation, seed: u64) -> Result<Network> {
+pub fn tiny_cnn(
+    channels: usize,
+    classes: usize,
+    activation: Activation,
+    seed: u64,
+) -> Result<Network> {
     Network::new(
         vec![
             Conv2d::with_seed(1, channels, 3, 1, 1, layer_seed(seed, 1)).into(),

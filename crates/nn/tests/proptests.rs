@@ -2,8 +2,8 @@
 //! against finite differences on random networks, flat-parameter round trips,
 //! softmax/loss invariants and serialization.
 
-use dnnip_nn::loss::{cross_entropy, one_hot};
 use dnnip_nn::layers::Activation;
+use dnnip_nn::loss::{cross_entropy, one_hot};
 use dnnip_nn::{serialize, zoo};
 use dnnip_tensor::Tensor;
 use proptest::prelude::*;

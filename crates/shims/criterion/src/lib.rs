@@ -1,0 +1,184 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this shim implements
+//! the subset of the criterion API the workspace's benches use:
+//! [`Criterion`] with `bench_function` / `benchmark_group` / `sample_size`,
+//! [`criterion_group!`] / [`criterion_main!`], and [`black_box`].
+//!
+//! Measurement is intentionally simple: per benchmark it runs a short warm-up,
+//! then `sample_size` timed samples (each sized to take roughly
+//! `MEASURE_TARGET` wall time) and reports min / mean / max per-iteration
+//! times. That is enough to compare kernels locally and to keep the benches
+//! compiling and runnable in CI, without upstream's statistics machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Wall-clock budget for the warm-up phase of each benchmark.
+const WARM_UP_TARGET: Duration = Duration::from_millis(300);
+/// Wall-clock budget each timed sample aims for.
+const MEASURE_TARGET: Duration = Duration::from_millis(20);
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&format!("{}/{id}", self.name), samples, &mut f);
+        self
+    }
+
+    /// Finish the group (kept for API compatibility; groups hold no state that
+    /// needs flushing in this shim).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Calibrate the per-sample iteration count, then collect timed samples.
+fn run_benchmark<F>(id: &str, samples: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: double the iteration count until the warm-up budget is spent;
+    // this also gives a per-iteration estimate for sizing measurement samples.
+    let mut iters: u64 = 1;
+    let warmup_start = Instant::now();
+    let per_iter = loop {
+        let mut bencher = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if warmup_start.elapsed() >= WARM_UP_TARGET {
+            break bencher.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+        }
+        iters = iters.saturating_mul(2);
+    };
+
+    let sample_iters =
+        (MEASURE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128) as u64;
+    let mut times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iters: sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        times.push(bencher.elapsed / sample_iters as u32);
+    }
+
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    let mean = times.iter().sum::<Duration>() / times.len().max(1) as u32;
+    println!("{id:<50} time: [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]  ({samples} samples x {sample_iters} iters)");
+}
+
+/// Define a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, mirroring `criterion::criterion_main!`.
+///
+/// Command-line arguments (such as the `--bench` flag cargo passes) are
+/// accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

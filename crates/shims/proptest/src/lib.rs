@@ -1,0 +1,118 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this shim implements
+//! the subset of the proptest API that the workspace's five property-test
+//! suites use:
+//!
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, implemented for
+//!   numeric ranges, tuples, [`strategy::Just`] and boxed strategies.
+//! * [`collection::vec`] for random-length vectors.
+//! * The [`proptest!`] macro with the `#![proptest_config(..)]` header and
+//!   `pattern in strategy` arguments, plus [`prop_assert!`],
+//!   [`prop_assert_eq!`] and [`prop_oneof!`].
+//! * A [`test_runner::TestRunner`] that runs each property for the configured
+//!   number of deterministic cases.
+//!
+//! Differences from the real crate: cases are generated from a fixed seed
+//! (override with `PROPTEST_SEED`), and failing cases are reported but **not
+//! shrunk**. The failure message includes the case number and the seed so a
+//! failure is reproducible by re-running the test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Assert a boolean condition inside a [`proptest!`] body.
+///
+/// On failure the enclosing property returns a test-case error (with the
+/// formatted message, if given) instead of panicking, so the runner can report
+/// the failing case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Choose uniformly between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Union::option($strategy)),+])
+    };
+}
+
+/// Define property tests.
+///
+/// Supports the standard form: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(pat in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let result = runner.run(
+                &($($strategy,)+),
+                |($($pat,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+            if let ::core::result::Result::Err(message) = result {
+                panic!("{}", message);
+            }
+        }
+    )*};
+}

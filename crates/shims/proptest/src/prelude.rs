@@ -1,0 +1,12 @@
+//! Single-import surface mirroring `proptest::prelude`.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+/// Mirror of the `proptest::prelude::prop` module: namespaced access to the
+/// strategy modules from inside `prelude::*` imports.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}

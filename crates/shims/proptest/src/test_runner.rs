@@ -1,0 +1,87 @@
+//! Execution of property tests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Configuration for a [`TestRunner`].
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed test case, carrying the failure message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Create a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Result type returned by a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runs a property for the configured number of cases.
+///
+/// Generation is deterministic: the RNG seed defaults to a fixed constant and
+/// can be overridden with the `PROPTEST_SEED` environment variable, so CI
+/// failures are locally reproducible.
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// Create a runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0xd1e2_0019_5eed_cafe);
+        TestRunner { config, seed }
+    }
+
+    /// Run `test` against `cases` generated values, stopping at the first
+    /// failure. The error message identifies the failing case and the seed.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for case in 0..self.config.cases {
+            let value = strategy.generate(&mut rng);
+            if let Err(err) = test(value) {
+                return Err(format!(
+                    "property failed at case {case}/{} (PROPTEST_SEED={}): {err}",
+                    self.config.cases, self.seed
+                ));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so this
+//! shim implements exactly the subset of the `rand 0.8` API the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic, seedable PRNG (xoshiro256++ seeded via
+//!   SplitMix64). It does **not** match upstream `StdRng`'s output stream, but
+//!   every consumer in this workspace only relies on determinism-given-a-seed,
+//!   never on a specific stream.
+//! * [`Rng`] — `gen_range` over half-open and inclusive numeric ranges, and
+//!   `gen_bool`.
+//! * [`SeedableRng`] — `seed_from_u64` (the only constructor used here).
+//! * [`seq::SliceRandom`] — `shuffle` and `choose`.
+//!
+//! Swapping this shim for the real crate is a one-line change in the workspace
+//! manifest; no source file needs to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator producing 64-bit output.
+///
+/// Mirrors the role of `rand_core::RngCore`; only `next_u64`/`next_u32` are
+/// provided because nothing in the workspace fills byte buffers.
+pub trait RngCore {
+    /// Return the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    ///
+    /// Equal seeds always produce equal output streams.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing random value generation, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A range that can produce a single uniformly sampled value.
+pub trait SampleRange<T> {
+    /// Sample one value from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is at most span / 2^64 — irrelevant at the spans
+                // used in this workspace (all far below 2^32).
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty integer range");
+                match ((end - start) as u64).checked_add(1) {
+                    // Full-width inclusive range: every output is valid.
+                    None => start.wrapping_add(rng.next_u64() as $t),
+                    Some(span) => start + (rng.next_u64() % span) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+signed_sample_range!(i64 => u64, i32 => u32, i16 => u16, i8 => u8);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "gen_range: empty float range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let u = unit_f64(rng.next_u64());
+                let v = (self.start as f64 + u * (self.end as f64 - self.start as f64)) as $t;
+                // Guard the half-open contract against rounding at the top end.
+                if v >= self.end || v < self.start {
+                    self.start
+                } else {
+                    v
+                }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty float range");
+                let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                let v = (start as f64 + u * (end as f64 - start as f64)) as $t;
+                v.clamp(start, end)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let f = rng.gen_range(-2.5f32..2.5);
+            assert!((-2.5..2.5).contains(&f));
+            let g = rng.gen_range(-0.5f32..=0.5);
+            assert!((-0.5..=0.5).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate} too far from 0.25");
+    }
+
+    #[test]
+    fn uniform_f32_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let mean: f64 = (0..n)
+            .map(|_| rng.gen_range(0.0f32..1.0) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+}

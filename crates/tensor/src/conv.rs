@@ -279,7 +279,11 @@ pub fn conv2d_backward(
         });
     }
     let (oh, ow) = geom.output_hw(h, w)?;
-    shape::check_same(grad_output.shape(), &[n, oc, oh, ow], "conv2d_backward(grad_output)")?;
+    shape::check_same(
+        grad_output.shape(),
+        &[n, oc, oh, ow],
+        "conv2d_backward(grad_output)",
+    )?;
 
     let mut gi = vec![0.0f32; n * c * h * w];
     let mut gw = vec![0.0f32; oc * c * kh * kw];
@@ -471,7 +475,10 @@ mod tests {
             let geom = Conv2dGeometry::square(3, stride, pad);
             let a = conv2d_forward(&input, &weight, &bias, geom).unwrap();
             let b = conv2d_forward_im2col(&input, &weight, &bias, geom).unwrap();
-            assert!(a.approx_eq(&b, 1e-4), "mismatch at stride {stride} pad {pad}");
+            assert!(
+                a.approx_eq(&b, 1e-4),
+                "mismatch at stride {stride} pad {pad}"
+            );
         }
     }
 
@@ -503,9 +510,8 @@ mod tests {
         let grads = conv2d_backward(&input, &weight, &grad_out, geom).unwrap();
 
         let eps = 1e-2f32;
-        let loss = |inp: &Tensor, w: &Tensor, b: &Tensor| {
-            conv2d_forward(inp, w, b, geom).unwrap().sum()
-        };
+        let loss =
+            |inp: &Tensor, w: &Tensor, b: &Tensor| conv2d_forward(inp, w, b, geom).unwrap().sum();
 
         // Check a handful of weight gradients by central differences.
         for &idx in &[0usize, 7, 23, 41, 53] {

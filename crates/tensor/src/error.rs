@@ -75,14 +75,17 @@ impl fmt::Display for TensorError {
             TensorError::ShapeMismatch { lhs, rhs, op } => {
                 write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
             }
-            TensorError::RankMismatch { expected, actual, op } => write!(
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(
                 f,
                 "`{op}` expects a rank-{expected} tensor, got shape {actual:?}"
             ),
-            TensorError::MatmulDimMismatch { lhs, rhs } => write!(
-                f,
-                "matrix multiply dimension mismatch: {lhs:?} x {rhs:?}"
-            ),
+            TensorError::MatmulDimMismatch { lhs, rhs } => {
+                write!(f, "matrix multiply dimension mismatch: {lhs:?} x {rhs:?}")
+            }
             TensorError::IndexOutOfBounds { index, shape } => {
                 write!(f, "index {index:?} out of bounds for shape {shape:?}")
             }

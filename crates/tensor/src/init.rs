@@ -109,7 +109,10 @@ mod tests {
         let t = he_normal(&mut rng, &[20_000], 50);
         let std = t.map(|x| x * x).mean().sqrt();
         let expected = (2.0f32 / 50.0).sqrt();
-        assert!((std - expected).abs() < 0.02, "std {std} vs expected {expected}");
+        assert!(
+            (std - expected).abs() < 0.02,
+            "std {std} vs expected {expected}"
+        );
     }
 
     #[test]

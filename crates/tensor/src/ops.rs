@@ -163,7 +163,9 @@ pub fn row(a: &Tensor, i: usize) -> Result<Tensor> {
 /// Returns [`TensorError::EmptyTensor`] when `items` is empty and
 /// [`TensorError::ShapeMismatch`] when any item disagrees with the first item's shape.
 pub fn stack(items: &[Tensor]) -> Result<Tensor> {
-    let first = items.first().ok_or(TensorError::EmptyTensor { op: "stack" })?;
+    let first = items
+        .first()
+        .ok_or(TensorError::EmptyTensor { op: "stack" })?;
     let item_shape = first.shape().to_vec();
     let mut data = Vec::with_capacity(items.len() * first.len());
     for item in items {

@@ -6,8 +6,8 @@
 //! implementations, and gradient-routing conservation in max pooling.
 
 use dnnip_tensor::conv::{
-    conv2d_backward, conv2d_forward, conv2d_forward_im2col, maxpool2d_backward,
-    maxpool2d_forward, Conv2dGeometry,
+    conv2d_backward, conv2d_forward, conv2d_forward_im2col, maxpool2d_backward, maxpool2d_forward,
+    Conv2dGeometry,
 };
 use dnnip_tensor::{ops, Tensor};
 use proptest::prelude::*;
@@ -21,9 +21,8 @@ fn tensor_of(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
 
 /// Strategy producing two same-shaped tensors.
 fn tensor_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
-    prop::collection::vec(1usize..5, 1..4).prop_flat_map(|shape| {
-        (tensor_of(shape.clone()), tensor_of(shape))
-    })
+    prop::collection::vec(1usize..5, 1..4)
+        .prop_flat_map(|shape| (tensor_of(shape.clone()), tensor_of(shape)))
 }
 
 proptest! {

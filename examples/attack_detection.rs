@@ -41,7 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..GenerationConfig::default()
         },
     )?;
-    let suite = FunctionalTestSuite::from_network(&model, tests.inputs.clone(), MatchPolicy::ArgMax)?;
+    let suite =
+        FunctionalTestSuite::from_network(&model, tests.inputs.clone(), MatchPolicy::ArgMax)?;
     println!(
         "Vendor released {} functional tests (coverage {:.1}%)",
         suite.len(),
@@ -97,10 +98,7 @@ fn report(
     let verdict = suite.validate(ip)?;
     println!(
         "{name:<26} -> detected = {} (first failing test: {:?}, {} / {} mismatches)",
-        !verdict.passed,
-        verdict.first_failure,
-        verdict.num_mismatches,
-        verdict.num_tests
+        !verdict.passed, verdict.first_failure, verdict.num_mismatches, verdict.num_tests
     );
     Ok(())
 }

@@ -33,12 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_images = 50;
     let training_images = &data.inputs[..n_images];
     let ood_images = ood::ood_images(1, 16, n_images, &ood::OodConfig::default(), 4);
-    let noise_images = noise::noise_images(
-        &[1, 16, 16],
-        n_images,
-        &noise::NoiseConfig::default(),
-        4,
-    );
+    let noise_images =
+        noise::noise_images(&[1, 16, 16], n_images, &noise::NoiseConfig::default(), 4);
     println!("Mean per-image validation coverage (Fig. 2 analogue):");
     println!(
         "  training images : {:.1}%",
@@ -91,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 5,
         policy: MatchPolicy::ArgMax,
     };
-    println!("\nDetection rate over {} trials (argmax policy):", detection.trials);
+    println!(
+        "\nDetection rate over {} trials (argmax policy):",
+        detection.trials
+    );
     for (label, attack) in [
         ("SBA", &SingleBiasAttack::default() as &dyn Attack),
         ("GDA", &GradientDescentAttack::default() as &dyn Attack),

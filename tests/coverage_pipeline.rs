@@ -60,7 +60,10 @@ fn image_families_produce_valid_and_distinct_coverage() {
     // parameters (the premise of Algorithm 1). The absolute level depends on
     // model scale; the 8x8 ReLU fixture sits low because digit backgrounds leave
     // most spatial units dead.
-    assert!(train_cov > 0.05, "training-image coverage {train_cov} suspiciously low");
+    assert!(
+        train_cov > 0.05,
+        "training-image coverage {train_cov} suspiciously low"
+    );
 }
 
 #[test]
@@ -109,9 +112,14 @@ fn combined_generation_beats_training_only_at_equal_budget() {
     )
     .unwrap()
     .final_coverage();
-    let random = generate_tests(&analyzer, &training, GenerationMethod::RandomSelection, &config)
-        .unwrap()
-        .final_coverage();
+    let random = generate_tests(
+        &analyzer,
+        &training,
+        GenerationMethod::RandomSelection,
+        &config,
+    )
+    .unwrap()
+    .final_coverage();
     assert!(combined >= training_only - 1e-6);
     assert!(training_only >= random - 1e-6);
 }
@@ -135,7 +143,10 @@ fn full_neuron_coverage_does_not_imply_full_parameter_coverage() {
             .collect();
         param.coverage_of_set(&chosen).unwrap()
     };
-    assert!(neuron_cov > 0.1, "neuron coverage of the whole pool is {neuron_cov}");
+    assert!(
+        neuron_cov > 0.1,
+        "neuron coverage of the whole pool is {neuron_cov}"
+    );
     assert!(
         param_cov_best_10 < 1.0,
         "10 neuron-coverage tests should not accidentally cover every parameter"

@@ -37,10 +37,14 @@ fn clean_ip_passes_and_tampered_ip_fails() {
         },
     )
     .unwrap();
-    assert!(tests.final_coverage() > 0.5, "combined tests should cover most parameters");
+    assert!(
+        tests.final_coverage() > 0.5,
+        "combined tests should cover most parameters"
+    );
 
     let suite =
-        FunctionalTestSuite::from_network(&model, tests.inputs.clone(), MatchPolicy::ArgMax).unwrap();
+        FunctionalTestSuite::from_network(&model, tests.inputs.clone(), MatchPolicy::ArgMax)
+            .unwrap();
 
     // Clean float IP and clean quantized accelerator both validate.
     assert!(suite.validate(&FloatIp::new(model.clone())).unwrap().passed);
@@ -57,7 +61,10 @@ fn clean_ip_passes_and_tampered_ip_fails() {
     let perturbation = attack.generate(&model, &training[..8], &mut rng).unwrap();
     let tampered = perturbation.apply_to_network(&model).unwrap();
     let verdict = suite.validate(&FloatIp::new(tampered)).unwrap();
-    assert!(!verdict.passed, "SBA must be detected by the functional tests");
+    assert!(
+        !verdict.passed,
+        "SBA must be detected by the functional tests"
+    );
     assert!(verdict.first_failure.is_some());
 }
 
@@ -75,12 +82,9 @@ fn suite_survives_serialization_and_still_detects_attacks() {
         },
     )
     .unwrap();
-    let suite = FunctionalTestSuite::from_network(
-        &model,
-        tests.inputs,
-        MatchPolicy::OutputTolerance(1e-3),
-    )
-    .unwrap();
+    let suite =
+        FunctionalTestSuite::from_network(&model, tests.inputs, MatchPolicy::OutputTolerance(1e-3))
+            .unwrap();
     let restored = FunctionalTestSuite::from_bytes(&suite.to_bytes()).unwrap();
     assert_eq!(restored.len(), suite.len());
 
@@ -108,12 +112,9 @@ fn bit_flips_in_weight_memory_are_detected() {
     )
     .unwrap();
     // A strict output-tolerance policy catches even small memory corruptions.
-    let suite = FunctionalTestSuite::from_network(
-        &model,
-        tests.inputs,
-        MatchPolicy::OutputTolerance(1e-4),
-    )
-    .unwrap();
+    let suite =
+        FunctionalTestSuite::from_network(&model, tests.inputs, MatchPolicy::OutputTolerance(1e-4))
+            .unwrap();
     // Golden outputs must be produced by the *shipped* (quantized) IP for a strict
     // policy, so build the suite against the accelerator's effective network.
     let accel = AcceleratorIp::from_network(&model, BitWidth::Int16);
