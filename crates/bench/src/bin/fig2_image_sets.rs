@@ -9,28 +9,31 @@
 //! ```
 
 use dnnip_bench::{
-    holdout_accuracy, pct, prepare_cifar, prepare_mnist, ExperimentProfile, PreparedModel,
+    holdout_accuracy, pct, prepare_cifar, prepare_mnist, seed_from_env_or, ExperimentProfile,
+    PreparedModel,
 };
 use dnnip_core::coverage::CoverageAnalyzer;
 use dnnip_dataset::{noise, ood};
 
-fn family_coverages(model: &PreparedModel, images_per_family: usize) -> (f32, f32, f32) {
+fn family_coverages(model: &PreparedModel, images_per_family: usize, seed: u64) -> (f32, f32, f32) {
     let analyzer = CoverageAnalyzer::new(&model.network, model.coverage);
     let shape = model.network.input_shape();
     let (channels, size) = (shape[0], shape[1]);
 
+    // Addends chosen so the default run (seed 7) reproduces the pre-plumbing
+    // streams: noise 101, OOD 102.
     let noisy = noise::noise_images(
         shape,
         images_per_family,
         &noise::NoiseConfig::default(),
-        101,
+        seed.wrapping_add(94),
     );
     let oods = ood::ood_images(
         channels,
         size,
         images_per_family,
         &ood::OodConfig::default(),
-        102,
+        seed.wrapping_add(95),
     );
     let n = images_per_family.min(model.dataset.len());
     let training = &model.dataset.inputs[..n];
@@ -51,13 +54,14 @@ fn main() {
     println!("== Fig. 2: validation coverage of different image sets ==");
     println!("profile: {}\n", profile.name());
 
+    let seed = seed_from_env_or(7);
     let images = profile.fig2_images();
     for prepare in [
         prepare_mnist as fn(ExperimentProfile, u64) -> PreparedModel,
         prepare_cifar,
     ] {
-        let model = prepare(profile, 7);
-        let holdout = holdout_accuracy(&model, 999);
+        let model = prepare(profile, seed);
+        let holdout = holdout_accuracy(&model, seed.wrapping_add(992));
         println!(
             "{} (train acc {}, holdout acc {}, {} params)",
             model.name,
@@ -65,7 +69,7 @@ fn main() {
             pct(holdout, 7),
             model.network.num_parameters()
         );
-        let (noise_cov, ood_cov, train_cov) = family_coverages(&model, images);
+        let (noise_cov, ood_cov, train_cov) = family_coverages(&model, images, seed);
         println!("  image family          mean validation coverage ({images} images each)");
         println!("  noisy images (rand)   {}", pct(noise_cov, 8));
         println!("  OOD images (imagenet) {}", pct(ood_cov, 8));

@@ -6,17 +6,18 @@
 //! cargo run --release -p dnnip-bench --bin fig3_methods_sweep [smoke|default|paper]
 //! ```
 
-use dnnip_bench::{pct, prepare_cifar, ExperimentProfile};
+use dnnip_bench::{pct, prepare_cifar, seed_from_env_or, ExperimentProfile};
 use dnnip_core::coverage::CoverageAnalyzer;
 use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
 use dnnip_core::gradgen::GradGenConfig;
+use dnnip_core::par::ExecPolicy;
 
 fn main() {
     let profile = ExperimentProfile::from_env_or_args();
     println!("== Fig. 3: validation coverage of different methods (CIFAR model) ==");
     println!("profile: {}\n", profile.name());
 
-    let model = prepare_cifar(profile, 11);
+    let model = prepare_cifar(profile, seed_from_env_or(11));
     let analyzer = CoverageAnalyzer::new(&model.network, model.coverage);
     let pool_size = profile.candidate_pool().min(model.dataset.len());
     let pool = &model.dataset.inputs[..pool_size];
@@ -50,6 +51,7 @@ fn main() {
                     steps: 30,
                     eta: 1.0,
                     init_noise: 0.5,
+                    exec: ExecPolicy::auto(),
                     ..GradGenConfig::default()
                 },
                 ..GenerationConfig::default()

@@ -5,8 +5,9 @@
 //! cargo run --release -p dnnip-bench --bin fig4_synthetic_samples [smoke|default|paper]
 //! ```
 
-use dnnip_bench::{prepare_mnist, ExperimentProfile};
+use dnnip_bench::{prepare_mnist, seed_from_env_or, ExperimentProfile};
 use dnnip_core::gradgen::{GradGenConfig, GradientGenerator};
+use dnnip_core::par::ExecPolicy;
 use dnnip_dataset::render;
 use std::path::PathBuf;
 
@@ -15,12 +16,13 @@ fn main() {
     println!("== Fig. 4: training samples vs synthetic samples (MNIST model) ==");
     println!("profile: {}\n", profile.name());
 
-    let model = prepare_mnist(profile, 13);
+    let model = prepare_mnist(profile, seed_from_env_or(13));
     let mut generator = GradientGenerator::new(
         &model.network,
         GradGenConfig {
             steps: 60,
             eta: 0.8,
+            exec: ExecPolicy::auto(),
             ..GradGenConfig::default()
         },
     );

@@ -1,0 +1,161 @@
+//! Throughput sweep of the batched multi-threaded coverage engine, recorded as
+//! JSON next to the criterion benches.
+//!
+//! Measures activation-set computation for a 32-sample batch on the scaled
+//! MNIST model under:
+//!
+//! * the per-sample reference engine (the pre-batching serial baseline),
+//! * the batched engine with `ExecPolicy::Serial`,
+//! * the batched engine with `ExecPolicy::Threads(n)` for n ∈ {2, 4, 8}.
+//!
+//! Results (wall time, throughput, speedup vs. the reference) are printed and
+//! written to `crates/bench/results/parallel_coverage.json` so before/after
+//! numbers ride with the repository.
+//!
+//! ```text
+//! cargo run --release -p dnnip-bench --bin parallel_sweep [smoke|default|paper]
+//! DNNIP_SEED=123 cargo run --release -p dnnip-bench --bin parallel_sweep
+//! ```
+
+use dnnip_bench::{seed_from_env_or, ExperimentProfile};
+use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig};
+use dnnip_core::par::ExecPolicy;
+use dnnip_nn::zoo;
+use dnnip_tensor::Tensor;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured configuration.
+struct Row {
+    engine: &'static str,
+    exec: String,
+    time_ms: f64,
+    throughput: f64,
+}
+
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One untimed warm-up rep, then the best of `reps` timed runs (minimum is
+    // the standard low-noise estimator for single-machine comparisons).
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let profile = ExperimentProfile::from_env_or_args();
+    let seed = seed_from_env_or(1);
+    let batch_size = 32usize;
+    let reps = if profile == ExperimentProfile::Smoke {
+        2
+    } else {
+        5
+    };
+    println!("== Parallel coverage sweep (batch = {batch_size}, scaled MNIST model) ==");
+    println!(
+        "profile: {}, seed: {seed}, available parallelism: {}\n",
+        profile.name(),
+        ExecPolicy::auto().threads()
+    );
+
+    let net = zoo::mnist_model_scaled(seed).expect("scaled MNIST geometry");
+    let samples: Vec<Tensor> = (0..batch_size)
+        .map(|i| Tensor::from_fn(&[1, 16, 16], |j| ((i * 256 + j) as f32 * 0.07).sin().abs()))
+        .collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let reference = CoverageAnalyzer::new(&net, CoverageConfig::default());
+    let t = time_ms(reps, || {
+        for s in black_box(&samples) {
+            black_box(
+                reference
+                    .activation_set_reference(s)
+                    .expect("reference set"),
+            );
+        }
+    });
+    rows.push(Row {
+        engine: "per-sample-reference",
+        exec: "serial".to_string(),
+        time_ms: t,
+        throughput: batch_size as f64 / (t / 1e3),
+    });
+
+    let configs = [
+        ("serial", ExecPolicy::Serial),
+        ("threads(2)", ExecPolicy::Threads(2)),
+        ("threads(4)", ExecPolicy::Threads(4)),
+        ("threads(8)", ExecPolicy::Threads(8)),
+    ];
+    for (name, exec) in configs {
+        let analyzer = CoverageAnalyzer::new(
+            &net,
+            CoverageConfig {
+                exec,
+                ..CoverageConfig::default()
+            },
+        );
+        let t = time_ms(reps, || {
+            black_box(
+                analyzer
+                    .activation_sets(black_box(&samples))
+                    .expect("batched sets"),
+            );
+        });
+        rows.push(Row {
+            engine: "batched",
+            exec: name.to_string(),
+            time_ms: t,
+            throughput: batch_size as f64 / (t / 1e3),
+        });
+    }
+
+    let baseline = rows[0].time_ms;
+    println!("  engine                 exec        best ms   samples/s   speedup");
+    println!("  ---------------------- ----------- --------- ----------- -------");
+    for row in &rows {
+        println!(
+            "  {:<22} {:<11} {:>9.2} {:>11.1} {:>6.2}x",
+            row.engine,
+            row.exec,
+            row.time_ms,
+            row.throughput,
+            baseline / row.time_ms
+        );
+    }
+
+    // Hand-rolled JSON (the workspace has no serde): flat and diff-friendly.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"activation sets, scaled MNIST model\",\n");
+    json.push_str(&format!("  \"batch_size\": {batch_size},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        ExecPolicy::auto().threads()
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"exec\": \"{}\", \"best_ms\": {:.3}, \
+             \"samples_per_sec\": {:.1}, \"speedup_vs_reference\": {:.3}}}{}\n",
+            row.engine,
+            row.exec,
+            row.time_ms,
+            row.throughput,
+            baseline / row.time_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/results");
+    let out_path = format!("{out_dir}/parallel_coverage.json");
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    std::fs::write(&out_path, &json).expect("write results json");
+    println!("\nwrote {out_path}");
+}

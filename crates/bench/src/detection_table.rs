@@ -2,7 +2,9 @@
 
 use dnnip_core::coverage::CoverageAnalyzer;
 use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
+use dnnip_core::gradgen::GradGenConfig;
 use dnnip_core::neuron::{NeuronCoverageAnalyzer, NeuronCoverageConfig};
+use dnnip_core::par::ExecPolicy;
 use dnnip_faults::attacks::{Attack, GradientDescentAttack, RandomPerturbation, SingleBiasAttack};
 use dnnip_faults::detection::{detection_rate, DetectionConfig, MatchPolicy};
 use dnnip_tensor::Tensor;
@@ -54,6 +56,10 @@ pub fn detection_table(
         &GenerationConfig {
             max_tests: max_budget,
             coverage: model.coverage,
+            gradgen: GradGenConfig {
+                exec: ExecPolicy::auto(),
+                ..GradGenConfig::default()
+            },
             ..GenerationConfig::default()
         },
     )

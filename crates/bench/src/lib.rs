@@ -15,6 +15,7 @@
 pub mod detection_table;
 
 use dnnip_core::coverage::{CoverageConfig, EpsilonPolicy};
+use dnnip_core::par::ExecPolicy;
 use dnnip_dataset::digits::{synthetic_mnist, DigitConfig};
 use dnnip_dataset::objects::{synthetic_cifar, ObjectConfig};
 use dnnip_dataset::LabeledDataset;
@@ -219,6 +220,11 @@ fn train_robust(
 /// the paper only says "a small value ε"; 1e-2 gives the discriminative
 /// behaviour its Fig. 2/Fig. 3 report (1e-4 would count essentially every
 /// parameter as activated on a small Tanh model).
+///
+/// Every experiment binary runs the coverage analysis through the batched
+/// engine with one worker per available hardware thread; results are
+/// bit-identical to serial execution (see `tests/parallel_equivalence.rs`), so
+/// the parallel path is safe to use unconditionally.
 pub fn coverage_config_for(activation: Activation) -> CoverageConfig {
     let epsilon = if activation.is_saturating() {
         EpsilonPolicy::RelativeToMax(1e-2)
@@ -227,8 +233,22 @@ pub fn coverage_config_for(activation: Activation) -> CoverageConfig {
     };
     CoverageConfig {
         epsilon,
+        exec: ExecPolicy::auto(),
         ..CoverageConfig::default()
     }
+}
+
+/// Resolve the experiment seed: the `DNNIP_SEED` environment variable when set
+/// to a valid `u64`, otherwise `default`.
+///
+/// Every experiment binary routes its top-level seed through this helper, so a
+/// whole figure/table run can be repeated under a different seed (or pinned for
+/// a differential comparison) without editing code.
+pub fn seed_from_env_or(default: u64) -> u64 {
+    std::env::var("DNNIP_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 /// Build and train the MNIST-style (Tanh) model for the given profile.
@@ -372,6 +392,25 @@ mod tests {
             "accuracy {}",
             cifar.train_accuracy
         );
+    }
+
+    #[test]
+    fn seed_env_override_wins_only_when_valid() {
+        // Serialize against other tests by doing all three cases in one test.
+        std::env::remove_var("DNNIP_SEED");
+        assert_eq!(seed_from_env_or(42), 42);
+        std::env::set_var("DNNIP_SEED", "7");
+        assert_eq!(seed_from_env_or(42), 7);
+        std::env::set_var("DNNIP_SEED", "not-a-number");
+        assert_eq!(seed_from_env_or(42), 42);
+        std::env::remove_var("DNNIP_SEED");
+    }
+
+    #[test]
+    fn coverage_config_enables_the_parallel_path() {
+        let config = coverage_config_for(Activation::Relu);
+        assert!(config.exec.threads() >= 1);
+        assert!(config.batch_size >= 1);
     }
 
     #[test]

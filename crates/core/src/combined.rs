@@ -185,13 +185,15 @@ fn materialize_batch(
     analyzer: &CoverageAnalyzer<'_>,
 ) -> Result<Vec<(Tensor, usize, Bitset)>> {
     let batch = generator.generate_batch()?;
-    batch
+    // One batched (and possibly multi-threaded) coverage pass over the whole
+    // synthetic batch instead of per-input analyses.
+    let inputs: Vec<Tensor> = batch.iter().map(|t| t.input.clone()).collect();
+    let sets = analyzer.activation_sets(&inputs)?;
+    Ok(batch
         .into_iter()
-        .map(|t| {
-            let set = analyzer.activation_set(&t.input)?;
-            Ok((t.input, t.target_class, set))
-        })
-        .collect()
+        .zip(sets)
+        .map(|(t, set)| (t.input, t.target_class, set))
+        .collect())
 }
 
 #[cfg(test)]

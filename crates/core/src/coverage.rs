@@ -13,11 +13,13 @@
 //! the network's flat parameter space; the validation coverage of a test set is
 //! the density of the union of its members' activation sets (Eq. 4).
 
+use dnnip_nn::batch::BatchGradientEngine;
 use dnnip_nn::layers::Layer;
 use dnnip_nn::Network;
 use dnnip_tensor::Tensor;
 
 use crate::bitset::Bitset;
+use crate::par::{self, ExecPolicy};
 use crate::{CoreError, Result};
 
 /// How the activation threshold ε is chosen.
@@ -59,13 +61,33 @@ pub enum OutputProjection {
     PerClassMax,
 }
 
+/// Default number of samples evaluated per batched forward pass.
+pub const DEFAULT_COVERAGE_BATCH: usize = 32;
+
 /// Configuration of the coverage analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoverageConfig {
     /// Threshold policy for the activation test.
     pub epsilon: EpsilonPolicy,
     /// Output-to-scalar projection.
     pub projection: OutputProjection,
+    /// How multi-sample analyses execute. Serial and threaded execution are
+    /// guaranteed to produce bit-identical activation sets.
+    pub exec: ExecPolicy,
+    /// Samples per batched forward pass (work unit handed to each worker);
+    /// `0` is treated as `1`. The value never affects results, only throughput.
+    pub batch_size: usize,
+}
+
+impl Default for CoverageConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: EpsilonPolicy::default(),
+            projection: OutputProjection::default(),
+            exec: ExecPolicy::Serial,
+            batch_size: DEFAULT_COVERAGE_BATCH,
+        }
+    }
 }
 
 /// Computes parameter activation sets and validation coverage for one network.
@@ -74,6 +96,9 @@ pub struct CoverageAnalyzer<'a> {
     network: &'a Network,
     config: CoverageConfig,
     saturating: bool,
+    /// Batched evaluation engine, built once (it precomputes per-conv-layer
+    /// weight matrices) and shared read-only across worker threads.
+    engine: BatchGradientEngine<'a>,
 }
 
 impl<'a> CoverageAnalyzer<'a> {
@@ -87,6 +112,7 @@ impl<'a> CoverageAnalyzer<'a> {
             network,
             config,
             saturating,
+            engine: BatchGradientEngine::new(network),
         }
     }
 
@@ -137,41 +163,94 @@ impl<'a> CoverageAnalyzer<'a> {
         }
     }
 
+    /// The output projections whose gradients define activation under the
+    /// configured policy.
+    fn projections(&self) -> Vec<Vec<f32>> {
+        let classes = self.network.num_classes();
+        match self.config.projection {
+            OutputProjection::SumOfOutputs => vec![vec![1.0f32; classes]],
+            OutputProjection::PerClassMax => (0..classes)
+                .map(|class| {
+                    let mut weights = vec![0.0f32; classes];
+                    weights[class] = 1.0;
+                    weights
+                })
+                .collect(),
+        }
+    }
+
+    /// Activation sets for one contiguous chunk of samples: one batched forward
+    /// pass through the engine, then per-sample gradient extraction.
+    fn sets_for_chunk(&self, chunk: &[Tensor]) -> Result<Vec<Bitset>> {
+        let n = self.num_parameters();
+        let mut sets: Vec<Bitset> = (0..chunk.len()).map(|_| Bitset::new(n)).collect();
+        let projections = self.projections();
+        self.engine
+            .for_each_parameter_gradient(chunk, &projections, |s, _, grads| {
+                self.set_from_grads(grads, &mut sets[s]);
+            })?;
+        Ok(sets)
+    }
+
+    /// The [`CoverageConfig::batch_size`] chunking of `samples` — formed before
+    /// any work distribution, so it is identical for every execution policy.
+    fn chunks<'s>(&self, samples: &'s [Tensor]) -> Vec<&'s [Tensor]> {
+        samples.chunks(self.config.batch_size.max(1)).collect()
+    }
+
     /// The activation set of a single input: bit `i` is set iff parameter `i` is
     /// activated by this input under the configured policy (Eq. 2 / Eq. 5).
+    ///
+    /// Computed by the batched engine with a batch of one, so it is always
+    /// bit-identical to the corresponding entry of
+    /// [`CoverageAnalyzer::activation_sets`].
     ///
     /// # Errors
     ///
     /// Returns an error when the sample shape does not match the network input.
     pub fn activation_set(&self, sample: &Tensor) -> Result<Bitset> {
+        let mut sets = self.sets_for_chunk(std::slice::from_ref(sample))?;
+        Ok(sets.pop().expect("one set per sample"))
+    }
+
+    /// Reference activation set computed the pre-batching way: one full
+    /// forward + backward per `(sample, projection)` pair through
+    /// [`Network::parameter_gradients`], with the direct (non-im2col)
+    /// convolution kernels.
+    ///
+    /// Kept as the independent baseline the differential tests and the
+    /// throughput benchmarks compare the batched engine against.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sample shape does not match the network input.
+    pub fn activation_set_reference(&self, sample: &Tensor) -> Result<Bitset> {
         let n = self.num_parameters();
         let mut set = Bitset::new(n);
-        match self.config.projection {
-            OutputProjection::SumOfOutputs => {
-                let ones = vec![1.0f32; self.network.num_classes()];
-                let grads = self.network.parameter_gradients(sample, &ones)?;
-                self.set_from_grads(&grads, &mut set);
-            }
-            OutputProjection::PerClassMax => {
-                let classes = self.network.num_classes();
-                for class in 0..classes {
-                    let mut weights = vec![0.0f32; classes];
-                    weights[class] = 1.0;
-                    let grads = self.network.parameter_gradients(sample, &weights)?;
-                    self.set_from_grads(&grads, &mut set);
-                }
-            }
+        for weights in self.projections() {
+            let grads = self.network.parameter_gradients(sample, &weights)?;
+            self.set_from_grads(&grads, &mut set);
         }
         Ok(set)
     }
 
-    /// Activation sets for a batch of inputs.
+    /// Activation sets for a collection of inputs — the batched, multi-threaded
+    /// hot path of the whole reproduction.
+    ///
+    /// Samples are split into [`CoverageConfig::batch_size`] chunks; each chunk
+    /// runs one batched forward pass with per-sample gradient extraction, and
+    /// chunks are distributed over [`CoverageConfig::exec`] workers. Chunking is
+    /// independent of the worker count, so results are bit-identical across
+    /// execution policies.
     ///
     /// # Errors
     ///
     /// Returns an error when any sample shape does not match the network input.
     pub fn activation_sets(&self, samples: &[Tensor]) -> Result<Vec<Bitset>> {
-        samples.iter().map(|s| self.activation_set(s)).collect()
+        let per_chunk = par::try_map(self.config.exec, &self.chunks(samples), |chunk| {
+            self.sets_for_chunk(chunk)
+        })?;
+        Ok(per_chunk.into_iter().flatten().collect())
     }
 
     /// Validation coverage of a single input (Eq. 3).
@@ -186,19 +265,31 @@ impl<'a> CoverageAnalyzer<'a> {
     /// Validation coverage of a test set (Eq. 4): density of the union of the
     /// members' activation sets.
     ///
+    /// Runs on the batched parallel path with **chunk-local unions**: each
+    /// worker reduces its chunk's sets into one bitset as it goes, so peak
+    /// memory is bounded by `batch_size × workers` sets rather than the whole
+    /// collection. Union is exact (bitwise OR), so the result is still
+    /// bit-identical across execution policies.
+    ///
     /// # Errors
     ///
     /// Returns an error when any sample shape does not match the network input.
     pub fn coverage_of_set(&self, samples: &[Tensor]) -> Result<f32> {
-        let mut union = Bitset::new(self.num_parameters());
-        for sample in samples {
-            union.union_with(&self.activation_set(sample)?);
-        }
-        Ok(union.density())
+        let n = self.num_parameters();
+        let chunk_unions = par::try_map(
+            self.config.exec,
+            &self.chunks(samples),
+            |chunk| -> Result<Bitset> { Ok(Bitset::union_of(n, &self.sets_for_chunk(chunk)?)) },
+        )?;
+        Ok(Bitset::union_of(n, &chunk_unions).density())
     }
 
     /// Mean per-sample validation coverage over a collection of inputs (used for
     /// the Fig. 2 image-family comparison).
+    ///
+    /// Batched and parallel like [`CoverageAnalyzer::coverage_of_set`]; only
+    /// per-chunk density vectors are kept, and the final sum runs serially in
+    /// input order so the result does not depend on the execution policy.
     ///
     /// # Errors
     ///
@@ -208,10 +299,18 @@ impl<'a> CoverageAnalyzer<'a> {
         if samples.is_empty() {
             return Err(CoreError::EmptyCandidatePool);
         }
-        let mut total = 0.0f32;
-        for sample in samples {
-            total += self.coverage_of_sample(sample)?;
-        }
+        let per_chunk: Vec<Vec<f32>> = par::try_map(
+            self.config.exec,
+            &self.chunks(samples),
+            |chunk| -> Result<Vec<f32>> {
+                Ok(self
+                    .sets_for_chunk(chunk)?
+                    .iter()
+                    .map(Bitset::density)
+                    .collect())
+            },
+        )?;
+        let total: f32 = per_chunk.into_iter().flatten().sum();
         Ok(total / samples.len() as f32)
     }
 }
@@ -351,6 +450,32 @@ mod tests {
         let a = sum_proj.coverage_of_sample(&x).unwrap();
         let b = per_class.coverage_of_sample(&x).unwrap();
         assert!(b >= a - 1e-6, "per-class {b} vs sum {a}");
+    }
+
+    #[test]
+    fn execution_policy_and_chunking_never_change_activation_sets() {
+        let net = relu_net();
+        let serial = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        let threaded = CoverageAnalyzer::new(
+            &net,
+            CoverageConfig {
+                exec: ExecPolicy::Threads(4),
+                batch_size: 3,
+                ..CoverageConfig::default()
+            },
+        );
+        let samples: Vec<Tensor> = (0..10).map(sample).collect();
+        let a = serial.activation_sets(&samples).unwrap();
+        let b = threaded.activation_sets(&samples).unwrap();
+        assert_eq!(a, b, "exec policy / chunking leaked into the results");
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(a[i], serial.activation_set(s).unwrap(), "sample {i}");
+            assert_eq!(
+                a[i],
+                serial.activation_set_reference(s).unwrap(),
+                "batched engine disagrees with the per-sample reference at {i}"
+            );
+        }
     }
 
     #[test]

@@ -115,12 +115,14 @@ impl GeneratedTests {
     }
 }
 
-/// Compute the parameter-coverage curve of an ordered list of tests.
+/// Compute the parameter-coverage curve of an ordered list of tests: one
+/// batched (possibly multi-threaded) coverage pass, then a serial prefix-union.
 fn coverage_curve(analyzer: &CoverageAnalyzer<'_>, inputs: &[Tensor]) -> Result<Vec<f32>> {
+    let sets = analyzer.activation_sets(inputs)?;
     let mut covered = crate::bitset::Bitset::new(analyzer.num_parameters());
     let mut curve = Vec::with_capacity(inputs.len());
-    for input in inputs {
-        covered.union_with(&analyzer.activation_set(input)?);
+    for set in &sets {
+        covered.union_with(set);
         curve.push(covered.density());
     }
     Ok(curve)

@@ -21,6 +21,7 @@ use dnnip_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::par::{self, ExecPolicy};
 use crate::{CoreError, Result};
 
 /// Configuration of the gradient-based test generator.
@@ -38,6 +39,10 @@ pub struct GradGenConfig {
     pub clamp: Option<(f32, f32)>,
     /// RNG seed for the random initializations.
     pub seed: u64,
+    /// How the per-class syntheses of a batch execute. Initial states are drawn
+    /// serially from the seeded RNG before any worker starts, so results are
+    /// identical for every policy.
+    pub exec: ExecPolicy,
 }
 
 impl Default for GradGenConfig {
@@ -48,6 +53,7 @@ impl Default for GradGenConfig {
             init_noise: 0.1,
             clamp: Some((0.0, 1.0)),
             seed: 0,
+            exec: ExecPolicy::Serial,
         }
     }
 }
@@ -144,6 +150,12 @@ impl<'a> GradientGenerator<'a> {
     /// Generate one batch of `k` synthetic tests, one per output category
     /// (Algorithm 2, lines 3–12).
     ///
+    /// Initial states are drawn from the seeded RNG in class order **before**
+    /// the per-class gradient descents run (possibly on
+    /// [`GradGenConfig::exec`] worker threads, since each descent is
+    /// independent and deterministic given its start), so the produced batch is
+    /// identical for every execution policy.
+    ///
     /// # Errors
     ///
     /// Propagates synthesis errors.
@@ -154,18 +166,21 @@ impl<'a> GradientGenerator<'a> {
         } else {
             self.config.init_noise
         };
-        let mut batch = Vec::with_capacity(self.batch_size());
-        for class in 0..self.batch_size() {
-            let init = if noise == 0.0 {
-                Tensor::zeros(&shape)
-            } else {
-                let amplitude = noise;
-                Tensor::from_fn(&shape, |_| self.rng.gen_range(0.0..amplitude))
-            };
-            batch.push(self.synthesize(&init, class)?);
-        }
+        let inits: Vec<(usize, Tensor)> = (0..self.batch_size())
+            .map(|class| {
+                let init = if noise == 0.0 {
+                    Tensor::zeros(&shape)
+                } else {
+                    let amplitude = noise;
+                    Tensor::from_fn(&shape, |_| self.rng.gen_range(0.0..amplitude))
+                };
+                (class, init)
+            })
+            .collect();
         self.round += 1;
-        Ok(batch)
+        par::try_map(self.config.exec, &inits, |(class, init)| {
+            self.synthesize(init, *class)
+        })
     }
 
     /// Generate synthetic tests until at least `max_tests` inputs exist (whole

@@ -26,6 +26,9 @@
 //!   (Section IV-D).
 //! * [`generator`] — a uniform front-end over all generation strategies (plus a
 //!   random-selection control), used by the benchmark harness.
+//! * [`par`] — the [`par::ExecPolicy`] execution knob and a std-only
+//!   scoped-thread worker pool; every per-input stage of the pipeline routes
+//!   through it, with serial and parallel execution guaranteed bit-identical.
 //! * [`protocol`] — the vendor/user validation protocol of Fig. 1: suite
 //!   packaging with golden outputs on the vendor side, black-box replay and
 //!   verdicts on the user side.
@@ -59,6 +62,7 @@ pub mod coverage;
 pub mod generator;
 pub mod gradgen;
 pub mod neuron;
+pub mod par;
 pub mod protocol;
 pub mod select;
 

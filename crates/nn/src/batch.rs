@@ -1,0 +1,466 @@
+//! Batched evaluation engine: one stacked forward pass, per-sample parameter
+//! gradients.
+//!
+//! The validation-coverage metric needs `∇θ F(x)` **per sample** — the batch
+//! dimension cannot simply be summed away like in training. The naive engine
+//! therefore ran one full forward + backward per sample, wrapping each input in
+//! a batch of one. [`BatchGradientEngine`] restructures that hot path:
+//!
+//! * **Batched forward** — the whole chunk of samples is stacked along the
+//!   batch axis and pushed through every layer once. Dense layers become one
+//!   matrix–matrix product instead of per-sample matrix–vector products, and
+//!   convolutions run as im2col + matmul with the lowered column matrices
+//!   retained for the backward pass.
+//! * **Per-sample backward with matmul kernels** — parameter gradients for each
+//!   sample reuse the cached im2col matrices: `∂L/∂W = ∂L/∂out · colsᵀ` and
+//!   `∂L/∂x = col2im(Wᵀ · ∂L/∂out)` are two dense products per convolution
+//!   layer instead of the branchy seven-deep direct loop nest.
+//! * **Multi-projection amortization** — several output projections (e.g. one
+//!   per class for the `PerClassMax` coverage policy) share a single forward
+//!   pass; only the cheap per-sample backward repeats.
+//!
+//! The engine is deterministic and purely functional over `&Network`, so
+//! callers may freely share one engine across worker threads; results do not
+//! depend on how samples are distributed over engines or threads.
+
+use dnnip_tensor::conv::{col2im, conv2d_sample_forward_cols};
+use dnnip_tensor::{ops, Tensor};
+
+use crate::layers::{Layer, LayerCache};
+use crate::{Network, NnError, Result};
+
+/// Per-layer state captured by the engine's batched forward pass.
+#[derive(Debug)]
+enum BatchCache {
+    /// Convolution: the per-sample im2col matrices (each `[C*KH*KW, OH*OW]`)
+    /// plus the spatial geometry of the layer input, for `col2im`.
+    Conv {
+        cols: Vec<Tensor>,
+        chw: (usize, usize, usize),
+    },
+    /// Dense: the stacked layer input `[B, in_features]`.
+    Dense { input: Tensor },
+    /// Max pooling: batch-level argmax bookkeeping and the batched input shape.
+    Pool {
+        argmax: Vec<usize>,
+        input_shape: Vec<usize>,
+    },
+    /// Flatten: the batched input shape.
+    Flatten { input_shape: Vec<usize> },
+    /// Activation: the stacked pre-activation input.
+    Act { input: Tensor },
+}
+
+/// One sample's slice of a [`BatchCache`], ready for a per-sample backward pass.
+#[derive(Debug)]
+enum SampleCache<'c> {
+    /// Convolution: this sample's im2col matrix and the layer-input geometry.
+    Conv {
+        cols: &'c Tensor,
+        chw: (usize, usize, usize),
+    },
+    /// Any other layer: a regular batch-of-one [`LayerCache`] fed back through
+    /// the layer's own backward implementation.
+    Single(LayerCache),
+}
+
+/// Batched forward / per-sample backward evaluation engine over one network.
+///
+/// Construction precomputes the reshaped `[OC, C*K*K]` weight matrices (and
+/// their transposes) of every convolution layer; the engine itself is
+/// read-only and `Sync`, so one instance can serve many threads.
+#[derive(Debug, Clone)]
+pub struct BatchGradientEngine<'a> {
+    network: &'a Network,
+    /// Per layer: `Some((wmat, wmat_t))` for convolution layers, `None` otherwise.
+    conv_mats: Vec<Option<(Tensor, Tensor)>>,
+}
+
+impl<'a> BatchGradientEngine<'a> {
+    /// Create an engine for `network`.
+    pub fn new(network: &'a Network) -> Self {
+        let conv_mats = network
+            .layers()
+            .iter()
+            .map(|layer| match layer {
+                Layer::Conv2d(l) => {
+                    let (w, _) = l.parameters();
+                    let oc = l.out_channels();
+                    let ckk = w.len() / oc;
+                    let wmat = w
+                        .reshape(&[oc, ckk])
+                        .expect("conv weight reshapes to [OC, C*K*K]");
+                    let wmat_t = ops::transpose(&wmat).expect("rank-2 transpose");
+                    Some((wmat, wmat_t))
+                }
+                _ => None,
+            })
+            .collect();
+        Self { network, conv_mats }
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &Network {
+        self.network
+    }
+
+    /// Visit the flat parameter-gradient vector of every `(sample, projection)`
+    /// pair.
+    ///
+    /// `projections` are rows of output weights `c`; for each sample `x` and
+    /// each projection the engine computes `∇θ (Σ_j c_j · F_j(x))` — exactly
+    /// what [`Network::parameter_gradients`] computes per call — but with one
+    /// shared batched forward pass for the whole sample slice. `visit` receives
+    /// `(sample_index, projection_index, grads)`; the gradient slice is only
+    /// valid for the duration of the call (the buffer is reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a sample shape does not match the network input or
+    /// a projection length differs from the number of classes.
+    pub fn for_each_parameter_gradient<F>(
+        &self,
+        samples: &[Tensor],
+        projections: &[Vec<f32>],
+        mut visit: F,
+    ) -> Result<()>
+    where
+        F: FnMut(usize, usize, &[f32]),
+    {
+        if samples.is_empty() || projections.is_empty() {
+            return Ok(());
+        }
+        let classes = self.network.num_classes();
+        if let Some(bad) = projections.iter().find(|p| p.len() != classes) {
+            return Err(NnError::ParamLengthMismatch {
+                expected: classes,
+                got: bad.len(),
+            });
+        }
+        let batch = ops::stack(samples)?;
+        self.network.check_batch_input(&batch)?;
+        let caches = self.forward(&batch)?;
+
+        let mut grads = vec![0.0f32; self.network.num_parameters()];
+        for s in 0..samples.len() {
+            let sample_caches = self.slice_sample(&caches, s)?;
+            for (pi, proj) in projections.iter().enumerate() {
+                self.backward_sample(&sample_caches, proj, &mut grads)?;
+                visit(s, pi, &grads);
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-sample parameter gradients of one output projection, one `Vec` per
+    /// sample — the batched counterpart of [`Network::parameter_gradients`].
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as
+    /// [`BatchGradientEngine::for_each_parameter_gradient`].
+    pub fn parameter_gradients_batch(
+        &self,
+        samples: &[Tensor],
+        output_weights: &[f32],
+    ) -> Result<Vec<Vec<f32>>> {
+        let mut out = Vec::with_capacity(samples.len());
+        self.for_each_parameter_gradient(
+            samples,
+            std::slice::from_ref(&output_weights.to_vec()),
+            |_, _, grads| out.push(grads.to_vec()),
+        )?;
+        Ok(out)
+    }
+
+    /// Batched forward pass recording the per-layer state the per-sample
+    /// backward passes need.
+    fn forward(&self, batch: &Tensor) -> Result<Vec<BatchCache>> {
+        let mut caches = Vec::with_capacity(self.network.num_layers());
+        let mut x = batch.clone();
+        for (i, layer) in self.network.layers().iter().enumerate() {
+            match layer {
+                Layer::Conv2d(l) => {
+                    let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+                    let geom = l.geometry();
+                    let (oh, ow) = geom.output_hw(h, w)?;
+                    let oc = l.out_channels();
+                    let bias = l.parameters().1;
+                    let (wmat, _) = self.conv_mats[i]
+                        .as_ref()
+                        .expect("conv layer has precomputed weight matrices");
+                    let sample_len = c * h * w;
+                    let out_len = oc * oh * ow;
+                    let mut out = vec![0.0f32; b * out_len];
+                    let mut cols_vec = Vec::with_capacity(b);
+                    for s in 0..b {
+                        let sample = Tensor::from_vec(
+                            x.data()[s * sample_len..(s + 1) * sample_len].to_vec(),
+                            &[c, h, w],
+                        )?;
+                        let (prod, cols) = conv2d_sample_forward_cols(&sample, wmat, bias, geom)?;
+                        out[s * out_len..(s + 1) * out_len].copy_from_slice(prod.data());
+                        cols_vec.push(cols);
+                    }
+                    x = Tensor::from_vec(out, &[b, oc, oh, ow])?;
+                    caches.push(BatchCache::Conv {
+                        cols: cols_vec,
+                        chw: (c, h, w),
+                    });
+                }
+                Layer::Dense(l) => {
+                    let (out, _) = l.forward(&x)?;
+                    caches.push(BatchCache::Dense { input: x });
+                    x = out;
+                }
+                Layer::MaxPool2d(l) => {
+                    let (out, cache) = l.forward(&x)?;
+                    let LayerCache::MaxPool2d {
+                        argmax,
+                        input_shape,
+                    } = cache
+                    else {
+                        unreachable!("MaxPool2d::forward returns a MaxPool2d cache");
+                    };
+                    caches.push(BatchCache::Pool {
+                        argmax,
+                        input_shape,
+                    });
+                    x = out;
+                }
+                Layer::Flatten(l) => {
+                    let input_shape = x.shape().to_vec();
+                    let (out, _) = l.forward(&x)?;
+                    caches.push(BatchCache::Flatten { input_shape });
+                    x = out;
+                }
+                Layer::Activation(l) => {
+                    let (out, _) = l.forward(&x)?;
+                    caches.push(BatchCache::Act { input: x });
+                    x = out;
+                }
+            }
+        }
+        Ok(caches)
+    }
+
+    /// Slice the batch-level caches down to sample `s` (a batch of one).
+    fn slice_sample<'c>(&self, caches: &'c [BatchCache], s: usize) -> Result<Vec<SampleCache<'c>>> {
+        caches
+            .iter()
+            .map(|cache| {
+                Ok(match cache {
+                    BatchCache::Conv { cols, chw } => SampleCache::Conv {
+                        cols: &cols[s],
+                        chw: *chw,
+                    },
+                    BatchCache::Dense { input } => SampleCache::Single(LayerCache::Dense {
+                        input: ops::batch_slice(input, s, s + 1)?,
+                    }),
+                    BatchCache::Pool {
+                        argmax,
+                        input_shape,
+                    } => {
+                        let item_len: usize = input_shape[1..].iter().product();
+                        let per_out = argmax.len() / input_shape[0];
+                        let rebased: Vec<usize> = argmax[s * per_out..(s + 1) * per_out]
+                            .iter()
+                            .map(|&idx| idx - s * item_len)
+                            .collect();
+                        let mut shape = vec![1];
+                        shape.extend_from_slice(&input_shape[1..]);
+                        SampleCache::Single(LayerCache::MaxPool2d {
+                            argmax: rebased,
+                            input_shape: shape,
+                        })
+                    }
+                    BatchCache::Flatten { input_shape } => {
+                        let mut shape = vec![1];
+                        shape.extend_from_slice(&input_shape[1..]);
+                        SampleCache::Single(LayerCache::Flatten { input_shape: shape })
+                    }
+                    BatchCache::Act { input } => SampleCache::Single(LayerCache::Activation {
+                        input: ops::batch_slice(input, s, s + 1)?,
+                    }),
+                })
+            })
+            .collect()
+    }
+
+    /// Backward pass for one sample and one projection, writing the flat
+    /// parameter-gradient vector into `out` (every parameterized range is fully
+    /// overwritten, so the buffer needs no zeroing between calls).
+    fn backward_sample(
+        &self,
+        caches: &[SampleCache<'_>],
+        projection: &[f32],
+        out: &mut [f32],
+    ) -> Result<()> {
+        let mut grad = Tensor::from_vec(projection.to_vec(), &[1, projection.len()])?;
+        for (i, layer) in self.network.layers().iter().enumerate().rev() {
+            match (&caches[i], layer) {
+                (SampleCache::Conv { cols, chw }, Layer::Conv2d(l)) => {
+                    let (_, wmat_t) = self.conv_mats[i]
+                        .as_ref()
+                        .expect("conv layer has precomputed weight matrices");
+                    let oc = l.out_channels();
+                    let per = cols.shape()[1];
+                    let go_mat = grad.reshape(&[oc, per])?;
+                    // ∂L/∂W = ∂L/∂out · colsᵀ, accumulated over output pixels in
+                    // the same order as the direct kernel.
+                    let gw = ops::matmul_nt(&go_mat, cols)?;
+                    let god = go_mat.data();
+                    let range = self
+                        .network
+                        .param_layout()
+                        .layer_range(i)
+                        .expect("parameterized layer present in layout");
+                    let dst = &mut out[range];
+                    let w_len = gw.len();
+                    dst[..w_len].copy_from_slice(gw.data());
+                    for (oci, slot) in dst[w_len..].iter_mut().enumerate() {
+                        *slot = god[oci * per..(oci + 1) * per].iter().sum();
+                    }
+                    // ∂L/∂x = col2im(Wᵀ · ∂L/∂out).
+                    let gi_cols = ops::matmul(wmat_t, &go_mat)?;
+                    let (c, h, w) = *chw;
+                    let gi = col2im(&gi_cols, l.geometry(), c, h, w)?;
+                    grad = gi.reshape(&[1, c, h, w])?;
+                }
+                (SampleCache::Single(cache), _) => {
+                    let (grad_in, pgrads) = layer.backward(cache, &grad)?;
+                    if let Some(pg) = pgrads {
+                        let range = self
+                            .network
+                            .param_layout()
+                            .layer_range(i)
+                            .expect("parameterized layer present in layout");
+                        let w_len = pg.weight.len();
+                        let dst = &mut out[range];
+                        dst[..w_len].copy_from_slice(pg.weight.data());
+                        dst[w_len..].copy_from_slice(pg.bias.data());
+                    }
+                    grad = grad_in;
+                }
+                (SampleCache::Conv { .. }, _) => {
+                    unreachable!("conv cache recorded for a non-conv layer")
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, ActivationLayer, Conv2d, Dense, Flatten, MaxPool2d};
+    use crate::zoo;
+
+    fn tiny_cnn() -> Network {
+        Network::new(
+            vec![
+                Conv2d::with_seed(1, 3, 3, 1, 1, 1).into(),
+                ActivationLayer::new(Activation::Relu).into(),
+                MaxPool2d::new(2, 2).into(),
+                Flatten::new().into(),
+                Dense::with_seed(3 * 4 * 4, 5, 2).into(),
+            ],
+            &[1, 8, 8],
+        )
+        .unwrap()
+    }
+
+    fn samples(n: usize, shape: &[usize]) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| Tensor::from_fn(shape, |j| ((i * 31 + j) as f32 * 0.17).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn batched_gradients_match_per_sample_network_gradients_on_a_cnn() {
+        let net = tiny_cnn();
+        let engine = BatchGradientEngine::new(&net);
+        let inputs = samples(6, &[1, 8, 8]);
+        let ones = vec![1.0f32; net.num_classes()];
+        let batched = engine.parameter_gradients_batch(&inputs, &ones).unwrap();
+        assert_eq!(batched.len(), 6);
+        for (i, x) in inputs.iter().enumerate() {
+            let reference = net.parameter_gradients(x, &ones).unwrap();
+            assert_eq!(batched[i].len(), reference.len());
+            for (k, (a, b)) in batched[i].iter().zip(&reference).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-4 * (1.0 + b.abs()),
+                    "sample {i} grad {k}: batched {a} vs reference {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gradients_are_bit_identical_on_dense_networks() {
+        // For Dense/Activation-only networks the engine reuses the exact same
+        // kernels as the per-sample path, so results must agree bitwise.
+        let net = zoo::tiny_mlp(5, 9, 4, Activation::Relu, 3).unwrap();
+        let engine = BatchGradientEngine::new(&net);
+        let inputs = samples(4, &[5]);
+        let ones = vec![1.0f32; 4];
+        let batched = engine.parameter_gradients_batch(&inputs, &ones).unwrap();
+        for (i, x) in inputs.iter().enumerate() {
+            let reference = net.parameter_gradients(x, &ones).unwrap();
+            assert_eq!(batched[i], reference, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn multiple_projections_share_one_forward() {
+        let net = tiny_cnn();
+        let engine = BatchGradientEngine::new(&net);
+        let inputs = samples(3, &[1, 8, 8]);
+        let classes = net.num_classes();
+        let projections: Vec<Vec<f32>> = (0..classes)
+            .map(|c| {
+                let mut p = vec![0.0f32; classes];
+                p[c] = 1.0;
+                p
+            })
+            .collect();
+        let mut seen = Vec::new();
+        engine
+            .for_each_parameter_gradient(&inputs, &projections, |s, p, grads| {
+                seen.push((s, p, grads.to_vec()));
+            })
+            .unwrap();
+        assert_eq!(seen.len(), 3 * classes);
+        // Spot-check one (sample, class) pair against the one-shot API.
+        let (s, p) = (1usize, 2usize);
+        let direct = engine
+            .parameter_gradients_batch(&inputs[s..=s], &projections[p])
+            .unwrap();
+        let from_visit = &seen
+            .iter()
+            .find(|(vs, vp, _)| *vs == s && *vp == p)
+            .unwrap()
+            .2;
+        assert_eq!(from_visit, &direct[0]);
+    }
+
+    #[test]
+    fn rejects_bad_projections_and_shapes() {
+        let net = tiny_cnn();
+        let engine = BatchGradientEngine::new(&net);
+        let inputs = samples(2, &[1, 8, 8]);
+        assert!(engine
+            .parameter_gradients_batch(&inputs, &[1.0, 1.0])
+            .is_err());
+        let bad = samples(2, &[1, 7, 7]);
+        let ones = vec![1.0f32; net.num_classes()];
+        assert!(engine.parameter_gradients_batch(&bad, &ones).is_err());
+        // Empty sample list is a no-op.
+        assert!(engine
+            .parameter_gradients_batch(&[], &ones)
+            .unwrap()
+            .is_empty());
+        assert_eq!(engine.network().num_classes(), 5);
+    }
+}

@@ -50,6 +50,7 @@
 mod error;
 mod network;
 
+pub mod batch;
 pub mod layers;
 pub mod loss;
 pub mod optim;

@@ -157,7 +157,7 @@ impl Network {
     // Inference
     // ------------------------------------------------------------------
 
-    fn check_batch_input(&self, input: &Tensor) -> Result<()> {
+    pub(crate) fn check_batch_input(&self, input: &Tensor) -> Result<()> {
         let expected_rank = self.input_shape.len() + 1;
         if input.ndim() != expected_rank || input.shape()[1..] != self.input_shape[..] {
             return Err(NnError::BadInputShape {

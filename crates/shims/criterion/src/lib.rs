@@ -113,11 +113,28 @@ impl Bencher {
     }
 }
 
+/// Whether the bench binary runs in smoke mode (`cargo bench -- --test`):
+/// every benchmark executes exactly one iteration, with no timing loops —
+/// mirroring upstream criterion's `--test` flag. This keeps a CI smoke run of
+/// the bench *code* cheap while the full measurement mode stays the default.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Calibrate the per-sample iteration count, then collect timed samples.
 fn run_benchmark<F>(id: &str, samples: usize, f: &mut F)
 where
     F: FnMut(&mut Bencher),
 {
+    if test_mode() {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("Testing {id}: ok ({:.2?})", bencher.elapsed);
+        return;
+    }
     // Warm-up: double the iteration count until the warm-up budget is spent;
     // this also gives a per-iteration estimate for sizing measurement samples.
     let mut iters: u64 = 1;
@@ -173,7 +190,9 @@ macro_rules! criterion_group {
 /// Define the benchmark binary's `main`, mirroring `criterion::criterion_main!`.
 ///
 /// Command-line arguments (such as the `--bench` flag cargo passes) are
-/// accepted and ignored.
+/// accepted and ignored, with one exception: `--test` switches every benchmark
+/// to a single untimed iteration (`cargo bench -- --test`), as in upstream
+/// criterion.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {

@@ -204,6 +204,179 @@ pub fn im2col(sample: &Tensor, geom: Conv2dGeometry) -> Result<Tensor> {
     Tensor::from_vec(out, &[rows, cols])
 }
 
+/// Scatter an im2col-layout matrix back onto a `[C, H, W]` image, **summing**
+/// overlapping contributions — the adjoint of [`im2col`].
+///
+/// `cols` has shape `[C*KH*KW, OH*OW]`; entry `(r, p)` is added to the input
+/// pixel that [`im2col`] read into that position (contributions that came from
+/// zero padding are dropped). This turns the convolution's input gradient into
+/// two dense steps: `grad_cols = Wᵀ · grad_out` followed by `col2im(grad_cols)`.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when `cols` is not rank-2, its shape disagrees with
+/// the geometry, or the window does not fit the target image.
+pub fn col2im(cols: &Tensor, geom: Conv2dGeometry, c: usize, h: usize, w: usize) -> Result<Tensor> {
+    if cols.ndim() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: cols.shape().to_vec(),
+            op: "col2im",
+        });
+    }
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    let ncols = oh * ow;
+    if cols.shape() != [rows, ncols] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![rows, ncols],
+            rhs: cols.shape().to_vec(),
+            op: "col2im",
+        });
+    }
+    let cd = cols.data();
+    let mut out = vec![0.0f32; c * h * w];
+    for ci in 0..c {
+        for khi in 0..geom.kh {
+            for kwi in 0..geom.kw {
+                let r = (ci * geom.kh + khi) * geom.kw + kwi;
+                for ohi in 0..oh {
+                    let ih = ohi * geom.stride + khi;
+                    if ih < geom.pad || ih - geom.pad >= h {
+                        continue;
+                    }
+                    let ih = ih - geom.pad;
+                    for owi in 0..ow {
+                        let iw = owi * geom.stride + kwi;
+                        if iw < geom.pad || iw - geom.pad >= w {
+                            continue;
+                        }
+                        let iw = iw - geom.pad;
+                        out[(ci * h + ih) * w + iw] += cd[r * ncols + ohi * ow + owi];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[c, h, w])
+}
+
+/// Lower a whole batch `[N, C, H, W]` into one im2col matrix
+/// `[C*KH*KW, N*OH*OW]`, columns grouped sample-major.
+///
+/// Column `n*OH*OW + p` holds the receptive field of output pixel `p` of sample
+/// `n`; slicing columns `[n*OH*OW, (n+1)*OH*OW)` recovers exactly
+/// `im2col(sample_n)`. The whole batch therefore convolves in **one** matrix
+/// product against the `[OC, C*KH*KW]` weight matrix instead of `N` per-sample
+/// products — the batch-axis formulation the batched evaluation engine builds on.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] for non-rank-4 input or invalid window geometry.
+pub fn im2col_batch(input: &Tensor, geom: Conv2dGeometry) -> Result<Tensor> {
+    let (n, c, h, w) = expect_rank4(input, "im2col_batch")?;
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    let per_sample = oh * ow;
+    let ncols = n * per_sample;
+    let mut out = vec![0.0f32; rows * ncols];
+    let sample_len = c * h * w;
+    for ni in 0..n {
+        let sample = Tensor::from_vec(
+            input.data()[ni * sample_len..(ni + 1) * sample_len].to_vec(),
+            &[c, h, w],
+        )?;
+        let cols = im2col(&sample, geom)?;
+        let cd = cols.data();
+        for r in 0..rows {
+            out[r * ncols + ni * per_sample..r * ncols + (ni + 1) * per_sample]
+                .copy_from_slice(&cd[r * per_sample..(r + 1) * per_sample]);
+        }
+    }
+    Tensor::from_vec(out, &[rows, ncols])
+}
+
+/// Forward one `[C, H, W]` sample through an im2col convolution, keeping the
+/// column matrix.
+///
+/// `wmat` is the convolution weight reshaped to `[OC, C*KH*KW]`. Returns the
+/// output matrix `[OC, OH*OW]` with the bias already added, together with the
+/// lowered column matrix — the shared kernel behind
+/// [`conv2d_forward_im2col`] and the batched gradient engine in `dnnip-nn`,
+/// which retains the columns for its matmul-based backward pass.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when the sample is not rank-3, the bias length
+/// disagrees with `wmat`'s row count, or the window geometry is invalid.
+pub fn conv2d_sample_forward_cols(
+    sample: &Tensor,
+    wmat: &Tensor,
+    bias: &Tensor,
+    geom: Conv2dGeometry,
+) -> Result<(Tensor, Tensor)> {
+    let oc = wmat.shape()[0];
+    if bias.ndim() != 1 || bias.shape()[0] != oc {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![oc],
+            rhs: bias.shape().to_vec(),
+            op: "conv2d_sample_forward_cols(bias)",
+        });
+    }
+    let cols = im2col(sample, geom)?;
+    let mut prod = crate::ops::matmul(wmat, &cols)?; // [OC, OH*OW]
+    let per = cols.shape()[1];
+    let bd = bias.data();
+    let pd = prod.data_mut();
+    for oci in 0..oc {
+        let b = bd[oci];
+        for v in &mut pd[oci * per..(oci + 1) * per] {
+            *v += b;
+        }
+    }
+    Ok((prod, cols))
+}
+
+/// Batched 2-D convolution forward pass: the whole `[N, C, H, W]` batch in a
+/// single im2col + matrix multiplication.
+///
+/// Agrees with [`conv2d_forward_im2col`] applied to the same batch (same
+/// accumulation order per output element) and with [`conv2d_forward`] up to
+/// floating-point rounding.
+///
+/// # Errors
+///
+/// Same error conditions as [`conv2d_forward`].
+pub fn conv2d_forward_im2col_batch(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    geom: Conv2dGeometry,
+) -> Result<Tensor> {
+    let (n, c, h, w) = expect_rank4(input, "conv2d_forward_im2col_batch")?;
+    let (oc, wc, kh, kw) = expect_rank4(weight, "conv2d_forward_im2col_batch(weight)")?;
+    check_conv_args(c, wc, kh, kw, bias, oc, geom)?;
+    let (oh, ow) = geom.output_hw(h, w)?;
+
+    let wmat = weight.reshape(&[oc, c * kh * kw])?;
+    let cols = im2col_batch(input, geom)?; // [C*KH*KW, N*OH*OW]
+    let prod = crate::ops::matmul(&wmat, &cols)?; // [OC, N*OH*OW]
+    let pd = prod.data();
+    let bd = bias.data();
+    let per_sample = oh * ow;
+    let mut out = vec![0.0f32; n * oc * per_sample];
+    for ni in 0..n {
+        for oci in 0..oc {
+            let src = &pd[oci * n * per_sample + ni * per_sample..][..per_sample];
+            let dst = &mut out[(ni * oc + oci) * per_sample..][..per_sample];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s + bd[oci];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, oc, oh, ow])
+}
+
 /// 2-D convolution forward pass via im2col + matrix multiplication.
 ///
 /// Produces exactly the same output as [`conv2d_forward`]; used as a cross-check
@@ -226,21 +399,14 @@ pub fn conv2d_forward_im2col(
     // Weight matrix [OC, C*KH*KW].
     let wmat = weight.reshape(&[oc, c * kh * kw])?;
     let mut out = vec![0.0f32; n * oc * oh * ow];
-    let bd = bias.data();
 
     for ni in 0..n {
         let sample = Tensor::from_vec(
             input.data()[ni * c * h * w..(ni + 1) * c * h * w].to_vec(),
             &[c, h, w],
         )?;
-        let cols = im2col(&sample, geom)?; // [C*KH*KW, OH*OW]
-        let prod = crate::ops::matmul(&wmat, &cols)?; // [OC, OH*OW]
-        let pd = prod.data();
-        for oci in 0..oc {
-            for p in 0..oh * ow {
-                out[(ni * oc + oci) * oh * ow + p] = pd[oci * oh * ow + p] + bd[oci];
-            }
-        }
+        let (prod, _) = conv2d_sample_forward_cols(&sample, &wmat, bias, geom)?;
+        out[ni * oc * oh * ow..(ni + 1) * oc * oh * ow].copy_from_slice(prod.data());
     }
     Tensor::from_vec(out, &[n, oc, oh, ow])
 }
@@ -480,6 +646,66 @@ mod tests {
                 "mismatch at stride {stride} pad {pad}"
             );
         }
+    }
+
+    #[test]
+    fn batched_im2col_forward_agrees_with_per_sample() {
+        let input = Tensor::from_fn(&[3, 2, 5, 6], |i| (i as f32 * 0.23).sin());
+        let weight = Tensor::from_fn(&[4, 2, 3, 3], |i| (i as f32 * 0.13).cos());
+        let bias = Tensor::from_fn(&[4], |i| i as f32 * 0.25);
+        for (stride, pad) in [(1, 0), (1, 1), (2, 1)] {
+            let geom = Conv2dGeometry::square(3, stride, pad);
+            let batched = conv2d_forward_im2col_batch(&input, &weight, &bias, geom).unwrap();
+            let per_sample = conv2d_forward_im2col(&input, &weight, &bias, geom).unwrap();
+            assert_eq!(
+                batched, per_sample,
+                "batched im2col differs at stride {stride} pad {pad}"
+            );
+            let direct = conv2d_forward(&input, &weight, &bias, geom).unwrap();
+            assert!(batched.approx_eq(&direct, 1e-4));
+        }
+    }
+
+    #[test]
+    fn im2col_batch_columns_are_per_sample_im2col() {
+        let input = Tensor::from_fn(&[2, 1, 4, 4], |i| i as f32);
+        let geom = Conv2dGeometry::square(2, 1, 0);
+        let cols = im2col_batch(&input, geom).unwrap();
+        assert_eq!(cols.shape(), &[4, 2 * 9]);
+        for ni in 0..2 {
+            let sample =
+                Tensor::from_vec(input.data()[ni * 16..(ni + 1) * 16].to_vec(), &[1, 4, 4])
+                    .unwrap();
+            let single = im2col(&sample, geom).unwrap();
+            for r in 0..4 {
+                assert_eq!(
+                    &cols.data()[r * 18 + ni * 9..r * 18 + (ni + 1) * 9],
+                    &single.data()[r * 9..(r + 1) * 9],
+                    "sample {ni} row {r}"
+                );
+            }
+        }
+        assert!(im2col_batch(&Tensor::zeros(&[4, 4]), geom).is_err());
+    }
+
+    #[test]
+    fn col2im_is_the_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining property
+        // of the adjoint, checked on deterministic pseudo-random data.
+        let geom = Conv2dGeometry::square(3, 2, 1);
+        let (c, h, w) = (2usize, 5usize, 6usize);
+        let x = Tensor::from_fn(&[c, h, w], |i| (i as f32 * 0.71).sin());
+        let cols = im2col(&x, geom).unwrap();
+        let y = Tensor::from_fn(cols.shape(), |i| (i as f32 * 0.37).cos());
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let back = col2im(&y, geom, c, h, w).unwrap();
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "adjoint identity violated: {lhs} vs {rhs}"
+        );
+        assert!(col2im(&y, geom, c, h, 50).is_err());
+        assert!(col2im(&Tensor::zeros(&[3]), geom, c, h, w).is_err());
     }
 
     #[test]

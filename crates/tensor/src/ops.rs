@@ -71,6 +71,85 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(out, &[m, n])
 }
 
+/// Matrix product with the right-hand side transposed: `[m, k] x [n, k] -> [m, n]`.
+///
+/// Computes `a · bᵀ` without materializing the transpose. Every output element is
+/// a dot product of two contiguous rows, which makes this the cache-friendliest
+/// formulation for gradient kernels such as `∂L/∂W = ∂L/∂out · colsᵀ` in the
+/// im2col convolution backward pass. The accumulation order over `k` matches
+/// [`matmul`] exactly, so `matmul_nt(a, b)` is bit-identical to
+/// `matmul(a, transpose(b))`... up to the skipped-zero shortcut in [`matmul`]
+/// (which only changes signed zeros).
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not rank-2 and
+/// [`TensorError::MatmulDimMismatch`] if the shared dimension disagrees.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    expect_rank(a, 2, "matmul_nt")?;
+    expect_rank(b, 2, "matmul_nt")?;
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let ad = a.data();
+    let bd = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (x, y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Contiguous sub-range `[start, end)` of a batched tensor along the leading
+/// (batch) axis: `[N, ...item] -> [end - start, ...item]`.
+///
+/// This is the zero-arithmetic way to carve a batch into chunks (or single
+/// samples, `batch_slice(b, i, i + 1)`) without going through [`unstack`], which
+/// drops the batch axis and re-allocates per item.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for rank-0 input and
+/// [`TensorError::IndexOutOfBounds`] when the range is inverted or exceeds the
+/// batch size.
+pub fn batch_slice(batch: &Tensor, start: usize, end: usize) -> Result<Tensor> {
+    if batch.ndim() == 0 {
+        return Err(TensorError::RankMismatch {
+            expected: 1,
+            actual: batch.shape().to_vec(),
+            op: "batch_slice",
+        });
+    }
+    let n = batch.shape()[0];
+    if start > end || end > n {
+        return Err(TensorError::IndexOutOfBounds {
+            index: vec![start, end],
+            shape: batch.shape().to_vec(),
+        });
+    }
+    let item_len = shape::num_elements(&batch.shape()[1..]);
+    let mut out_shape = vec![end - start];
+    out_shape.extend_from_slice(&batch.shape()[1..]);
+    Tensor::from_vec(
+        batch.data()[start * item_len..end * item_len].to_vec(),
+        &out_shape,
+    )
+}
+
 /// Transpose of a rank-2 tensor.
 ///
 /// # Errors
@@ -287,6 +366,33 @@ mod tests {
             matmul(&a, &c),
             Err(TensorError::RankMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn matmul_nt_matches_matmul_of_transpose() {
+        let a = Tensor::from_fn(&[3, 4], |i| (i as f32 * 0.7).sin());
+        let b = Tensor::from_fn(&[5, 4], |i| (i as f32 * 0.3).cos());
+        let fast = matmul_nt(&a, &b).unwrap();
+        let reference = matmul(&a, &transpose(&b).unwrap()).unwrap();
+        assert_eq!(fast.shape(), &[3, 5]);
+        assert!(fast.approx_eq(&reference, 1e-6));
+        assert!(matmul_nt(&a, &Tensor::zeros(&[5, 3])).is_err());
+        assert!(matmul_nt(&a, &Tensor::zeros(&[4])).is_err());
+    }
+
+    #[test]
+    fn batch_slice_extracts_contiguous_ranges() {
+        let batch = Tensor::from_fn(&[4, 2, 3], |i| i as f32);
+        let mid = batch_slice(&batch, 1, 3).unwrap();
+        assert_eq!(mid.shape(), &[2, 2, 3]);
+        assert_eq!(mid.data()[0], 6.0);
+        let one = batch_slice(&batch, 3, 4).unwrap();
+        assert_eq!(one.shape(), &[1, 2, 3]);
+        assert_eq!(one.data()[0], 18.0);
+        let empty = batch_slice(&batch, 2, 2).unwrap();
+        assert_eq!(empty.shape(), &[0, 2, 3]);
+        assert!(batch_slice(&batch, 3, 2).is_err());
+        assert!(batch_slice(&batch, 0, 5).is_err());
     }
 
     #[test]

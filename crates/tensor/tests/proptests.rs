@@ -6,8 +6,8 @@
 //! implementations, and gradient-routing conservation in max pooling.
 
 use dnnip_tensor::conv::{
-    conv2d_backward, conv2d_forward, conv2d_forward_im2col, maxpool2d_backward, maxpool2d_forward,
-    Conv2dGeometry,
+    conv2d_backward, conv2d_forward, conv2d_forward_im2col, conv2d_forward_im2col_batch,
+    maxpool2d_backward, maxpool2d_forward, Conv2dGeometry,
 };
 use dnnip_tensor::{ops, Tensor};
 use proptest::prelude::*;
@@ -162,6 +162,80 @@ proptest! {
             let start = ch * oh * ow;
             let sum: f32 = grad_out.data()[start..start + oh * ow].iter().sum();
             prop_assert!((grads.grad_bias.data()[ch] - sum).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batched_matmul_equals_per_row_matvec(
+        m in 1usize..5, k in 1usize..6, n in 1usize..5, seed in 0u64..1000
+    ) {
+        // One matrix–matrix product over a stacked batch of row vectors is
+        // bit-identical to the per-sample matrix–vector products — the
+        // batch-axis guarantee the Dense layers of the batched engine rely on.
+        let a = Tensor::from_fn(&[m, k], |i| (((i as u64 + seed) * 19) % 29) as f32 * 0.1 - 1.0);
+        let b = Tensor::from_fn(&[k, n], |i| (((i as u64 + seed) * 23) % 31) as f32 * 0.1 - 1.2);
+        let stacked = ops::matmul(&a, &b).unwrap();
+        for i in 0..m {
+            let row = ops::batch_slice(&a, i, i + 1).unwrap();
+            let single = ops::matmul(&row, &b).unwrap();
+            prop_assert_eq!(single.data(), &stacked.data()[i * n..(i + 1) * n]);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_equals_matmul_of_transpose(
+        m in 1usize..5, k in 1usize..6, n in 1usize..5, seed in 0u64..1000
+    ) {
+        let a = Tensor::from_fn(&[m, k], |i| (((i as u64 + seed) * 7) % 19) as f32 * 0.2 - 1.0);
+        let b = Tensor::from_fn(&[n, k], |i| (((i as u64 + seed) * 3) % 13) as f32 * 0.2 - 0.9);
+        let fast = ops::matmul_nt(&a, &b).unwrap();
+        let reference = ops::matmul(&a, &ops::transpose(&b).unwrap()).unwrap();
+        prop_assert_eq!(fast, reference);
+    }
+
+    #[test]
+    fn batched_conv_equals_per_sample_conv(
+        n in 1usize..4, c in 1usize..3, oc in 1usize..4,
+        hw in 3usize..7, stride in 1usize..3, pad in 0usize..2, seed in 0u64..1000
+    ) {
+        // The direct kernel over a stacked batch agrees bit-for-bit with the
+        // same kernel applied sample by sample, and the single-matmul batched
+        // im2col kernel agrees bit-for-bit with the per-sample im2col kernel.
+        let input = Tensor::from_fn(&[n, c, hw, hw], |i| (((i as u64 + seed) * 13) % 37) as f32 * 0.1 - 1.7);
+        let weight = Tensor::from_fn(&[oc, c, 3, 3], |i| (((i as u64 + seed) * 11) % 23) as f32 * 0.1 - 1.0);
+        let bias = Tensor::from_fn(&[oc], |i| i as f32 * 0.3 - 0.4);
+        let geom = Conv2dGeometry::square(3, stride, pad);
+
+        let direct_batch = conv2d_forward(&input, &weight, &bias, geom).unwrap();
+        let im2col_batch_out = conv2d_forward_im2col_batch(&input, &weight, &bias, geom).unwrap();
+        let per_sample_len = direct_batch.len() / n;
+        for s in 0..n {
+            let sample = ops::batch_slice(&input, s, s + 1).unwrap();
+            let direct_single = conv2d_forward(&sample, &weight, &bias, geom).unwrap();
+            prop_assert_eq!(
+                direct_single.data(),
+                &direct_batch.data()[s * per_sample_len..(s + 1) * per_sample_len]
+            );
+            let im2col_single = conv2d_forward_im2col(&sample, &weight, &bias, geom).unwrap();
+            prop_assert_eq!(
+                im2col_single.data(),
+                &im2col_batch_out.data()[s * per_sample_len..(s + 1) * per_sample_len]
+            );
+        }
+        prop_assert!(im2col_batch_out.approx_eq(&direct_batch, 1e-3));
+    }
+
+    #[test]
+    fn stack_then_batch_slice_recovers_samples(
+        n in 1usize..5, len in 1usize..7, seed in 0u64..1000
+    ) {
+        let items: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::from_fn(&[len], |j| (((i * 17 + j) as u64 + seed) % 41) as f32 * 0.1))
+            .collect();
+        let batch = ops::stack(&items).unwrap();
+        for (i, item) in items.iter().enumerate() {
+            let slice = ops::batch_slice(&batch, i, i + 1).unwrap();
+            prop_assert_eq!(slice.data(), item.data());
         }
     }
 
