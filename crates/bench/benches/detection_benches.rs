@@ -2,7 +2,8 @@
 //! II/III): attack generation plus suite replay per trial.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig};
+use dnnip_core::coverage::CoverageConfig;
+use dnnip_core::eval::Evaluator;
 use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
 use dnnip_faults::attacks::{GradientDescentAttack, RandomPerturbation, SingleBiasAttack};
 use dnnip_faults::detection::{detection_rate, DetectionConfig, MatchPolicy};
@@ -16,9 +17,9 @@ fn bench_detection(c: &mut Criterion) {
     let pool: Vec<Tensor> = (0..40)
         .map(|i| Tensor::from_fn(&[1, 8, 8], |j| ((i * 64 + j) as f32 * 0.21).sin().abs()))
         .collect();
-    let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+    let evaluator = Evaluator::new(&net, CoverageConfig::default());
     let tests = generate_tests(
-        &analyzer,
+        &evaluator,
         &pool,
         GenerationMethod::Combined,
         &GenerationConfig {
@@ -33,6 +34,7 @@ fn bench_detection(c: &mut Criterion) {
         trials: 10,
         seed: 3,
         policy: MatchPolicy::OutputTolerance(1e-4),
+        exec: dnnip_core::par::ExecPolicy::Serial,
     };
 
     let mut group = c.benchmark_group("detection_rate_10_trials_10_tests");

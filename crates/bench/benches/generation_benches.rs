@@ -2,7 +2,8 @@
 //! compute behind Fig. 3) at a fixed small budget.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig};
+use dnnip_core::coverage::CoverageConfig;
+use dnnip_core::eval::Evaluator;
 use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
 use dnnip_core::gradgen::{GradGenConfig, GradientGenerator};
 use dnnip_nn::layers::Activation;
@@ -18,7 +19,8 @@ fn pool(n: usize) -> Vec<Tensor> {
 
 fn bench_generation_methods(c: &mut Criterion) {
     let net = zoo::tiny_cnn(6, 10, Activation::Relu, 5).unwrap();
-    let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+    // Cache disabled so every iteration measures real generation work.
+    let evaluator = Evaluator::with_cache_bytes(&net, CoverageConfig::default(), 0);
     let candidates = pool(60);
     let config = GenerationConfig {
         max_tests: 10,
@@ -39,7 +41,7 @@ fn bench_generation_methods(c: &mut Criterion) {
         group.bench_function(method.name(), |bench| {
             bench.iter(|| {
                 generate_tests(
-                    black_box(&analyzer),
+                    black_box(&evaluator),
                     black_box(&candidates),
                     method,
                     &config,

@@ -75,16 +75,19 @@ fn bench_parallel_selection_pipeline(c: &mut Criterion) {
         ("serial", ExecPolicy::Serial),
         ("threads4", ExecPolicy::Threads(4)),
     ] {
-        let analyzer = CoverageAnalyzer::new(
+        // Cache disabled: this bench measures the *compute* pipeline; the
+        // cached path is measured separately by `eval_benches`.
+        let evaluator = dnnip_core::eval::Evaluator::with_cache_bytes(
             &net,
             CoverageConfig {
                 exec,
                 ..CoverageConfig::default()
             },
+            0,
         );
         group.bench_function(name, |b| {
             b.iter(|| {
-                dnnip_core::select::select_from_training_set(&analyzer, black_box(&pool), 10)
+                dnnip_core::select::select_from_training_set(&evaluator, black_box(&pool), 10)
                     .unwrap()
             })
         });

@@ -12,7 +12,8 @@
 //! ```
 
 use dnnip_bench::{pct, prepare_mnist, seed_from_env_or, ExperimentProfile};
-use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig, EpsilonPolicy};
+use dnnip_core::coverage::{CoverageConfig, EpsilonPolicy};
+use dnnip_core::eval::Evaluator;
 use dnnip_dataset::{noise, ood};
 
 fn main() {
@@ -46,7 +47,7 @@ fn main() {
     println!("  relative eps | training |   OOD    |  noise   | training-set ordering holds?");
     println!("  -------------+----------+----------+----------+-----------------------------");
     for eps in [1e-4f32, 1e-3, 1e-2, 5e-2, 1e-1] {
-        let analyzer = CoverageAnalyzer::new(
+        let analyzer = Evaluator::new(
             &model.network,
             CoverageConfig {
                 epsilon: EpsilonPolicy::RelativeToMax(eps),

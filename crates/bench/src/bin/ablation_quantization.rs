@@ -15,7 +15,7 @@
 use dnnip_accel::ip::AcceleratorIp;
 use dnnip_accel::quant::BitWidth;
 use dnnip_bench::{pct, prepare_mnist, seed_from_env_or, ExperimentProfile};
-use dnnip_core::coverage::CoverageAnalyzer;
+use dnnip_core::eval::Evaluator;
 use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
 use dnnip_core::gradgen::GradGenConfig;
 use dnnip_core::par::ExecPolicy;
@@ -32,9 +32,9 @@ fn main() {
 
     let seed = seed_from_env_or(31);
     let model = prepare_mnist(profile, seed);
-    let analyzer = CoverageAnalyzer::new(&model.network, model.coverage);
+    let evaluator = Evaluator::new(&model.network, model.coverage);
     let tests = generate_tests(
-        &analyzer,
+        &evaluator,
         &model.dataset.inputs,
         GenerationMethod::Combined,
         &GenerationConfig {

@@ -12,11 +12,11 @@ use dnnip_bench::{
     holdout_accuracy, pct, prepare_cifar, prepare_mnist, seed_from_env_or, ExperimentProfile,
     PreparedModel,
 };
-use dnnip_core::coverage::CoverageAnalyzer;
+use dnnip_core::eval::Evaluator;
 use dnnip_dataset::{noise, ood};
 
 fn family_coverages(model: &PreparedModel, images_per_family: usize, seed: u64) -> (f32, f32, f32) {
-    let analyzer = CoverageAnalyzer::new(&model.network, model.coverage);
+    let analyzer = Evaluator::new(&model.network, model.coverage);
     let shape = model.network.input_shape();
     let (channels, size) = (shape[0], shape[1]);
 

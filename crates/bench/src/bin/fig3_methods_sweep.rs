@@ -7,7 +7,7 @@
 //! ```
 
 use dnnip_bench::{pct, prepare_cifar, seed_from_env_or, ExperimentProfile};
-use dnnip_core::coverage::CoverageAnalyzer;
+use dnnip_core::eval::Evaluator;
 use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
 use dnnip_core::gradgen::GradGenConfig;
 use dnnip_core::par::ExecPolicy;
@@ -18,7 +18,10 @@ fn main() {
     println!("profile: {}\n", profile.name());
 
     let model = prepare_cifar(profile, seed_from_env_or(11));
-    let analyzer = CoverageAnalyzer::new(&model.network, model.coverage);
+    // One evaluator for the whole sweep: every budget re-evaluates the same
+    // candidate pool, so all sweeps after the first hit the activation-set
+    // cache instead of redoing gradient work.
+    let analyzer = Evaluator::new(&model.network, model.coverage);
     let pool_size = profile.candidate_pool().min(model.dataset.len());
     let pool = &model.dataset.inputs[..pool_size];
     println!(
@@ -76,6 +79,15 @@ fn main() {
         "\n  coverage of the whole candidate pool ({} images): {}",
         pool.len(),
         pct(whole_pool, 8)
+    );
+    let stats = analyzer.cache_stats();
+    println!(
+        "  activation-set cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} evictions",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0,
+        stats.entries,
+        stats.evictions
     );
     println!(
         "  paper's qualitative shape: selection saturates (~86-90%), gradient-based keeps rising,"

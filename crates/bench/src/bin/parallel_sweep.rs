@@ -19,6 +19,7 @@
 
 use dnnip_bench::{seed_from_env_or, ExperimentProfile};
 use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig};
+use dnnip_core::eval::Evaluator;
 use dnnip_core::par::ExecPolicy;
 use dnnip_nn::zoo;
 use dnnip_tensor::Tensor;
@@ -157,5 +158,108 @@ fn main() {
     let out_path = format!("{out_dir}/parallel_coverage.json");
     std::fs::create_dir_all(out_dir).expect("create results dir");
     std::fs::write(&out_path, &json).expect("write results json");
+    println!("\nwrote {out_path}");
+
+    eval_cache_sweep(&net, &samples, reps, seed, out_dir);
+}
+
+/// The evaluator-layer acceptance measurement: a repeated Fig. 3-style budget
+/// sweep (coverage of nested prefixes, run twice end to end) through the
+/// content-addressed cache vs the raw analyzer, recorded as
+/// `results/eval_cache.json`.
+///
+/// The cached run constructs its `Evaluator` *inside* the timed region, so
+/// fingerprinting and the cold first pass are paid honestly; the speedup comes
+/// entirely from prefix overlap and the sweep repeat.
+fn eval_cache_sweep(
+    net: &dnnip_nn::Network,
+    samples: &[Tensor],
+    reps: usize,
+    seed: u64,
+    out_dir: &str,
+) {
+    let budgets: Vec<usize> = [1usize, 5, 10, 20, 32]
+        .into_iter()
+        .filter(|&b| b <= samples.len())
+        .collect();
+    let sweep_rounds = 2usize;
+    let evaluated: usize = budgets.iter().sum::<usize>() * sweep_rounds;
+    println!(
+        "\n== Evaluator cache: repeated budget sweep (budgets {budgets:?}, x{sweep_rounds}) =="
+    );
+
+    let config = CoverageConfig::default();
+    let uncached_ms = time_ms(reps, || {
+        let analyzer = CoverageAnalyzer::new(net, config);
+        for _ in 0..sweep_rounds {
+            for &b in &budgets {
+                black_box(
+                    analyzer
+                        .coverage_of_set(black_box(&samples[..b]))
+                        .expect("uncached sweep"),
+                );
+            }
+        }
+    });
+    let cached_ms = time_ms(reps, || {
+        let evaluator = Evaluator::new(net, config);
+        for _ in 0..sweep_rounds {
+            for &b in &budgets {
+                black_box(
+                    evaluator
+                        .coverage_of_set(black_box(&samples[..b]))
+                        .expect("cached sweep"),
+                );
+            }
+        }
+    });
+    // Stats from one representative (untimed) cached run.
+    let evaluator = Evaluator::new(net, config);
+    for _ in 0..sweep_rounds {
+        for &b in &budgets {
+            evaluator
+                .coverage_of_set(&samples[..b])
+                .expect("stats sweep");
+        }
+    }
+    let stats = evaluator.cache_stats();
+    let speedup = uncached_ms / cached_ms;
+
+    println!("  path      best ms   sample-evals   hit rate");
+    println!("  --------- --------- -------------- --------");
+    println!(
+        "  uncached  {uncached_ms:>9.2} {evaluated:>14} {:>7.1}%",
+        0.0
+    );
+    println!(
+        "  cached    {cached_ms:>9.2} {:>14} {:>7.1}%",
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+    println!("  end-to-end speedup: {speedup:.2}x (acceptance gate: >= 2x)");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"repeated coverage budget sweep, scaled MNIST model\",\n");
+    json.push_str(&format!("  \"budgets\": {budgets:?},\n"));
+    json.push_str(&format!("  \"sweep_rounds\": {sweep_rounds},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"uncached_best_ms\": {uncached_ms:.3},\n"));
+    json.push_str(&format!("  \"cached_best_ms\": {cached_ms:.3},\n"));
+    json.push_str(&format!(
+        "  \"speedup_cached_vs_uncached\": {speedup:.3},\n"
+    ));
+    json.push_str(&format!(
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"entries\": {}, \"evictions\": {}, \"bytes\": {}}}\n",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate(),
+        stats.entries,
+        stats.evictions,
+        stats.bytes
+    ));
+    json.push_str("}\n");
+    let out_path = format!("{out_dir}/eval_cache.json");
+    std::fs::write(&out_path, &json).expect("write eval cache json");
     println!("\nwrote {out_path}");
 }

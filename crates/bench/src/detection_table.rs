@@ -1,6 +1,6 @@
 //! Shared driver for the Table II / Table III detection-rate experiments.
 
-use dnnip_core::coverage::CoverageAnalyzer;
+use dnnip_core::eval::Evaluator;
 use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
 use dnnip_core::gradgen::GradGenConfig;
 use dnnip_core::neuron::{NeuronCoverageAnalyzer, NeuronCoverageConfig};
@@ -35,7 +35,7 @@ pub fn detection_table(
     profile: ExperimentProfile,
     seed: u64,
 ) -> Vec<DetectionRow> {
-    let analyzer = CoverageAnalyzer::new(&model.network, model.coverage);
+    let evaluator = Evaluator::new(&model.network, model.coverage);
     let neuron = NeuronCoverageAnalyzer::new(&model.network, NeuronCoverageConfig::default());
     let pool_size = profile.candidate_pool().min(model.dataset.len());
     let pool = &model.dataset.inputs[..pool_size];
@@ -50,7 +50,7 @@ pub fn detection_table(
     // Generate the largest suites once; smaller budgets are prefixes, which is
     // exactly how the paper sweeps N (the greedy orders are nested).
     let proposed_all = generate_tests(
-        &analyzer,
+        &evaluator,
         pool,
         GenerationMethod::Combined,
         &GenerationConfig {
@@ -98,10 +98,13 @@ pub fn detection_table(
         // shared tests; the argmax policy models a classification-API user and is
         // the discriminative setting (an exact-output comparison detects nearly
         // every perturbation and saturates both methods at ~100%).
+        // Detection trials are independent attack + replay runs; fan them out
+        // over the hardware threads (reports are bit-identical to serial).
         let config = DetectionConfig {
             trials: profile.detection_trials(),
             seed,
             policy: MatchPolicy::ArgMax,
+            exec: ExecPolicy::auto(),
         };
         let mut row = DetectionRow {
             num_tests: n,

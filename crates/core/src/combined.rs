@@ -10,7 +10,7 @@
 use dnnip_tensor::Tensor;
 
 use crate::bitset::Bitset;
-use crate::coverage::CoverageAnalyzer;
+use crate::eval::Evaluator;
 use crate::gradgen::{GradGenConfig, GradientGenerator};
 use crate::{CoreError, Result};
 
@@ -88,7 +88,7 @@ impl CombinedResult {
 /// [`CoreError::InvalidConfig`] for a zero budget, and propagates gradient /
 /// coverage errors.
 pub fn generate_combined(
-    analyzer: &CoverageAnalyzer<'_>,
+    evaluator: &Evaluator<'_>,
     candidates: &[Tensor],
     config: &CombinedConfig,
 ) -> Result<CombinedResult> {
@@ -101,13 +101,13 @@ pub fn generate_combined(
         });
     }
 
-    let num_params = analyzer.num_parameters();
-    let candidate_sets = analyzer.activation_sets(candidates)?;
+    let num_params = evaluator.num_parameters();
+    let candidate_sets = evaluator.activation_sets(candidates)?;
     let mut taken = vec![false; candidates.len()];
     let mut covered = Bitset::new(num_params);
     let mut result = CombinedResult::default();
 
-    let mut generator = GradientGenerator::new(analyzer.network(), config.gradgen);
+    let mut generator = evaluator.gradient_generator(config.gradgen);
     // One synthetic batch is kept pending: its per-test gain against the current
     // covered set is the "benefit achieved by Algorithm 2" the switch rule
     // compares against. Generating it lazily (only once Algorithm 1 starts
@@ -120,7 +120,7 @@ pub fn generate_combined(
         if switched {
             // Algorithm 2 only: add the pending batch (or a fresh one), test by test.
             if pending_batch.is_empty() {
-                pending_batch = materialize_batch(&mut generator, analyzer)?;
+                pending_batch = materialize_batch(&mut generator, evaluator)?;
             }
             let (input, class, set) = pending_batch.remove(0);
             covered.union_with(&set);
@@ -147,7 +147,7 @@ pub fn generate_combined(
 
         // Per-test gain of the pending synthetic batch.
         if pending_batch.is_empty() {
-            pending_batch = materialize_batch(&mut generator, analyzer)?;
+            pending_batch = materialize_batch(&mut generator, evaluator)?;
         }
         let batch_gain: usize = {
             let mut union = covered.clone();
@@ -182,13 +182,13 @@ pub fn generate_combined(
 
 fn materialize_batch(
     generator: &mut GradientGenerator<'_>,
-    analyzer: &CoverageAnalyzer<'_>,
+    evaluator: &Evaluator<'_>,
 ) -> Result<Vec<(Tensor, usize, Bitset)>> {
     let batch = generator.generate_batch()?;
     // One batched (and possibly multi-threaded) coverage pass over the whole
     // synthetic batch instead of per-input analyses.
     let inputs: Vec<Tensor> = batch.iter().map(|t| t.input.clone()).collect();
-    let sets = analyzer.activation_sets(&inputs)?;
+    let sets = evaluator.activation_sets(&inputs)?;
     Ok(batch
         .into_iter()
         .zip(sets)
@@ -200,6 +200,7 @@ fn materialize_batch(
 mod tests {
     use super::*;
     use crate::coverage::CoverageConfig;
+    use crate::eval::Evaluator;
     use crate::select::select_from_training_set;
     use dnnip_nn::layers::Activation;
     use dnnip_nn::zoo;
@@ -218,13 +219,13 @@ mod tests {
     #[test]
     fn produces_the_requested_number_of_tests() {
         let network = net();
-        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
         let pool = candidates(20);
         let config = CombinedConfig {
             max_tests: 12,
             ..CombinedConfig::default()
         };
-        let result = generate_combined(&analyzer, &pool, &config).unwrap();
+        let result = generate_combined(&evaluator, &pool, &config).unwrap();
         assert_eq!(result.tests.len(), 12);
         assert_eq!(result.sources.len(), 12);
         assert_eq!(result.coverage_curve.len(), 12);
@@ -241,14 +242,14 @@ mod tests {
     #[test]
     fn switches_to_synthesis_when_training_set_saturates() {
         let network = net();
-        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
         // A tiny, highly redundant candidate pool saturates almost immediately.
         let pool: Vec<Tensor> = vec![candidates(1)[0].clone(); 5];
         let config = CombinedConfig {
             max_tests: 8,
             ..CombinedConfig::default()
         };
-        let result = generate_combined(&analyzer, &pool, &config).unwrap();
+        let result = generate_combined(&evaluator, &pool, &config).unwrap();
         assert!(result.switch_point.is_some(), "generator never switched");
         assert!(result.num_synthetic_tests() > 0);
         assert_eq!(result.tests.len(), 8);
@@ -257,11 +258,11 @@ mod tests {
     #[test]
     fn combined_matches_or_beats_pure_training_selection() {
         let network = net();
-        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
         let pool = candidates(15);
         let budget = 10usize;
         let combined = generate_combined(
-            &analyzer,
+            &evaluator,
             &pool,
             &CombinedConfig {
                 max_tests: budget,
@@ -269,7 +270,7 @@ mod tests {
             },
         )
         .unwrap();
-        let training_only = select_from_training_set(&analyzer, &pool, budget).unwrap();
+        let training_only = select_from_training_set(&evaluator, &pool, budget).unwrap();
         assert!(
             combined.final_coverage() >= training_only.final_coverage() - 1e-6,
             "combined {} vs training-only {}",
@@ -281,9 +282,9 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let network = net();
-        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
         assert!(matches!(
-            generate_combined(&analyzer, &[], &CombinedConfig::default()),
+            generate_combined(&evaluator, &[], &CombinedConfig::default()),
             Err(CoreError::EmptyCandidatePool)
         ));
         let pool = candidates(3);
@@ -291,6 +292,6 @@ mod tests {
             max_tests: 0,
             ..CombinedConfig::default()
         };
-        assert!(generate_combined(&analyzer, &pool, &config).is_err());
+        assert!(generate_combined(&evaluator, &pool, &config).is_err());
     }
 }

@@ -117,8 +117,21 @@ impl<'a> CoverageAnalyzer<'a> {
     }
 
     /// The analyzed network.
-    pub fn network(&self) -> &Network {
+    pub fn network(&self) -> &'a Network {
         self.network
+    }
+
+    /// The analyzer's batched gradient engine (precomputed weight matrices
+    /// included). Cloning the returned engine reuses those precomputed
+    /// matrices, which is how the [`crate::eval::Evaluator`] hands one engine's
+    /// work to the gradient generator without re-deriving it.
+    pub fn engine(&self) -> &BatchGradientEngine<'a> {
+        &self.engine
+    }
+
+    /// The analyzer's configuration.
+    pub fn config(&self) -> &CoverageConfig {
+        &self.config
     }
 
     /// Total number of parameters (the length of every activation set).

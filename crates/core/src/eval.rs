@@ -1,0 +1,681 @@
+//! The unified evaluator layer: one object that owns the network reference,
+//! the batched gradient engine, the execution policy and a content-addressed
+//! activation-set cache.
+//!
+//! The paper's pipeline (coverage analysis → greedy selection → gradient
+//! synthesis → fault detection) re-evaluates the same samples against the same
+//! network at every stage: Fig. 3 sweeps budgets over one candidate pool,
+//! Tables II/III evaluate nested prefixes of one suite, and the combined
+//! generator re-scores its pending synthetic batch against a growing covered
+//! set. [`Evaluator`] makes those repeats near-free: every activation set it
+//! computes is stored in an [`ActivationSetCache`] keyed by
+//!
+//! * the **network fingerprint** — a 128-bit digest of the serialized model
+//!   ([`NetworkFingerprint`]), so any parameter change invalidates silently;
+//! * the **sample content hash** — two independent FNV-1a streams over the
+//!   sample's shape and exact `f32` bit patterns;
+//! * the **coverage-config key** — threshold policy and output projection.
+//!
+//! The cache holds clones of the computed [`Bitset`]s under an LRU byte
+//! budget, and because activation sets are bit-identical across execution
+//! policies and chunkings (pinned by `tests/parallel_equivalence.rs`), a cache
+//! hit returns exactly the bits a fresh computation would — serial, threaded,
+//! cached and uncached results are all interchangeable.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+use dnnip_faults::attacks::Attack;
+use dnnip_faults::detection::{self, DetectionConfig, DetectionReport};
+use dnnip_nn::fingerprint::{Fnv1a, NetworkFingerprint};
+use dnnip_nn::Network;
+use dnnip_tensor::Tensor;
+
+use crate::bitset::Bitset;
+use crate::combined::{self, CombinedConfig, CombinedResult};
+use crate::coverage::{CoverageAnalyzer, CoverageConfig, EpsilonPolicy, OutputProjection};
+use crate::generator::{self, GeneratedTests, GenerationConfig, GenerationMethod};
+use crate::gradgen::{GradGenConfig, GradientGenerator};
+use crate::select::{self, SelectionResult};
+use crate::{CoreError, Result};
+
+/// Default LRU byte budget of an evaluator's activation-set cache (64 MiB —
+/// roughly 8k cached sets for a 65k-parameter model).
+pub const DEFAULT_CACHE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Fixed per-entry bookkeeping overhead charged against the byte budget
+/// (key, LRU links, map slot) on top of the bitset's own words.
+const ENTRY_OVERHEAD_BYTES: usize = 96;
+
+/// Cache key: network fingerprint × sample content hash × coverage config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    net: NetworkFingerprint,
+    sample: (u64, u64),
+    config: u64,
+}
+
+/// One cached activation set plus its LRU bookkeeping.
+#[derive(Debug)]
+struct CacheEntry {
+    set: Bitset,
+    bytes: usize,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<CacheKey, CacheEntry>,
+    /// LRU order: `tick -> key`, oldest first. Ticks are unique (monotone
+    /// counter), so the BTreeMap is a total order over residents.
+    order: BTreeMap<u64, CacheKey>,
+    tick: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+/// Snapshot of an [`ActivationSetCache`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh computation.
+    pub misses: u64,
+    /// Sets stored (hits never re-store).
+    pub insertions: u64,
+    /// Sets dropped to stay under the byte budget.
+    pub evictions: u64,
+    /// Resident entries.
+    pub entries: usize,
+    /// Resident bytes (bitset words + per-entry overhead).
+    pub bytes: usize,
+    /// Configured byte budget (0 disables the cache).
+    pub max_bytes: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Content-addressed LRU cache of activation [`Bitset`]s.
+///
+/// Thread-safe behind one mutex; lookups and insertions are O(log n) in the
+/// resident count. Keys are content digests, never references — two evaluators
+/// over byte-identical networks share hits, and a tampered clone of a network
+/// can never alias the original's entries.
+#[derive(Debug)]
+pub struct ActivationSetCache {
+    max_bytes: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl ActivationSetCache {
+    /// Create a cache with the given LRU byte budget (0 disables caching).
+    pub fn new(max_bytes: usize) -> Self {
+        Self {
+            max_bytes,
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().expect("activation-set cache lock")
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<Bitset> {
+        let mut inner = self.lock();
+        // Bump the entry to most-recently-used and record the hit. The map and
+        // order structures are updated together under the same lock. Misses
+        // are NOT counted here: a request's duplicate lookups of one pending
+        // key trigger a single fresh computation, so the caller reports the
+        // distinct-miss count via [`ActivationSetCache::note_misses`].
+        let entry = inner.map.get(key)?;
+        let old_tick = entry.tick;
+        let set = entry.set.clone();
+        inner.tick += 1;
+        let new_tick = inner.tick;
+        inner.order.remove(&old_tick);
+        inner.order.insert(new_tick, *key);
+        inner.map.get_mut(key).expect("entry just observed").tick = new_tick;
+        inner.hits += 1;
+        Some(set)
+    }
+
+    fn insert(&self, key: CacheKey, set: &Bitset) {
+        let bytes = set.len().div_ceil(64) * 8 + ENTRY_OVERHEAD_BYTES;
+        if bytes > self.max_bytes {
+            // A single entry larger than the whole budget can never reside.
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(existing) = inner.map.remove(&key) {
+            // Duplicate insert (e.g. the same sample twice in one batch):
+            // replace, keeping the accounting exact.
+            inner.order.remove(&existing.tick);
+            inner.bytes -= existing.bytes;
+        }
+        while inner.bytes + bytes > self.max_bytes {
+            let Some((&oldest_tick, &oldest_key)) = inner.order.iter().next() else {
+                break;
+            };
+            inner.order.remove(&oldest_tick);
+            let evicted = inner.map.remove(&oldest_key).expect("ordered key resident");
+            inner.bytes -= evicted.bytes;
+            inner.evictions += 1;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.order.insert(tick, key);
+        inner.bytes += bytes;
+        inner.insertions += 1;
+        inner.map.insert(
+            key,
+            CacheEntry {
+                set: set.clone(),
+                bytes,
+                tick,
+            },
+        );
+    }
+
+    /// Record `count` lookups that required a fresh computation.
+    fn note_misses(&self, count: u64) {
+        self.lock().misses += count;
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            insertions: inner.insertions,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            max_bytes: self.max_bytes,
+        }
+    }
+
+    /// Drop every resident entry (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.order.clear();
+        inner.bytes = 0;
+    }
+}
+
+/// Content hash of a sample tensor: shape and exact `f32` bit patterns through
+/// two independent FNV-1a streams.
+fn sample_hash(sample: &Tensor) -> (u64, u64) {
+    let mut lo = Fnv1a::new();
+    let mut hi = Fnv1a::new_alt();
+    lo.write_u64(sample.shape().len() as u64);
+    hi.write_u64(sample.shape().len() as u64);
+    for &d in sample.shape() {
+        lo.write_u64(d as u64);
+        hi.write_u64(d as u64);
+    }
+    for &v in sample.data() {
+        let bits = v.to_bits() as u64;
+        lo.write_u64(bits);
+        hi.write_u64(bits);
+    }
+    (lo.finish(), hi.finish())
+}
+
+/// Digest of the parts of a [`CoverageConfig`] that influence activation sets
+/// (threshold policy and projection; execution policy and batch size never
+/// change results, so they are deliberately excluded).
+fn config_key(config: &CoverageConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    match config.epsilon {
+        EpsilonPolicy::Exact => h.write_u64(0),
+        EpsilonPolicy::Absolute(eps) => {
+            h.write_u64(1);
+            h.write_u64(eps.to_bits() as u64);
+        }
+        EpsilonPolicy::RelativeToMax(fraction) => {
+            h.write_u64(2);
+            h.write_u64(fraction.to_bits() as u64);
+        }
+        EpsilonPolicy::Auto(fraction) => {
+            h.write_u64(3);
+            h.write_u64(fraction.to_bits() as u64);
+        }
+    }
+    h.write_u64(match config.projection {
+        OutputProjection::SumOfOutputs => 0,
+        OutputProjection::PerClassMax => 1,
+    });
+    h.finish()
+}
+
+/// The unified evaluation front-end: coverage analysis, test generation and
+/// detection experiments over one network, with every activation set flowing
+/// through one content-addressed cache.
+///
+/// The evaluator owns a [`CoverageAnalyzer`] (which owns the shared
+/// [`dnnip_nn::batch::BatchGradientEngine`]), the network's
+/// [`NetworkFingerprint`], and an [`ActivationSetCache`]. All higher stages —
+/// [`crate::select`], [`crate::gradgen`], [`crate::combined`],
+/// [`crate::generator`], and the detection harness — take an `&Evaluator`, so
+/// repeated sweeps over overlapping sample pools (Fig. 3 budgets, Table II/III
+/// prefixes) pay for each distinct `(network, sample, config)` gradient
+/// exactly once.
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    analyzer: CoverageAnalyzer<'a>,
+    fingerprint: NetworkFingerprint,
+    config_key: u64,
+    cache: ActivationSetCache,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Create an evaluator with the default cache budget
+    /// ([`DEFAULT_CACHE_BYTES`]).
+    pub fn new(network: &'a Network, config: CoverageConfig) -> Self {
+        Self::with_cache_bytes(network, config, DEFAULT_CACHE_BYTES)
+    }
+
+    /// Create an evaluator with an explicit cache byte budget (0 disables
+    /// caching; every lookup then recomputes).
+    pub fn with_cache_bytes(
+        network: &'a Network,
+        config: CoverageConfig,
+        max_bytes: usize,
+    ) -> Self {
+        Self {
+            analyzer: CoverageAnalyzer::new(network, config),
+            fingerprint: NetworkFingerprint::of(network),
+            config_key: config_key(&config),
+            cache: ActivationSetCache::new(max_bytes),
+        }
+    }
+
+    /// The evaluated network.
+    pub fn network(&self) -> &'a Network {
+        self.analyzer.network()
+    }
+
+    /// The underlying coverage analyzer (compute layer, cache-unaware).
+    pub fn analyzer(&self) -> &CoverageAnalyzer<'a> {
+        &self.analyzer
+    }
+
+    /// The network's content fingerprint.
+    pub fn fingerprint(&self) -> NetworkFingerprint {
+        self.fingerprint
+    }
+
+    /// Total number of parameters (the length of every activation set).
+    pub fn num_parameters(&self) -> usize {
+        self.analyzer.num_parameters()
+    }
+
+    /// Snapshot of the activation-set cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Drop all cached activation sets (counters survive).
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    fn key_for(&self, sample: &Tensor) -> CacheKey {
+        CacheKey {
+            net: self.fingerprint,
+            sample: sample_hash(sample),
+            config: self.config_key,
+        }
+    }
+
+    /// Activation sets for a collection of inputs — the cache-aware version of
+    /// [`CoverageAnalyzer::activation_sets`].
+    ///
+    /// Cached samples are served without touching the network; the misses run
+    /// through the analyzer's batched, possibly multi-threaded path in one
+    /// call and are then inserted. Results are bit-identical to an uncached
+    /// analyzer under every execution policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any sample shape does not match the network input.
+    pub fn activation_sets(&self, samples: &[Tensor]) -> Result<Vec<Bitset>> {
+        if self.cache.max_bytes == 0 {
+            // Cache disabled: skip hashing and miss bookkeeping entirely so a
+            // budget of zero really is the raw analyzer path.
+            return self.analyzer.activation_sets(samples);
+        }
+        let mut out: Vec<Option<Bitset>> = (0..samples.len()).map(|_| None).collect();
+        // Misses are deduplicated within the request by cache key (a sample
+        // repeated in one batch is computed once); `miss_indices[p]` lists
+        // every output slot the `p`-th distinct miss fills. Keys computed here
+        // are kept for the insert pass, so each sample is hashed exactly once.
+        let mut miss_keys: Vec<CacheKey> = Vec::new();
+        let mut miss_indices: Vec<Vec<usize>> = Vec::new();
+        let mut miss_samples: Vec<Tensor> = Vec::new();
+        let mut key_to_miss: HashMap<CacheKey, usize> = HashMap::new();
+        for (i, sample) in samples.iter().enumerate() {
+            let key = self.key_for(sample);
+            match self.cache.get(&key) {
+                Some(set) => out[i] = Some(set),
+                None => match key_to_miss.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(entry) => {
+                        miss_indices[*entry.get()].push(i);
+                    }
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        entry.insert(miss_samples.len());
+                        miss_keys.push(key);
+                        miss_indices.push(vec![i]);
+                        miss_samples.push(sample.clone());
+                    }
+                },
+            }
+        }
+        if !miss_samples.is_empty() {
+            self.cache.note_misses(miss_samples.len() as u64);
+            let computed = self.analyzer.activation_sets(&miss_samples)?;
+            for ((indices, key), set) in miss_indices.iter().zip(&miss_keys).zip(computed) {
+                self.cache.insert(*key, &set);
+                for &i in indices {
+                    out[i] = Some(set.clone());
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|s| s.expect("every slot filled by hit or computation"))
+            .collect())
+    }
+
+    /// The activation set of a single input (cache-aware).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sample shape does not match the network input.
+    pub fn activation_set(&self, sample: &Tensor) -> Result<Bitset> {
+        let mut sets = self.activation_sets(std::slice::from_ref(sample))?;
+        Ok(sets.pop().expect("one set per sample"))
+    }
+
+    /// Validation coverage of a single input (Eq. 3), cache-aware.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the sample shape does not match the network input.
+    pub fn coverage_of_sample(&self, sample: &Tensor) -> Result<f32> {
+        Ok(self.activation_set(sample)?.density())
+    }
+
+    /// Validation coverage of a test set (Eq. 4), cache-aware: density of the
+    /// exact bitwise union of the members' activation sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any sample shape does not match the network input.
+    pub fn coverage_of_set(&self, samples: &[Tensor]) -> Result<f32> {
+        let sets = self.activation_sets(samples)?;
+        Ok(Bitset::union_of(self.num_parameters(), &sets).density())
+    }
+
+    /// Mean per-sample validation coverage (Fig. 2 comparison), cache-aware.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::EmptyCandidatePool`] for an empty collection, or a
+    /// shape error for incompatible samples.
+    pub fn mean_sample_coverage(&self, samples: &[Tensor]) -> Result<f32> {
+        if samples.is_empty() {
+            return Err(CoreError::EmptyCandidatePool);
+        }
+        let sets = self.activation_sets(samples)?;
+        let total: f32 = sets.iter().map(Bitset::density).sum();
+        Ok(total / samples.len() as f32)
+    }
+
+    /// Algorithm 1 end to end: activation sets for `candidates` (through the
+    /// cache), then greedy max-coverage selection.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`crate::select::select_from_training_set`].
+    pub fn select_from_training_set(
+        &self,
+        candidates: &[Tensor],
+        max_tests: usize,
+    ) -> Result<SelectionResult> {
+        select::select_from_training_set(self, candidates, max_tests)
+    }
+
+    /// A gradient generator sharing this evaluator's batched engine (its
+    /// precomputed per-layer weight matrices are cloned, not re-derived).
+    pub fn gradient_generator(&self, config: GradGenConfig) -> GradientGenerator<'a> {
+        GradientGenerator::with_engine(self.analyzer.engine().clone(), config)
+    }
+
+    /// The combined generator (Section IV-D) through this evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`crate::combined::generate_combined`].
+    pub fn generate_combined(
+        &self,
+        candidates: &[Tensor],
+        config: &CombinedConfig,
+    ) -> Result<CombinedResult> {
+        combined::generate_combined(self, candidates, config)
+    }
+
+    /// Uniform generation front-end (every [`GenerationMethod`]) through this
+    /// evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`crate::generator::generate_tests`].
+    pub fn generate_tests(
+        &self,
+        training_pool: &[Tensor],
+        method: GenerationMethod,
+        config: &GenerationConfig,
+    ) -> Result<GeneratedTests> {
+        generator::generate_tests(self, training_pool, method, config)
+    }
+
+    /// Run a detection-rate experiment against this evaluator's network,
+    /// honoring the caller's [`DetectionConfig`] as-is (including its `exec`
+    /// fan-out policy — reports are bit-identical across policies either way).
+    ///
+    /// Use [`Evaluator::detection_config`] to derive a config that shares this
+    /// evaluator's execution policy.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`dnnip_faults::detection::detection_rate`].
+    pub fn detection_rate(
+        &self,
+        attack: &dyn Attack,
+        probes: &[Tensor],
+        tests: &[Tensor],
+        config: &DetectionConfig,
+    ) -> Result<DetectionReport> {
+        Ok(detection::detection_rate(
+            self.network(),
+            attack,
+            probes,
+            tests,
+            config,
+        )?)
+    }
+
+    /// A copy of `config` whose trial fan-out uses this evaluator's execution
+    /// policy — the one-knob convenience for callers that want coverage and
+    /// detection to share thread settings.
+    pub fn detection_config(&self, config: &DetectionConfig) -> DetectionConfig {
+        DetectionConfig {
+            exec: self.analyzer.config().exec,
+            ..*config
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::ExecPolicy;
+    use dnnip_nn::layers::Activation;
+    use dnnip_nn::zoo;
+
+    fn net() -> Network {
+        zoo::tiny_mlp(6, 12, 4, Activation::Relu, 3).unwrap()
+    }
+
+    fn samples(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| Tensor::from_fn(&[6], |j| ((i * 6 + j) as f32 * 0.37).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn cached_sets_match_fresh_analyzer_sets() {
+        let network = net();
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
+        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let pool = samples(8);
+        let first = evaluator.activation_sets(&pool).unwrap();
+        let second = evaluator.activation_sets(&pool).unwrap();
+        assert_eq!(first, second, "cache hit changed the bits");
+        assert_eq!(first, analyzer.activation_sets(&pool).unwrap());
+        let stats = evaluator.cache_stats();
+        assert_eq!(stats.misses, 8);
+        assert_eq!(stats.hits, 8);
+        assert_eq!(stats.insertions, 8);
+        assert_eq!(stats.entries, 8);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_entry_points_agree_with_the_analyzer() {
+        let network = net();
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
+        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let pool = samples(5);
+        assert_eq!(
+            evaluator.coverage_of_set(&pool).unwrap(),
+            analyzer.coverage_of_set(&pool).unwrap()
+        );
+        assert_eq!(
+            evaluator.mean_sample_coverage(&pool).unwrap(),
+            analyzer.mean_sample_coverage(&pool).unwrap()
+        );
+        assert_eq!(
+            evaluator.coverage_of_sample(&pool[0]).unwrap(),
+            analyzer.coverage_of_sample(&pool[0]).unwrap()
+        );
+        assert!(evaluator.mean_sample_coverage(&[]).is_err());
+        assert!(evaluator.select_from_training_set(&[], 3).is_err());
+    }
+
+    #[test]
+    fn tampering_the_network_changes_the_cache_key() {
+        let network = net();
+        let mut tampered = network.clone();
+        tampered.perturb_parameter(0, 0.5).unwrap();
+        let a = Evaluator::new(&network, CoverageConfig::default());
+        let b = Evaluator::new(&tampered, CoverageConfig::default());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Different configs address different entries too.
+        let strict = Evaluator::new(
+            &network,
+            CoverageConfig {
+                epsilon: crate::coverage::EpsilonPolicy::Absolute(0.1),
+                ..CoverageConfig::default()
+            },
+        );
+        assert_ne!(a.config_key, strict.config_key);
+    }
+
+    #[test]
+    fn eviction_under_a_tiny_budget_never_corrupts_results() {
+        let network = net();
+        // Budget for roughly two entries: every new insert evicts.
+        let entry = network.num_parameters().div_ceil(64) * 8 + ENTRY_OVERHEAD_BYTES;
+        let evaluator = Evaluator::with_cache_bytes(&network, CoverageConfig::default(), entry * 2);
+        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let pool = samples(10);
+        for _ in 0..3 {
+            let sets = evaluator.activation_sets(&pool).unwrap();
+            assert_eq!(sets, analyzer.activation_sets(&pool).unwrap());
+        }
+        let stats = evaluator.cache_stats();
+        assert!(stats.evictions > 0, "tiny budget must evict");
+        assert!(stats.entries <= 2);
+        assert!(stats.bytes <= entry * 2);
+    }
+
+    #[test]
+    fn zero_budget_disables_the_cache() {
+        let network = net();
+        let evaluator = Evaluator::with_cache_bytes(&network, CoverageConfig::default(), 0);
+        let pool = samples(4);
+        let a = evaluator.activation_sets(&pool).unwrap();
+        let b = evaluator.activation_sets(&pool).unwrap();
+        assert_eq!(a, b);
+        let stats = evaluator.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.insertions, 0);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn duplicate_samples_in_one_request_are_computed_once() {
+        let network = net();
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
+        let one = samples(1).pop().unwrap();
+        let pool = vec![one.clone(), one.clone(), one];
+        let sets = evaluator.activation_sets(&pool).unwrap();
+        assert_eq!(sets[0], sets[1]);
+        assert_eq!(sets[1], sets[2]);
+        // One fresh computation, one insertion; duplicates are not lookups.
+        let stats = evaluator.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn exec_policy_does_not_change_cached_results() {
+        let network = net();
+        let serial = Evaluator::new(&network, CoverageConfig::default());
+        let threaded = Evaluator::new(
+            &network,
+            CoverageConfig {
+                exec: ExecPolicy::Threads(4),
+                batch_size: 3,
+                ..CoverageConfig::default()
+            },
+        );
+        let pool = samples(9);
+        // Warm both caches, then compare the cached reads.
+        let a0 = serial.activation_sets(&pool).unwrap();
+        let b0 = threaded.activation_sets(&pool).unwrap();
+        let a1 = serial.activation_sets(&pool).unwrap();
+        let b1 = threaded.activation_sets(&pool).unwrap();
+        assert_eq!(a0, b0);
+        assert_eq!(a1, b1);
+        assert_eq!(a0, a1);
+    }
+}

@@ -11,8 +11,9 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::combined::{generate_combined, CombinedConfig};
-use crate::coverage::{CoverageAnalyzer, CoverageConfig};
-use crate::gradgen::{GradGenConfig, GradientGenerator};
+use crate::coverage::CoverageConfig;
+use crate::eval::Evaluator;
+use crate::gradgen::GradGenConfig;
 use crate::neuron::{NeuronCoverageAnalyzer, NeuronCoverageConfig};
 use crate::select::select_from_training_set;
 use crate::{CoreError, Result};
@@ -116,10 +117,12 @@ impl GeneratedTests {
 }
 
 /// Compute the parameter-coverage curve of an ordered list of tests: one
-/// batched (possibly multi-threaded) coverage pass, then a serial prefix-union.
-fn coverage_curve(analyzer: &CoverageAnalyzer<'_>, inputs: &[Tensor]) -> Result<Vec<f32>> {
-    let sets = analyzer.activation_sets(inputs)?;
-    let mut covered = crate::bitset::Bitset::new(analyzer.num_parameters());
+/// batched (possibly multi-threaded, cache-aware) coverage pass, then a serial
+/// prefix-union. Tests whose sets were already computed during generation —
+/// e.g. every training sample the combined generator scored — are cache hits.
+fn coverage_curve(evaluator: &Evaluator<'_>, inputs: &[Tensor]) -> Result<Vec<f32>> {
+    let sets = evaluator.activation_sets(inputs)?;
+    let mut covered = crate::bitset::Bitset::new(evaluator.num_parameters());
     let mut curve = Vec::with_capacity(inputs.len());
     for set in &sets {
         covered.union_with(set);
@@ -139,7 +142,7 @@ fn coverage_curve(analyzer: &CoverageAnalyzer<'_>, inputs: &[Tensor]) -> Result<
 /// [`CoreError::EmptyCandidatePool`] when a selection-based method receives an
 /// empty pool, and propagates coverage/gradient errors.
 pub fn generate_tests(
-    analyzer: &CoverageAnalyzer<'_>,
+    evaluator: &Evaluator<'_>,
     training_pool: &[Tensor],
     method: GenerationMethod,
     config: &GenerationConfig,
@@ -151,7 +154,7 @@ pub fn generate_tests(
     }
     let inputs: Vec<Tensor> = match method {
         GenerationMethod::TrainingSetSelection => {
-            let result = select_from_training_set(analyzer, training_pool, config.max_tests)?;
+            let result = select_from_training_set(evaluator, training_pool, config.max_tests)?;
             result
                 .selected
                 .iter()
@@ -159,7 +162,7 @@ pub fn generate_tests(
                 .collect()
         }
         GenerationMethod::GradientBased => {
-            let mut generator = GradientGenerator::new(analyzer.network(), config.gradgen);
+            let mut generator = evaluator.gradient_generator(config.gradgen);
             generator
                 .generate(config.max_tests)?
                 .into_iter()
@@ -172,10 +175,10 @@ pub fn generate_tests(
                 max_tests: config.max_tests,
                 gradgen: config.gradgen,
             };
-            generate_combined(analyzer, training_pool, &combined_config)?.tests
+            generate_combined(evaluator, training_pool, &combined_config)?.tests
         }
         GenerationMethod::NeuronCoverageBaseline => {
-            let neuron = NeuronCoverageAnalyzer::new(analyzer.network(), config.neuron);
+            let neuron = NeuronCoverageAnalyzer::new(evaluator.network(), config.neuron);
             let result = neuron.select_by_neuron_coverage(training_pool, config.max_tests)?;
             result
                 .selected
@@ -197,7 +200,7 @@ pub fn generate_tests(
                 .collect()
         }
     };
-    let coverage_curve = coverage_curve(analyzer, &inputs)?;
+    let coverage_curve = coverage_curve(evaluator, &inputs)?;
     Ok(GeneratedTests {
         inputs,
         coverage_curve,
@@ -225,14 +228,14 @@ mod tests {
     #[test]
     fn every_method_produces_tests_and_a_curve() {
         let network = net();
-        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
         let candidates = pool(25);
         let config = GenerationConfig {
             max_tests: 8,
             ..GenerationConfig::default()
         };
         for method in GenerationMethod::all() {
-            let out = generate_tests(&analyzer, &candidates, method, &config).unwrap();
+            let out = generate_tests(&evaluator, &candidates, method, &config).unwrap();
             assert!(!out.is_empty(), "{} produced nothing", method.name());
             assert!(out.len() <= 8, "{} exceeded the budget", method.name());
             assert_eq!(out.inputs.len(), out.coverage_curve.len());
@@ -245,21 +248,21 @@ mod tests {
     #[test]
     fn greedy_selection_dominates_random_selection() {
         let network = net();
-        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
         let candidates = pool(40);
         let config = GenerationConfig {
             max_tests: 6,
             ..GenerationConfig::default()
         };
         let greedy = generate_tests(
-            &analyzer,
+            &evaluator,
             &candidates,
             GenerationMethod::TrainingSetSelection,
             &config,
         )
         .unwrap();
         let random = generate_tests(
-            &analyzer,
+            &evaluator,
             &candidates,
             GenerationMethod::RandomSelection,
             &config,
@@ -276,17 +279,17 @@ mod tests {
     #[test]
     fn combined_dominates_each_individual_method_at_equal_budget() {
         let network = net();
-        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
         let candidates = pool(25);
         let config = GenerationConfig {
             max_tests: 10,
             ..GenerationConfig::default()
         };
-        let combined = generate_tests(&analyzer, &candidates, GenerationMethod::Combined, &config)
+        let combined = generate_tests(&evaluator, &candidates, GenerationMethod::Combined, &config)
             .unwrap()
             .final_coverage();
         let training = generate_tests(
-            &analyzer,
+            &evaluator,
             &candidates,
             GenerationMethod::TrainingSetSelection,
             &config,
@@ -302,14 +305,14 @@ mod tests {
     #[test]
     fn zero_budget_and_empty_pool_are_rejected() {
         let network = net();
-        let analyzer = CoverageAnalyzer::new(&network, CoverageConfig::default());
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
         let candidates = pool(5);
         let bad_config = GenerationConfig {
             max_tests: 0,
             ..GenerationConfig::default()
         };
         assert!(generate_tests(
-            &analyzer,
+            &evaluator,
             &candidates,
             GenerationMethod::Combined,
             &bad_config
@@ -317,10 +320,10 @@ mod tests {
         .is_err());
         let config = GenerationConfig::default();
         assert!(
-            generate_tests(&analyzer, &[], GenerationMethod::RandomSelection, &config).is_err()
+            generate_tests(&evaluator, &[], GenerationMethod::RandomSelection, &config).is_err()
         );
         assert!(generate_tests(
-            &analyzer,
+            &evaluator,
             &[],
             GenerationMethod::TrainingSetSelection,
             &config

@@ -7,6 +7,15 @@
 //! synthetic sample is classified as category `i` and, like a real training
 //! sample of that category, activates the corresponding parameters.
 //!
+//! The `k` per-class descents of one batch are driven as **one stacked batch
+//! per step** through the shared [`BatchGradientEngine`]: each step runs a
+//! single batched forward pass over all `k` current states, then extracts one
+//! per-sample input gradient per class (fanned out over
+//! [`GradGenConfig::exec`] workers). Per-sample arithmetic is independent of
+//! the batch composition, so a batch of one ([`GradientGenerator::synthesize`])
+//! and the stacked batch produce bit-identical trajectories — pinned by the
+//! differential tests below and in `tests/parallel_equivalence.rs`.
+//!
 //! One detail is under-specified in the paper: Algorithm 2 re-initializes every
 //! round "with all zeros", which would make every round produce identical tests
 //! and the coverage curve flat after the first batch. To obtain the steadily
@@ -15,9 +24,10 @@
 //! via [`GradGenConfig::init_noise`]); round 0 uses the paper's all-zero start.
 //! The deviation is recorded in DESIGN.md.
 
+use dnnip_nn::batch::BatchGradientEngine;
 use dnnip_nn::loss::cross_entropy;
 use dnnip_nn::Network;
-use dnnip_tensor::Tensor;
+use dnnip_tensor::{ops, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -39,9 +49,10 @@ pub struct GradGenConfig {
     pub clamp: Option<(f32, f32)>,
     /// RNG seed for the random initializations.
     pub seed: u64,
-    /// How the per-class syntheses of a batch execute. Initial states are drawn
-    /// serially from the seeded RNG before any worker starts, so results are
-    /// identical for every policy.
+    /// How the per-sample gradient extractions of each stacked descent step
+    /// execute. Initial states are drawn serially from the seeded RNG before
+    /// any step runs, and per-sample work is pure, so results are identical
+    /// for every policy.
     pub exec: ExecPolicy,
 }
 
@@ -71,116 +82,156 @@ pub struct SyntheticTest {
     pub final_loss: f32,
 }
 
-/// Gradient-based test generator (Algorithm 2).
+/// Gradient-based test generator (Algorithm 2), running on the batched engine.
 #[derive(Debug, Clone)]
 pub struct GradientGenerator<'a> {
-    network: &'a Network,
+    engine: BatchGradientEngine<'a>,
     config: GradGenConfig,
     rng: StdRng,
     round: usize,
 }
 
 impl<'a> GradientGenerator<'a> {
-    /// Create a generator for `network`.
+    /// Create a generator for `network` (builds a fresh batched engine).
     pub fn new(network: &'a Network, config: GradGenConfig) -> Self {
+        Self::with_engine(BatchGradientEngine::new(network), config)
+    }
+
+    /// Create a generator around an existing engine, reusing its precomputed
+    /// per-layer weight matrices (the [`crate::eval::Evaluator`] hands its
+    /// analyzer's engine here so coverage and synthesis share one).
+    pub fn with_engine(engine: BatchGradientEngine<'a>, config: GradGenConfig) -> Self {
         Self {
-            network,
+            engine,
             config,
             rng: StdRng::seed_from_u64(config.seed),
             round: 0,
         }
     }
 
+    /// The network tests are generated for.
+    pub fn network(&self) -> &'a Network {
+        self.engine.network()
+    }
+
     /// Number of tests produced per batch (= number of output classes, one
     /// synthetic sample per category).
     pub fn batch_size(&self) -> usize {
-        self.network.num_classes()
+        self.network().num_classes()
+    }
+
+    /// Run the stacked gradient descent: all states advance together, one
+    /// batched forward per step, per-sample gradient extraction fanned out
+    /// over [`GradGenConfig::exec`].
+    fn descend(&self, inits: Vec<Tensor>, targets: &[usize]) -> Result<Vec<SyntheticTest>> {
+        let classes = self.network().num_classes();
+        if let Some(&bad) = targets.iter().find(|&&t| t >= classes) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("target class {bad} out of range for {classes} classes"),
+            });
+        }
+        let mut states = inits;
+        let mut losses = vec![f32::INFINITY; states.len()];
+        let indices: Vec<usize> = (0..states.len()).collect();
+        for _ in 0..self.config.steps {
+            let pass = self.engine.forward_batch(&states)?;
+            let stepped: Vec<(Tensor, f32)> =
+                par::try_map(self.config.exec, &indices, |&s| -> Result<(Tensor, f32)> {
+                    let target = targets[s];
+                    let logits = ops::row(pass.output(), s)?.reshape(&[1, classes])?;
+                    let loss = cross_entropy(&logits, &[target])?;
+                    let grad = self
+                        .engine
+                        .input_gradient(&pass, s, loss.grad_logits.data())?;
+                    let mut x = states[s].clone();
+                    if grad.max_abs() == 0.0 {
+                        // Dead start: with an all-zero input a ReLU network can
+                        // have every hidden unit inactive, so ∇x J is identically
+                        // zero and Eq. 8 cannot make progress. Nudge the input
+                        // with a small deterministic jitter (keyed by the target
+                        // class) to leave the dead region.
+                        let jitter = Tensor::from_fn(x.shape(), |i| {
+                            let h = (i as u64)
+                                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                .wrapping_add(target as u64 + 1);
+                            ((h % 1000) as f32 / 1000.0) * 0.05
+                        });
+                        x.add_assign(&jitter)?;
+                    } else {
+                        // x ← x − η ∇x J(x, y_i, θ)   (Eq. 8)
+                        x.axpy(-self.config.eta, &grad)?;
+                    }
+                    if let Some((lo, hi)) = self.config.clamp {
+                        x = x.clamp(lo, hi);
+                    }
+                    Ok((x, loss.value))
+                })?;
+            for (s, (next, loss)) in stepped.into_iter().enumerate() {
+                states[s] = next;
+                losses[s] = loss;
+            }
+        }
+        states
+            .into_iter()
+            .zip(targets)
+            .zip(losses)
+            .map(|((input, &target_class), final_loss)| {
+                let predicted = self.network().predict_sample(&input)?;
+                Ok(SyntheticTest {
+                    input,
+                    target_class,
+                    classified_correctly: predicted == target_class,
+                    final_loss,
+                })
+            })
+            .collect()
     }
 
     /// Synthesize one sample steered towards `target_class`, starting from `init`.
+    ///
+    /// Runs the same stacked-descent code path with a batch of one, so the
+    /// result is bit-identical to the corresponding entry of a full
+    /// [`GradientGenerator::generate_batch`] started from the same state.
     ///
     /// # Errors
     ///
     /// Returns an error when `target_class` is out of range or shapes mismatch.
     pub fn synthesize(&self, init: &Tensor, target_class: usize) -> Result<SyntheticTest> {
-        let classes = self.network.num_classes();
-        if target_class >= classes {
-            return Err(CoreError::InvalidConfig {
-                reason: format!("target class {target_class} out of range for {classes} classes"),
-            });
-        }
-        let mut x = init.clone();
-        let mut final_loss = f32::INFINITY;
-        for _ in 0..self.config.steps {
-            let batch = self.network.batch_one(&x)?;
-            let pass = self.network.forward_cached(&batch)?;
-            let loss = cross_entropy(&pass.output, &[target_class])?;
-            final_loss = loss.value;
-            let back = self.network.backward(&pass, &loss.grad_logits)?;
-            let grad = back.grad_input.reshape(x.shape())?;
-            if grad.max_abs() == 0.0 {
-                // Dead start: with an all-zero input a ReLU network can have every
-                // hidden unit inactive, so ∇x J is identically zero and Eq. 8
-                // cannot make progress. Nudge the input with a small deterministic
-                // jitter (keyed by the target class) to leave the dead region.
-                let jitter = Tensor::from_fn(x.shape(), |i| {
-                    let h = (i as u64)
-                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        .wrapping_add(target_class as u64 + 1);
-                    ((h % 1000) as f32 / 1000.0) * 0.05
-                });
-                x.add_assign(&jitter)?;
-            } else {
-                // x ← x − η ∇x J(x, y_i, θ)   (Eq. 8)
-                x.axpy(-self.config.eta, &grad)?;
-            }
-            if let Some((lo, hi)) = self.config.clamp {
-                x = x.clamp(lo, hi);
-            }
-        }
-        let predicted = self.network.predict_sample(&x)?;
-        Ok(SyntheticTest {
-            input: x,
-            target_class,
-            classified_correctly: predicted == target_class,
-            final_loss,
-        })
+        let mut tests = self.descend(vec![init.clone()], &[target_class])?;
+        Ok(tests.pop().expect("one test per init"))
     }
 
     /// Generate one batch of `k` synthetic tests, one per output category
-    /// (Algorithm 2, lines 3–12).
+    /// (Algorithm 2, lines 3–12), as a single stacked descent.
     ///
     /// Initial states are drawn from the seeded RNG in class order **before**
-    /// the per-class gradient descents run (possibly on
-    /// [`GradGenConfig::exec`] worker threads, since each descent is
-    /// independent and deterministic given its start), so the produced batch is
-    /// identical for every execution policy.
+    /// the descent runs, so the produced batch is identical for every
+    /// execution policy.
     ///
     /// # Errors
     ///
     /// Propagates synthesis errors.
     pub fn generate_batch(&mut self) -> Result<Vec<SyntheticTest>> {
-        let shape = self.network.input_shape().to_vec();
+        let shape = self.network().input_shape().to_vec();
         let noise = if self.round == 0 {
             0.0
         } else {
             self.config.init_noise
         };
-        let inits: Vec<(usize, Tensor)> = (0..self.batch_size())
-            .map(|class| {
-                let init = if noise == 0.0 {
+        let targets: Vec<usize> = (0..self.batch_size()).collect();
+        let inits: Vec<Tensor> = targets
+            .iter()
+            .map(|_| {
+                if noise == 0.0 {
                     Tensor::zeros(&shape)
                 } else {
                     let amplitude = noise;
                     Tensor::from_fn(&shape, |_| self.rng.gen_range(0.0..amplitude))
-                };
-                (class, init)
+                }
             })
             .collect();
         self.round += 1;
-        par::try_map(self.config.exec, &inits, |(class, init)| {
-            self.synthesize(init, *class)
-        })
+        self.descend(inits, &targets)
     }
 
     /// Generate synthetic tests until at least `max_tests` inputs exist (whole
@@ -268,6 +319,36 @@ mod tests {
             result.final_loss
         );
         assert!(generator.synthesize(&zero, 99).is_err());
+    }
+
+    #[test]
+    fn stacked_batch_is_bit_identical_to_per_class_synthesis() {
+        // Per-sample arithmetic must not depend on what else rides in the
+        // stacked batch: synthesizing class-by-class from the same starts
+        // reproduces the batch exactly, bit for bit.
+        for activation in [Activation::Relu, Activation::Tanh] {
+            let network = zoo::tiny_mlp(6, 12, 4, activation, 9).unwrap();
+            let config = GradGenConfig {
+                steps: 6,
+                ..GradGenConfig::default()
+            };
+            let mut batched = GradientGenerator::new(&network, config);
+            let batch = batched.generate_batch().unwrap();
+            let single = GradientGenerator::new(&network, config);
+            for t in &batch {
+                // Round 0 starts all-zero for every class.
+                let reference = single
+                    .synthesize(&Tensor::zeros(&[6]), t.target_class)
+                    .unwrap();
+                assert_eq!(
+                    t.input, reference.input,
+                    "{activation:?} class {} diverged from the batch-of-one path",
+                    t.target_class
+                );
+                assert_eq!(t.final_loss.to_bits(), reference.final_loss.to_bits());
+                assert_eq!(t.classified_correctly, reference.classified_correctly);
+            }
+        }
     }
 
     #[test]

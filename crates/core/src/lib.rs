@@ -24,6 +24,10 @@
 //!   the model classifies as each output category.
 //! * [`combined`] — the combined generator with the automatic switch point
 //!   (Section IV-D).
+//! * [`eval`] — the unified [`eval::Evaluator`] front-end: one object owning
+//!   the network reference, execution policy, batched gradient engine and a
+//!   content-addressed LRU activation-set cache; every stage above routes its
+//!   activation-set computation through it.
 //! * [`generator`] — a uniform front-end over all generation strategies (plus a
 //!   random-selection control), used by the benchmark harness.
 //! * [`par`] — the [`par::ExecPolicy`] execution knob and a std-only
@@ -59,6 +63,7 @@ mod error;
 pub mod bitset;
 pub mod combined;
 pub mod coverage;
+pub mod eval;
 pub mod generator;
 pub mod gradgen;
 pub mod neuron;

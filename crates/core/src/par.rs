@@ -1,150 +1,12 @@
-//! Execution policies and a std-only scoped-thread worker pool.
+//! Execution policies and the order-preserving scoped-thread map combinators.
 //!
-//! Every hot loop of the coverage pipeline — activation-set computation, greedy
-//! selection's candidate precompute, gradient-based synthesis — is
-//! embarrassingly parallel across inputs. This module provides the one knob
-//! they all share, [`ExecPolicy`], plus two order-preserving map combinators
-//! built on [`std::thread::scope`] (the build environment has no crates.io
-//! access, so no rayon; a chunked scoped pool covers everything needed here).
-//!
-//! **Determinism contract:** [`map`] and [`try_map`] return results in input
-//! order, and the work distribution never influences what each item computes —
-//! so `ExecPolicy::Serial` and `ExecPolicy::Threads(n)` produce *bit-identical*
-//! results for any pure per-item function. The differential test suite
-//! (`tests/parallel_equivalence.rs`) pins this end to end.
+//! The implementation lives in [`dnnip_tensor::par`] (the workspace's root
+//! crate) so lower layers such as `dnnip-faults` can route their own
+//! embarrassingly parallel loops — e.g. detection trials — through the same
+//! [`ExecPolicy`] type the coverage pipeline uses. This module re-exports it
+//! under the historical `dnnip_core::par` path; the determinism contract is
+//! unchanged: serial and threaded execution produce bit-identical results for
+//! any pure per-item function (pinned end to end by
+//! `tests/parallel_equivalence.rs`).
 
-use std::num::NonZeroUsize;
-use std::thread;
-
-/// How a parallelizable stage executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ExecPolicy {
-    /// Run on the calling thread. The default: zero overhead, no surprises.
-    #[default]
-    Serial,
-    /// Run on up to `n` scoped worker threads (`0` and `1` behave like
-    /// [`ExecPolicy::Serial`]).
-    Threads(usize),
-}
-
-impl ExecPolicy {
-    /// One worker per available hardware thread (as reported by
-    /// [`std::thread::available_parallelism`]; falls back to 1).
-    pub fn auto() -> Self {
-        ExecPolicy::Threads(
-            thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(1),
-        )
-    }
-
-    /// Number of worker threads this policy uses (at least 1).
-    pub fn threads(self) -> usize {
-        match self {
-            ExecPolicy::Serial => 1,
-            ExecPolicy::Threads(n) => n.max(1),
-        }
-    }
-}
-
-/// Apply `f` to every item, in parallel according to `policy`, preserving input
-/// order in the result.
-///
-/// Items are split into one contiguous chunk per worker; a panic in any worker
-/// propagates to the caller.
-pub fn map<T, R, F>(policy: ExecPolicy, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let workers = policy.threads().min(items.len());
-    if workers <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let chunk_len = items.len().div_ceil(workers);
-    let chunk_results: Vec<Vec<R>> = thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_len)
-            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(results) => results,
-                Err(panic) => std::panic::resume_unwind(panic),
-            })
-            .collect()
-    });
-    chunk_results.into_iter().flatten().collect()
-}
-
-/// Fallible version of [`map`]: applies `f` to every item and returns the
-/// results in input order, or the error of the **lowest-indexed** failing item
-/// (so the reported error does not depend on thread scheduling).
-///
-/// # Errors
-///
-/// Returns the first (by input order) error produced by `f`.
-pub fn try_map<T, R, E, F>(policy: ExecPolicy, items: &[T], f: F) -> Result<Vec<R>, E>
-where
-    T: Sync,
-    R: Send,
-    E: Send,
-    F: Fn(&T) -> Result<R, E> + Sync,
-{
-    map(policy, items, f).into_iter().collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    #[test]
-    fn policies_report_thread_counts() {
-        assert_eq!(ExecPolicy::Serial.threads(), 1);
-        assert_eq!(ExecPolicy::Threads(0).threads(), 1);
-        assert_eq!(ExecPolicy::Threads(4).threads(), 4);
-        assert!(ExecPolicy::auto().threads() >= 1);
-        assert_eq!(ExecPolicy::default(), ExecPolicy::Serial);
-    }
-
-    #[test]
-    fn map_preserves_order_for_every_policy() {
-        let items: Vec<usize> = (0..103).collect();
-        let serial = map(ExecPolicy::Serial, &items, |&x| x * x);
-        for threads in [1usize, 2, 3, 4, 7, 200] {
-            let parallel = map(ExecPolicy::Threads(threads), &items, |&x| x * x);
-            assert_eq!(parallel, serial, "threads = {threads}");
-        }
-        assert!(map(ExecPolicy::Threads(4), &Vec::<usize>::new(), |&x| x).is_empty());
-    }
-
-    #[test]
-    fn map_actually_visits_every_item_once() {
-        let calls = AtomicUsize::new(0);
-        let items: Vec<usize> = (0..50).collect();
-        let out = map(ExecPolicy::Threads(4), &items, |&x| {
-            calls.fetch_add(1, Ordering::Relaxed);
-            x + 1
-        });
-        assert_eq!(calls.load(Ordering::Relaxed), 50);
-        assert_eq!(out[49], 50);
-    }
-
-    #[test]
-    fn try_map_returns_the_lowest_indexed_error() {
-        let items: Vec<usize> = (0..40).collect();
-        let result = try_map(ExecPolicy::Threads(4), &items, |&x| {
-            if x % 10 == 7 {
-                Err(x)
-            } else {
-                Ok(x)
-            }
-        });
-        assert_eq!(result, Err(7));
-        let ok: Result<Vec<usize>, usize> = try_map(ExecPolicy::Threads(3), &items, |&x| Ok(x * 2));
-        assert_eq!(ok.unwrap()[3], 6);
-    }
-}
+pub use dnnip_tensor::par::{map, try_map, ExecPolicy};

@@ -14,7 +14,7 @@ use std::collections::BinaryHeap;
 use dnnip_tensor::Tensor;
 
 use crate::bitset::Bitset;
-use crate::coverage::CoverageAnalyzer;
+use crate::eval::Evaluator;
 use crate::{CoreError, Result};
 
 /// Result of a greedy training-set selection.
@@ -114,22 +114,24 @@ pub fn greedy_select(
     Ok(result)
 }
 
-/// Convenience wrapper: compute activation sets for `candidates` with `analyzer`
-/// and run [`greedy_select`] — Algorithm 1 end to end.
+/// Convenience wrapper: compute activation sets for `candidates` through
+/// `evaluator`'s content-addressed cache and run [`greedy_select`] —
+/// Algorithm 1 end to end. Re-running a selection over an overlapping pool
+/// (e.g. a larger budget on the same candidates) reuses every cached set.
 ///
 /// # Errors
 ///
 /// Propagates coverage-analysis and selection errors.
 pub fn select_from_training_set(
-    analyzer: &CoverageAnalyzer<'_>,
+    evaluator: &Evaluator<'_>,
     candidates: &[Tensor],
     max_tests: usize,
 ) -> Result<SelectionResult> {
     if candidates.is_empty() {
         return Err(CoreError::EmptyCandidatePool);
     }
-    let sets = analyzer.activation_sets(candidates)?;
-    greedy_select(&sets, analyzer.num_parameters(), max_tests)
+    let sets = evaluator.activation_sets(candidates)?;
+    greedy_select(&sets, evaluator.num_parameters(), max_tests)
 }
 
 /// Reference implementation of Algorithm 1 exactly as written in the paper
@@ -193,6 +195,7 @@ pub fn greedy_select_naive(
 mod tests {
     use super::*;
     use crate::coverage::CoverageConfig;
+    use crate::eval::Evaluator;
     use dnnip_nn::layers::Activation;
     use dnnip_nn::zoo;
     use rand::rngs::StdRng;
@@ -284,16 +287,23 @@ mod tests {
     #[test]
     fn end_to_end_selection_on_a_real_network() {
         let net = zoo::tiny_mlp(6, 10, 4, Activation::Relu, 2).unwrap();
-        let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        let evaluator = Evaluator::new(&net, CoverageConfig::default());
         let candidates: Vec<Tensor> = (0..20)
             .map(|i| Tensor::from_fn(&[6], |j| ((i * 6 + j) as f32 * 0.29).sin()))
             .collect();
-        let result = select_from_training_set(&analyzer, &candidates, 5).unwrap();
+        let result = select_from_training_set(&evaluator, &candidates, 5).unwrap();
         assert!(!result.selected.is_empty());
         assert!(result.final_coverage() > 0.0);
-        // Selecting more tests never hurts coverage.
-        let more = select_from_training_set(&analyzer, &candidates, 10).unwrap();
+        // Selecting more tests never hurts coverage — and the second, larger
+        // selection over the same pool is answered entirely from the cache.
+        let misses_before = evaluator.cache_stats().misses;
+        let more = select_from_training_set(&evaluator, &candidates, 10).unwrap();
         assert!(more.final_coverage() >= result.final_coverage());
-        assert!(select_from_training_set(&analyzer, &[], 5).is_err());
+        assert_eq!(
+            evaluator.cache_stats().misses,
+            misses_before,
+            "repeat selection recomputed activation sets"
+        );
+        assert!(select_from_training_set(&evaluator, &[], 5).is_err());
     }
 }

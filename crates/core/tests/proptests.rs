@@ -3,6 +3,7 @@
 
 use dnnip_core::bitset::Bitset;
 use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig, EpsilonPolicy};
+use dnnip_core::eval::Evaluator;
 use dnnip_core::protocol::FunctionalTestSuite;
 use dnnip_core::select::{greedy_select, greedy_select_naive};
 use dnnip_faults::detection::MatchPolicy;
@@ -116,6 +117,67 @@ proptest! {
             let single = analyzer.coverage_of_sample(s).unwrap();
             prop_assert!(set_cov >= single - 1e-6);
         }
+    }
+
+    #[test]
+    fn cached_sets_equal_fresh_sets_under_eviction_pressure(
+        seed in 0u64..100,
+        pool_size in 2usize..12,
+        budget_entries in 1usize..5,
+        rounds in 1usize..4,
+    ) {
+        // The cache must be a pure memoization: whatever the byte budget (and
+        // therefore however often entries are evicted and recomputed), the
+        // returned activation sets are bit-identical to a cache-free analyzer.
+        let net = zoo::tiny_mlp(4, 8, 3, Activation::Relu, seed).unwrap();
+        let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        // Budget measured in whole entries so eviction pressure scales with
+        // the pool: budgets smaller than the pool force constant turnover.
+        let entry_bytes = net.num_parameters().div_ceil(64) * 8 + 96;
+        let evaluator = Evaluator::with_cache_bytes(
+            &net,
+            CoverageConfig::default(),
+            entry_bytes * budget_entries,
+        );
+        let pool: Vec<Tensor> = (0..pool_size)
+            .map(|i| Tensor::from_fn(&[4], |j| ((i * 4 + j) as f32 * 0.31 + seed as f32).sin()))
+            .collect();
+        let fresh = analyzer.activation_sets(&pool).unwrap();
+        for round in 0..rounds {
+            let cached = evaluator.activation_sets(&pool).unwrap();
+            prop_assert_eq!(&cached, &fresh, "round {} diverged", round);
+            // Interleave single-sample queries to churn the LRU order.
+            let probe = &pool[round % pool.len()];
+            prop_assert_eq!(
+                evaluator.activation_set(probe).unwrap(),
+                analyzer.activation_set(probe).unwrap()
+            );
+        }
+        let stats = evaluator.cache_stats();
+        prop_assert!(stats.entries <= budget_entries);
+        prop_assert!(stats.bytes <= entry_bytes * budget_entries);
+        if budget_entries < pool_size && rounds > 1 {
+            prop_assert!(stats.evictions > 0, "undersized cache never evicted");
+        }
+    }
+
+    #[test]
+    fn cache_hits_preserve_coverage_numbers(seed in 0u64..100, n in 2usize..8) {
+        let net = zoo::tiny_mlp(4, 8, 3, Activation::Relu, seed).unwrap();
+        let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        let evaluator = Evaluator::new(&net, CoverageConfig::default());
+        let pool: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::from_fn(&[4], |j| ((i * 4 + j) as f32 * 0.23 + seed as f32).cos()))
+            .collect();
+        // First pass populates, second pass must be all hits with exactly the
+        // same f32 coverage values as the analyzer.
+        let cold = evaluator.coverage_of_set(&pool).unwrap();
+        let warm = evaluator.coverage_of_set(&pool).unwrap();
+        prop_assert_eq!(cold.to_bits(), warm.to_bits());
+        prop_assert_eq!(cold.to_bits(), analyzer.coverage_of_set(&pool).unwrap().to_bits());
+        let stats = evaluator.cache_stats();
+        prop_assert_eq!(stats.misses as usize, n);
+        prop_assert_eq!(stats.hits as usize, n);
     }
 
     #[test]

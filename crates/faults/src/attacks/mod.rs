@@ -23,7 +23,11 @@ use rand::rngs::StdRng;
 use crate::{Perturbation, Result};
 
 /// A parameter-tampering strategy.
-pub trait Attack {
+///
+/// `Sync` is a supertrait so one attack instance can be shared read-only
+/// across the worker threads of a parallel detection-rate experiment (each
+/// trial receives its own RNG, so `generate` never needs shared mutability).
+pub trait Attack: Sync {
     /// Short stable name used in reports (e.g. `"sba"`).
     fn name(&self) -> &'static str;
 

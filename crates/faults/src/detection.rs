@@ -8,6 +8,7 @@
 
 use dnnip_accel::ip::{DnnIp, FloatIp};
 use dnnip_nn::Network;
+use dnnip_tensor::par::{self, ExecPolicy};
 use dnnip_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,10 +87,14 @@ pub fn is_detected(
 pub struct DetectionConfig {
     /// Number of independent perturbation trials.
     pub trials: usize,
-    /// RNG seed for the attack generator.
+    /// Base RNG seed; each trial derives its own independent stream from it.
     pub seed: u64,
     /// Output comparison policy.
     pub policy: MatchPolicy,
+    /// How trials execute. Each trial is an independent attack + replay with
+    /// its own seed-derived RNG, so serial and threaded runs produce identical
+    /// reports.
+    pub exec: ExecPolicy,
 }
 
 impl Default for DetectionConfig {
@@ -98,8 +103,21 @@ impl Default for DetectionConfig {
             trials: 200,
             seed: 0,
             policy: MatchPolicy::default(),
+            exec: ExecPolicy::Serial,
         }
     }
+}
+
+/// Per-trial RNG seed: a SplitMix64 step over `(seed, trial)`, so every trial
+/// owns an independent deterministic stream regardless of which worker runs it
+/// (and of how many trials ran before it).
+fn trial_seed(seed: u64, trial: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(trial.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Result of a detection-rate experiment.
@@ -141,6 +159,11 @@ impl DetectionReport {
 /// SBA) draw them from here, and the report's `effective` counter measures how
 /// many perturbations changed at least one probe prediction.
 ///
+/// Trials are distributed over [`DetectionConfig::exec`] workers. Each trial
+/// seeds its own RNG from `(config.seed, trial index)`, so the report is
+/// bit-identical for every execution policy (pinned by
+/// `tests/parallel_equivalence.rs`).
+///
 /// # Errors
 ///
 /// Returns an error if the test suite is empty, the attack fails, or shapes are
@@ -164,24 +187,33 @@ pub fn detection_rate(
         .map(|p| network.predict_sample(p))
         .collect::<std::result::Result<_, _>>()?;
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let trial_indices: Vec<u64> = (0..config.trials as u64).collect();
+    let outcomes = par::try_map(
+        config.exec,
+        &trial_indices,
+        |&trial| -> Result<(bool, bool)> {
+            let mut rng = StdRng::seed_from_u64(trial_seed(config.seed, trial));
+            let perturbation = attack.generate(network, probes, &mut rng)?;
+            let tampered = perturbation.apply_to_network(network)?;
+            let tampered_ip = FloatIp::new(tampered.clone());
+            let detected = is_detected(&tampered_ip, tests, &golden, config.policy)?;
+            let effective = probes.iter().zip(&probe_predictions).any(|(p, &pred)| {
+                tampered
+                    .predict_sample(p)
+                    .map(|q| q != pred)
+                    .unwrap_or(false)
+            });
+            Ok((detected, effective))
+        },
+    )?;
     let mut report = DetectionReport {
         trials: config.trials,
         ..DetectionReport::default()
     };
-    for _ in 0..config.trials {
-        let perturbation = attack.generate(network, probes, &mut rng)?;
-        let tampered = perturbation.apply_to_network(network)?;
-        let tampered_ip = FloatIp::new(tampered.clone());
-        if is_detected(&tampered_ip, tests, &golden, config.policy)? {
+    for (detected, effective) in outcomes {
+        if detected {
             report.detected += 1;
         }
-        let effective = probes.iter().zip(&probe_predictions).any(|(p, &pred)| {
-            tampered
-                .predict_sample(p)
-                .map(|q| q != pred)
-                .unwrap_or(false)
-        });
         if effective {
             report.effective += 1;
         }
@@ -246,6 +278,7 @@ mod tests {
             trials: 25,
             seed: 3,
             policy: MatchPolicy::OutputTolerance(1e-4),
+            exec: ExecPolicy::Serial,
         };
         let report = detection_rate(&network, &attack, &probes, &tests, &config).unwrap();
         assert_eq!(report.trials, 25);
@@ -274,6 +307,7 @@ mod tests {
             trials: 40,
             seed: 11,
             policy: MatchPolicy::OutputTolerance(1e-4),
+            exec: ExecPolicy::Threads(2),
         };
         let few_report = detection_rate(&network, &attack, &probes, &many[..2], &config).unwrap();
         let many_report = detection_rate(&network, &attack, &probes, &many, &config).unwrap();
@@ -283,6 +317,59 @@ mod tests {
             many_report.detected,
             few_report.detected
         );
+    }
+
+    #[test]
+    fn detection_trials_are_execution_policy_invariant() {
+        let network = net();
+        let probes = inputs(5, 0);
+        let tests = inputs(8, 50);
+        let attacks: [Box<dyn Attack>; 2] = [
+            Box::new(SingleBiasAttack::with_magnitude(3.0)),
+            Box::new(RandomPerturbation {
+                num_params: 3,
+                std: 0.4,
+            }),
+        ];
+        for attack in &attacks {
+            let base = DetectionConfig {
+                trials: 30,
+                seed: 9,
+                policy: MatchPolicy::ArgMax,
+                exec: ExecPolicy::Serial,
+            };
+            let serial = detection_rate(&network, attack.as_ref(), &probes, &tests, &base).unwrap();
+            for threads in [2usize, 4, 64] {
+                let threaded = detection_rate(
+                    &network,
+                    attack.as_ref(),
+                    &probes,
+                    &tests,
+                    &DetectionConfig {
+                        exec: ExecPolicy::Threads(threads),
+                        ..base
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    serial,
+                    threaded,
+                    "{}: report diverged under Threads({threads})",
+                    attack.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trial_seeds_are_distinct_and_deterministic() {
+        let mut seen = std::collections::HashSet::new();
+        for trial in 0..100 {
+            let s = trial_seed(7, trial);
+            assert_eq!(s, trial_seed(7, trial));
+            assert!(seen.insert(s), "trial {trial} repeated a seed");
+        }
+        assert_ne!(trial_seed(7, 0), trial_seed(8, 0));
     }
 
     #[test]

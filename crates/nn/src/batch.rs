@@ -64,16 +64,47 @@ enum SampleCache<'c> {
     Single(LayerCache),
 }
 
+/// A completed batched forward pass: the stacked logits plus the per-layer
+/// caches the per-sample backward passes consume.
+///
+/// Produced by [`BatchGradientEngine::forward_batch`]; opaque outside the
+/// engine so the cache layout can evolve freely.
+#[derive(Debug)]
+pub struct BatchForwardPass {
+    /// Stacked network output, shape `[B, classes]`.
+    output: Tensor,
+    caches: Vec<BatchCache>,
+    batch: usize,
+}
+
+impl BatchForwardPass {
+    /// The stacked logits, shape `[B, classes]`.
+    pub fn output(&self) -> &Tensor {
+        &self.output
+    }
+
+    /// Number of samples in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+}
+
 /// Batched forward / per-sample backward evaluation engine over one network.
 ///
 /// Construction precomputes the reshaped `[OC, C*K*K]` weight matrices (and
-/// their transposes) of every convolution layer; the engine itself is
-/// read-only and `Sync`, so one instance can serve many threads.
+/// their transposes) of every convolution layer, plus the `[out, in]`
+/// transposes of every Dense weight — so the `k` per-class backward passes of
+/// a `PerClassMax` coverage analysis (and every step of a batched gradient
+/// descent) reuse one transpose instead of re-transposing per class. The
+/// engine itself is read-only and `Sync`, so one instance can serve many
+/// threads.
 #[derive(Debug, Clone)]
 pub struct BatchGradientEngine<'a> {
     network: &'a Network,
     /// Per layer: `Some((wmat, wmat_t))` for convolution layers, `None` otherwise.
     conv_mats: Vec<Option<(Tensor, Tensor)>>,
+    /// Per layer: `Some(weightᵀ)` for Dense layers, `None` otherwise.
+    dense_t: Vec<Option<Tensor>>,
 }
 
 impl<'a> BatchGradientEngine<'a> {
@@ -96,11 +127,26 @@ impl<'a> BatchGradientEngine<'a> {
                 _ => None,
             })
             .collect();
-        Self { network, conv_mats }
+        let dense_t = network
+            .layers()
+            .iter()
+            .map(|layer| match layer {
+                Layer::Dense(l) => {
+                    let (w, _) = l.parameters();
+                    Some(ops::transpose(w).expect("rank-2 transpose"))
+                }
+                _ => None,
+            })
+            .collect();
+        Self {
+            network,
+            conv_mats,
+            dense_t,
+        }
     }
 
     /// The wrapped network.
-    pub fn network(&self) -> &Network {
+    pub fn network(&self) -> &'a Network {
         self.network
     }
 
@@ -137,19 +183,73 @@ impl<'a> BatchGradientEngine<'a> {
                 got: bad.len(),
             });
         }
-        let batch = ops::stack(samples)?;
-        self.network.check_batch_input(&batch)?;
-        let caches = self.forward(&batch)?;
+        let pass = self.forward_batch(samples)?;
 
         let mut grads = vec![0.0f32; self.network.num_parameters()];
         for s in 0..samples.len() {
-            let sample_caches = self.slice_sample(&caches, s)?;
+            let sample_caches = self.slice_sample(&pass.caches, s)?;
             for (pi, proj) in projections.iter().enumerate() {
-                self.backward_sample(&sample_caches, proj, &mut grads)?;
+                self.backward_sample(&sample_caches, proj, Some(&mut grads))?;
                 visit(s, pi, &grads);
             }
         }
         Ok(())
+    }
+
+    /// Run the batched forward pass over a slice of samples, retaining the
+    /// stacked logits and per-layer caches for later per-sample backward calls
+    /// ([`BatchGradientEngine::input_gradient`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any sample shape does not match the network input
+    /// (or the slice is empty, which stacks to an invalid batch).
+    pub fn forward_batch(&self, samples: &[Tensor]) -> Result<BatchForwardPass> {
+        let batch = ops::stack(samples)?;
+        self.network.check_batch_input(&batch)?;
+        let (output, caches) = self.forward(&batch)?;
+        Ok(BatchForwardPass {
+            output,
+            caches,
+            batch: samples.len(),
+        })
+    }
+
+    /// Gradient of `Σ_j c_j · F_j(x_s)` with respect to the **input** of sample
+    /// `s` of a completed batched forward pass, where `c` is `output_grad`
+    /// (one value per class — e.g. a softmax-cross-entropy logit gradient).
+    ///
+    /// Returns a tensor with the network's single-sample input shape. Parameter
+    /// gradients are not materialized on this path, which is what makes the
+    /// stacked gradient-descent loop of Algorithm 2 cheap.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `s` is out of range or `output_grad` does not have
+    /// one entry per class.
+    pub fn input_gradient(
+        &self,
+        pass: &BatchForwardPass,
+        s: usize,
+        output_grad: &[f32],
+    ) -> Result<Tensor> {
+        let classes = self.network.num_classes();
+        if output_grad.len() != classes {
+            return Err(NnError::ParamLengthMismatch {
+                expected: classes,
+                got: output_grad.len(),
+            });
+        }
+        if s >= pass.batch {
+            return Err(NnError::BadInputShape {
+                layer: "BatchGradientEngine".to_string(),
+                got: vec![s],
+                expected: format!("sample index < {}", pass.batch),
+            });
+        }
+        let sample_caches = self.slice_sample(&pass.caches, s)?;
+        let grad = self.backward_sample(&sample_caches, output_grad, None)?;
+        Ok(grad.reshape(self.network.input_shape())?)
     }
 
     /// Per-sample parameter gradients of one output projection, one `Vec` per
@@ -174,8 +274,8 @@ impl<'a> BatchGradientEngine<'a> {
     }
 
     /// Batched forward pass recording the per-layer state the per-sample
-    /// backward passes need.
-    fn forward(&self, batch: &Tensor) -> Result<Vec<BatchCache>> {
+    /// backward passes need, returning the final stacked output alongside.
+    fn forward(&self, batch: &Tensor) -> Result<(Tensor, Vec<BatchCache>)> {
         let mut caches = Vec::with_capacity(self.network.num_layers());
         let mut x = batch.clone();
         for (i, layer) in self.network.layers().iter().enumerate() {
@@ -241,7 +341,7 @@ impl<'a> BatchGradientEngine<'a> {
                 }
             }
         }
-        Ok(caches)
+        Ok((x, caches))
     }
 
     /// Slice the batch-level caches down to sample `s` (a batch of one).
@@ -287,15 +387,20 @@ impl<'a> BatchGradientEngine<'a> {
             .collect()
     }
 
-    /// Backward pass for one sample and one projection, writing the flat
-    /// parameter-gradient vector into `out` (every parameterized range is fully
-    /// overwritten, so the buffer needs no zeroing between calls).
+    /// Backward pass for one sample and one projection, returning the gradient
+    /// with respect to the layer-0 input (batch-of-one shape).
+    ///
+    /// When `param_out` is `Some`, the flat parameter-gradient vector is
+    /// written into it (every parameterized range is fully overwritten, so the
+    /// buffer needs no zeroing between calls); when `None`, parameter-gradient
+    /// work is skipped entirely — the input-gradient-only mode used by the
+    /// stacked gradient-descent loop.
     fn backward_sample(
         &self,
         caches: &[SampleCache<'_>],
         projection: &[f32],
-        out: &mut [f32],
-    ) -> Result<()> {
+        mut param_out: Option<&mut [f32]>,
+    ) -> Result<Tensor> {
         let mut grad = Tensor::from_vec(projection.to_vec(), &[1, projection.len()])?;
         for (i, layer) in self.network.layers().iter().enumerate().rev() {
             match (&caches[i], layer) {
@@ -306,20 +411,22 @@ impl<'a> BatchGradientEngine<'a> {
                     let oc = l.out_channels();
                     let per = cols.shape()[1];
                     let go_mat = grad.reshape(&[oc, per])?;
-                    // ∂L/∂W = ∂L/∂out · colsᵀ, accumulated over output pixels in
-                    // the same order as the direct kernel.
-                    let gw = ops::matmul_nt(&go_mat, cols)?;
-                    let god = go_mat.data();
-                    let range = self
-                        .network
-                        .param_layout()
-                        .layer_range(i)
-                        .expect("parameterized layer present in layout");
-                    let dst = &mut out[range];
-                    let w_len = gw.len();
-                    dst[..w_len].copy_from_slice(gw.data());
-                    for (oci, slot) in dst[w_len..].iter_mut().enumerate() {
-                        *slot = god[oci * per..(oci + 1) * per].iter().sum();
+                    if let Some(out) = param_out.as_deref_mut() {
+                        // ∂L/∂W = ∂L/∂out · colsᵀ, accumulated over output pixels
+                        // in the same order as the direct kernel.
+                        let gw = ops::matmul_nt(&go_mat, cols)?;
+                        let god = go_mat.data();
+                        let range = self
+                            .network
+                            .param_layout()
+                            .layer_range(i)
+                            .expect("parameterized layer present in layout");
+                        let dst = &mut out[range];
+                        let w_len = gw.len();
+                        dst[..w_len].copy_from_slice(gw.data());
+                        for (oci, slot) in dst[w_len..].iter_mut().enumerate() {
+                            *slot = god[oci * per..(oci + 1) * per].iter().sum();
+                        }
                     }
                     // ∂L/∂x = col2im(Wᵀ · ∂L/∂out).
                     let gi_cols = ops::matmul(wmat_t, &go_mat)?;
@@ -327,9 +434,31 @@ impl<'a> BatchGradientEngine<'a> {
                     let gi = col2im(&gi_cols, l.geometry(), c, h, w)?;
                     grad = gi.reshape(&[1, c, h, w])?;
                 }
+                (SampleCache::Single(LayerCache::Dense { input }), Layer::Dense(_)) => {
+                    let w_t = self.dense_t[i]
+                        .as_ref()
+                        .expect("dense layer has a precomputed weight transpose");
+                    // Same kernels as `Dense::backward`, with the weight
+                    // transpose hoisted out of the per-(sample, class) loop.
+                    let grad_in = ops::matmul(&grad, w_t)?;
+                    if let Some(out) = param_out.as_deref_mut() {
+                        let grad_weight = ops::matmul(&ops::transpose(input)?, &grad)?;
+                        let grad_bias = ops::sum_rows(&grad)?;
+                        let range = self
+                            .network
+                            .param_layout()
+                            .layer_range(i)
+                            .expect("parameterized layer present in layout");
+                        let dst = &mut out[range];
+                        let w_len = grad_weight.len();
+                        dst[..w_len].copy_from_slice(grad_weight.data());
+                        dst[w_len..].copy_from_slice(grad_bias.data());
+                    }
+                    grad = grad_in;
+                }
                 (SampleCache::Single(cache), _) => {
                     let (grad_in, pgrads) = layer.backward(cache, &grad)?;
-                    if let Some(pg) = pgrads {
+                    if let (Some(pg), Some(out)) = (pgrads, param_out.as_deref_mut()) {
                         let range = self
                             .network
                             .param_layout()
@@ -347,7 +476,7 @@ impl<'a> BatchGradientEngine<'a> {
                 }
             }
         }
-        Ok(())
+        Ok(grad)
     }
 }
 
@@ -443,6 +572,53 @@ mod tests {
             .unwrap()
             .2;
         assert_eq!(from_visit, &direct[0]);
+    }
+
+    #[test]
+    fn input_gradients_match_the_network_reference() {
+        let net = tiny_cnn();
+        let engine = BatchGradientEngine::new(&net);
+        let inputs = samples(3, &[1, 8, 8]);
+        let pass = engine.forward_batch(&inputs).unwrap();
+        assert_eq!(pass.batch_size(), 3);
+        assert_eq!(pass.output().shape(), &[3, net.num_classes()]);
+        for (s, x) in inputs.iter().enumerate() {
+            for class in 0..net.num_classes() {
+                let mut proj = vec![0.0f32; net.num_classes()];
+                proj[class] = 1.0;
+                let batched = engine.input_gradient(&pass, s, &proj).unwrap();
+                let reference = net.input_gradient_for_class(x, class).unwrap();
+                assert_eq!(batched.shape(), reference.shape());
+                for (k, (a, b)) in batched.data().iter().zip(reference.data()).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-4 * (1.0 + b.abs()),
+                        "sample {s} class {class} grad {k}: batched {a} vs reference {b}"
+                    );
+                }
+            }
+        }
+        // Out-of-range sample index and wrong projection length are rejected.
+        assert!(engine.input_gradient(&pass, 3, &[1.0; 5]).is_err());
+        assert!(engine.input_gradient(&pass, 0, &[1.0; 2]).is_err());
+    }
+
+    #[test]
+    fn dense_input_gradients_are_bit_identical_to_the_layer_kernels() {
+        // The hoisted Dense weight transpose must not change a single bit
+        // relative to `Dense::backward`'s transpose-per-call path.
+        let net = zoo::tiny_mlp(5, 9, 4, Activation::Tanh, 8).unwrap();
+        let engine = BatchGradientEngine::new(&net);
+        let inputs = samples(4, &[5]);
+        let pass = engine.forward_batch(&inputs).unwrap();
+        for (s, x) in inputs.iter().enumerate() {
+            for class in 0..4 {
+                let mut proj = vec![0.0f32; 4];
+                proj[class] = 1.0;
+                let batched = engine.input_gradient(&pass, s, &proj).unwrap();
+                let reference = net.input_gradient_for_class(x, class).unwrap();
+                assert_eq!(batched.data(), reference.data(), "sample {s} class {class}");
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! * [`serialize`] — a simple versioned binary format for saving and loading
 //!   trained networks (used by the accelerator crate to build weight-memory
 //!   images and by the vendor/user protocol).
+//! * [`fingerprint`] — 128-bit content digests over the serialized form, used
+//!   by the evaluator layer to content-address cached activation sets.
 //!
 //! The crate's central design decision is the **flat parameter vector**: every
 //! scalar parameter of a network has a stable global index (see
@@ -51,6 +53,7 @@ mod error;
 mod network;
 
 pub mod batch;
+pub mod fingerprint;
 pub mod layers;
 pub mod loss;
 pub mod optim;

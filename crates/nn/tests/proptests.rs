@@ -2,6 +2,7 @@
 //! against finite differences on random networks, flat-parameter round trips,
 //! softmax/loss invariants and serialization.
 
+use dnnip_nn::fingerprint::NetworkFingerprint;
 use dnnip_nn::layers::Activation;
 use dnnip_nn::loss::{cross_entropy, one_hot};
 use dnnip_nn::{serialize, zoo};
@@ -104,5 +105,59 @@ proptest! {
             .forward_sample(&x)
             .unwrap()
             .approx_eq(&net.forward_sample(&x).unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn fingerprint_changes_when_any_parameter_changes(
+        seed in 0u64..200,
+        act in activation_strategy(),
+        param_fraction in 0.0f64..1.0,
+        delta_bits in 1u32..24,
+    ) {
+        // The content-addressing contract of the evaluator cache: perturbing
+        // any single parameter — by as little as one mantissa ULP step — must
+        // change the network fingerprint, and restoring the parameter must
+        // restore the fingerprint exactly.
+        let net = zoo::tiny_mlp(4, 6, 3, act, seed).unwrap();
+        let base = NetworkFingerprint::of(&net);
+        prop_assert_eq!(base, NetworkFingerprint::of(&net.clone()));
+
+        let index = ((net.num_parameters() - 1) as f64 * param_fraction) as usize;
+        let original = net.parameter(index).unwrap();
+        // Flip a single low mantissa bit so even near-invisible numeric
+        // changes are covered (never a no-op: XOR changes the bit pattern).
+        let tweaked_value = f32::from_bits(original.to_bits() ^ (1u32 << (delta_bits % 23)));
+        let mut tampered = net.clone();
+        tampered.set_parameter(index, tweaked_value).unwrap();
+        prop_assert_ne!(
+            base,
+            NetworkFingerprint::of(&tampered),
+            "parameter {} tweak went unnoticed",
+            index
+        );
+
+        tampered.set_parameter(index, original).unwrap();
+        prop_assert_eq!(base, NetworkFingerprint::of(&tampered));
+    }
+
+    #[test]
+    fn fingerprint_changes_when_any_serialized_byte_flips(
+        seed in 0u64..100,
+        byte_fraction in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let net = zoo::tiny_mlp(3, 4, 2, Activation::Relu, seed).unwrap();
+        let bytes = serialize::to_bytes(&net);
+        let base = NetworkFingerprint::of_bytes(&bytes);
+        let index = ((bytes.len() - 1) as f64 * byte_fraction) as usize;
+        let mut flipped = bytes.clone();
+        flipped[index] ^= 1u8 << bit;
+        prop_assert_ne!(
+            base,
+            NetworkFingerprint::of_bytes(&flipped),
+            "byte {} bit {} flip went unnoticed",
+            index,
+            bit
+        );
     }
 }

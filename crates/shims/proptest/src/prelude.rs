@@ -2,7 +2,7 @@
 
 pub use crate::strategy::{BoxedStrategy, Just, Strategy};
 pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
-pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 
 /// Mirror of the `proptest::prelude::prop` module: namespaced access to the
 /// strategy modules from inside `prelude::*` imports.

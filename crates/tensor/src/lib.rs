@@ -10,6 +10,9 @@
 //!   forward passes, full backward passes) used by the convolutional layers.
 //! * [`init`] — reproducible weight initializers (uniform, normal, Xavier/Glorot,
 //!   He) driven by an explicit RNG so every experiment is seedable.
+//! * [`par`] — the [`par::ExecPolicy`] execution knob and a std-only
+//!   scoped-thread worker pool shared by every parallel loop in the workspace,
+//!   with serial and threaded execution guaranteed bit-identical.
 //!
 //! The crate deliberately avoids `unsafe`, views and broadcasting magic: all
 //! operations copy into freshly-allocated output tensors and validate shapes,
@@ -43,6 +46,7 @@ mod tensor;
 pub mod conv;
 pub mod init;
 pub mod ops;
+pub mod par;
 pub mod shape;
 
 pub use error::{Result, TensorError};

@@ -31,9 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
-    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let evaluator = Evaluator::new(&model, CoverageConfig::default());
     let tests = generate_tests(
-        &analyzer,
+        &evaluator,
         &data.inputs,
         GenerationMethod::Combined,
         &GenerationConfig {

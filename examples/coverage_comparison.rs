@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // --- Fig. 2 style comparison: mean per-image validation coverage. ---
-    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let evaluator = Evaluator::new(&model, CoverageConfig::default());
     let n_images = 50;
     let training_images = &data.inputs[..n_images];
     let ood_images = ood::ood_images(1, 16, n_images, &ood::OodConfig::default(), 4);
@@ -38,21 +38,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Mean per-image validation coverage (Fig. 2 analogue):");
     println!(
         "  training images : {:.1}%",
-        analyzer.mean_sample_coverage(training_images)? * 100.0
+        evaluator.mean_sample_coverage(training_images)? * 100.0
     );
     println!(
         "  OOD images      : {:.1}%",
-        analyzer.mean_sample_coverage(&ood_images)? * 100.0
+        evaluator.mean_sample_coverage(&ood_images)? * 100.0
     );
     println!(
         "  noise images    : {:.1}%",
-        analyzer.mean_sample_coverage(&noise_images)? * 100.0
+        evaluator.mean_sample_coverage(&noise_images)? * 100.0
     );
 
     // --- Same budget, two selection metrics. ---
     let budget = 15usize;
     let param_tests = generate_tests(
-        &analyzer,
+        &evaluator,
         &data.inputs,
         GenerationMethod::Combined,
         &GenerationConfig {
@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  baseline (neuron coverage)    : parameter coverage {:.1}%, neuron coverage {:.1}%",
-        analyzer.coverage_of_set(&neuron_tests)? * 100.0,
+        evaluator.coverage_of_set(&neuron_tests)? * 100.0,
         neuron_selection.final_coverage() * 100.0
     );
 
@@ -86,6 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trials: 60,
         seed: 5,
         policy: MatchPolicy::ArgMax,
+        exec: dnnip::core::par::ExecPolicy::auto(),
     };
     println!(
         "\nDetection rate over {} trials (argmax policy):",

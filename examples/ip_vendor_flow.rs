@@ -36,9 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Generate functional tests with the combined method.
-    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let evaluator = Evaluator::new(&model, CoverageConfig::default());
     let combined = generate_combined(
-        &analyzer,
+        &evaluator,
         &train_set.inputs,
         &CombinedConfig {
             max_tests: 15,

@@ -41,13 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     // 2. Vendor side: generate functional tests with the combined method.
     // ------------------------------------------------------------------
-    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let evaluator = Evaluator::new(&model, CoverageConfig::default());
     let generation = GenerationConfig {
         max_tests: 20,
         ..GenerationConfig::default()
     };
     let tests = generate_tests(
-        &analyzer,
+        &evaluator,
         &train_set.inputs,
         GenerationMethod::Combined,
         &generation,

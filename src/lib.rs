@@ -19,7 +19,8 @@
 //! # Quickstart
 //!
 //! ```
-//! use dnnip::core::coverage::{CoverageAnalyzer, CoverageConfig};
+//! use dnnip::core::coverage::CoverageConfig;
+//! use dnnip::core::eval::Evaluator;
 //! use dnnip::core::generator::{generate_tests, GenerationConfig, GenerationMethod};
 //! use dnnip::nn::{layers::Activation, zoo};
 //! use dnnip::tensor::Tensor;
@@ -31,10 +32,11 @@
 //!     .map(|i| Tensor::from_fn(&[8], |j| ((i * 8 + j) as f32 * 0.17).sin().abs()))
 //!     .collect();
 //!
-//! // Generate functional tests with the paper's combined method.
-//! let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+//! // Generate functional tests with the paper's combined method; the
+//! // evaluator caches every activation set it computes along the way.
+//! let evaluator = Evaluator::new(&model, CoverageConfig::default());
 //! let config = GenerationConfig { max_tests: 10, ..GenerationConfig::default() };
-//! let tests = generate_tests(&analyzer, &training, GenerationMethod::Combined, &config)?;
+//! let tests = generate_tests(&evaluator, &training, GenerationMethod::Combined, &config)?;
 //! assert!(tests.final_coverage() > 0.5);
 //! # Ok(())
 //! # }
@@ -59,6 +61,7 @@ pub mod prelude {
     pub use dnnip_accel::quant::BitWidth;
     pub use dnnip_core::combined::{generate_combined, CombinedConfig};
     pub use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig};
+    pub use dnnip_core::eval::{ActivationSetCache, CacheStats, Evaluator};
     pub use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
     pub use dnnip_core::protocol::FunctionalTestSuite;
     pub use dnnip_faults::attacks::{

@@ -36,13 +36,13 @@ fn trained_relu_cnn() -> (Network, Vec<Tensor>) {
 #[test]
 fn image_families_produce_valid_and_distinct_coverage() {
     let (model, training) = trained_relu_cnn();
-    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let evaluator = Evaluator::new(&model, CoverageConfig::default());
     let n = 30;
-    let train_cov = analyzer.mean_sample_coverage(&training[..n]).unwrap();
+    let train_cov = evaluator.mean_sample_coverage(&training[..n]).unwrap();
     let ood_imgs = ood::ood_images(1, 8, n, &ood::OodConfig::default(), 2);
-    let ood_cov = analyzer.mean_sample_coverage(&ood_imgs).unwrap();
+    let ood_cov = evaluator.mean_sample_coverage(&ood_imgs).unwrap();
     let noise_imgs = noise::noise_images(&[1, 8, 8], n, &noise::NoiseConfig::default(), 2);
-    let noise_cov = analyzer.mean_sample_coverage(&noise_imgs).unwrap();
+    let noise_cov = evaluator.mean_sample_coverage(&noise_imgs).unwrap();
 
     for (name, cov) in [("train", train_cov), ("ood", ood_cov), ("noise", noise_cov)] {
         assert!(
@@ -69,8 +69,8 @@ fn image_families_produce_valid_and_distinct_coverage() {
 #[test]
 fn greedy_selection_curve_is_monotone_and_saturates() {
     let (model, training) = trained_relu_cnn();
-    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
-    let result = select_from_training_set(&analyzer, &training, 40).unwrap();
+    let evaluator = Evaluator::new(&model, CoverageConfig::default());
+    let result = select_from_training_set(&evaluator, &training, 40).unwrap();
     let curve = &result.coverage_curve;
     assert!(!curve.is_empty());
     for w in curve.windows(2) {
@@ -95,17 +95,17 @@ fn greedy_selection_curve_is_monotone_and_saturates() {
 #[test]
 fn combined_generation_beats_training_only_at_equal_budget() {
     let (model, training) = trained_relu_cnn();
-    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let evaluator = Evaluator::new(&model, CoverageConfig::default());
     let budget = 20usize;
     let config = GenerationConfig {
         max_tests: budget,
         ..GenerationConfig::default()
     };
-    let combined = generate_tests(&analyzer, &training, GenerationMethod::Combined, &config)
+    let combined = generate_tests(&evaluator, &training, GenerationMethod::Combined, &config)
         .unwrap()
         .final_coverage();
     let training_only = generate_tests(
-        &analyzer,
+        &evaluator,
         &training,
         GenerationMethod::TrainingSetSelection,
         &config,
@@ -113,7 +113,7 @@ fn combined_generation_beats_training_only_at_equal_budget() {
     .unwrap()
     .final_coverage();
     let random = generate_tests(
-        &analyzer,
+        &evaluator,
         &training,
         GenerationMethod::RandomSelection,
         &config,

@@ -1,7 +1,9 @@
 //! Detection-rate behaviour across attacks and test-generation methods — the
 //! qualitative claims behind the paper's Tables II and III on a small model.
 
+use dnnip::core::eval::Evaluator;
 use dnnip::core::neuron::{NeuronCoverageAnalyzer, NeuronCoverageConfig};
+use dnnip::core::par::ExecPolicy;
 use dnnip::dataset::digits::{synthetic_mnist, DigitConfig};
 use dnnip::nn::train::{train, TrainConfig};
 use dnnip::nn::zoo;
@@ -33,9 +35,9 @@ fn fixture() -> Fixture {
 }
 
 fn proposed_tests(fix: &Fixture, budget: usize) -> Vec<Tensor> {
-    let analyzer = CoverageAnalyzer::new(&fix.model, CoverageConfig::default());
+    let evaluator = Evaluator::new(&fix.model, CoverageConfig::default());
     generate_tests(
-        &analyzer,
+        &evaluator,
         &fix.training,
         GenerationMethod::Combined,
         &GenerationConfig {
@@ -71,6 +73,7 @@ fn proposed_tests_detect_sba_at_high_rate() {
             trials: 40,
             seed: 1,
             policy: MatchPolicy::OutputTolerance(1e-4),
+            exec: ExecPolicy::auto(),
         },
     )
     .unwrap();
@@ -94,6 +97,7 @@ fn proposed_tests_beat_or_match_neuron_coverage_baseline() {
         trials: 40,
         seed: 7,
         policy: MatchPolicy::OutputTolerance(1e-4),
+        exec: ExecPolicy::auto(),
     };
     let attacks: Vec<(&str, Box<dyn Attack>)> = vec![
         ("sba", Box::new(SingleBiasAttack::default())),
@@ -128,6 +132,7 @@ fn detection_rate_grows_with_the_number_of_tests() {
         trials: 30,
         seed: 13,
         policy: MatchPolicy::OutputTolerance(1e-4),
+        exec: ExecPolicy::auto(),
     };
     let attack = RandomPerturbation {
         num_params: 4,
@@ -162,6 +167,7 @@ fn argmax_policy_is_weaker_than_output_tolerance() {
             trials: 30,
             seed: 3,
             policy: MatchPolicy::OutputTolerance(1e-5),
+            exec: ExecPolicy::auto(),
         },
     )
     .unwrap();
@@ -174,6 +180,7 @@ fn argmax_policy_is_weaker_than_output_tolerance() {
             trials: 30,
             seed: 3,
             policy: MatchPolicy::ArgMax,
+            exec: ExecPolicy::auto(),
         },
     )
     .unwrap();

@@ -26,9 +26,9 @@ fn trained_model() -> (Network, Vec<Tensor>, Vec<usize>) {
 #[test]
 fn clean_ip_passes_and_tampered_ip_fails() {
     let (model, training, _) = trained_model();
-    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let evaluator = Evaluator::new(&model, CoverageConfig::default());
     let tests = generate_tests(
-        &analyzer,
+        &evaluator,
         &training,
         GenerationMethod::Combined,
         &GenerationConfig {
@@ -71,9 +71,9 @@ fn clean_ip_passes_and_tampered_ip_fails() {
 #[test]
 fn suite_survives_serialization_and_still_detects_attacks() {
     let (model, training, _) = trained_model();
-    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let evaluator = Evaluator::new(&model, CoverageConfig::default());
     let tests = generate_tests(
-        &analyzer,
+        &evaluator,
         &training,
         GenerationMethod::TrainingSetSelection,
         &GenerationConfig {
@@ -100,9 +100,9 @@ fn suite_survives_serialization_and_still_detects_attacks() {
 #[test]
 fn bit_flips_in_weight_memory_are_detected() {
     let (model, training, _) = trained_model();
-    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let evaluator = Evaluator::new(&model, CoverageConfig::default());
     let tests = generate_tests(
-        &analyzer,
+        &evaluator,
         &training,
         GenerationMethod::Combined,
         &GenerationConfig {

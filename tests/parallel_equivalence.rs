@@ -11,6 +11,7 @@
 
 use dnnip::core::combined::{generate_combined, CombinedConfig};
 use dnnip::core::coverage::CoverageConfig;
+use dnnip::core::eval::Evaluator;
 use dnnip::core::gradgen::{GradGenConfig, GradientGenerator};
 use dnnip::core::par::ExecPolicy;
 use dnnip::core::select::select_from_training_set;
@@ -149,8 +150,8 @@ fn coverage_fractions_are_bit_identical_across_policies() {
 fn greedy_selection_picks_identical_tests_under_every_policy() {
     for (name, net) in zoo_networks() {
         let pool = seeded_inputs(&net, 18, 13);
-        let serial = CoverageAnalyzer::new(&net, config_with(ExecPolicy::Serial, 32));
-        let threaded = CoverageAnalyzer::new(&net, config_with(ExecPolicy::Threads(4), 5));
+        let serial = Evaluator::new(&net, config_with(ExecPolicy::Serial, 32));
+        let threaded = Evaluator::new(&net, config_with(ExecPolicy::Threads(4), 5));
         let a = select_from_training_set(&serial, &pool, 8).unwrap();
         let b = select_from_training_set(&threaded, &pool, 8).unwrap();
         assert_eq!(a.selected, b.selected, "{name}: selected indices diverged");
@@ -203,7 +204,7 @@ fn combined_generator_is_execution_policy_invariant() {
     let net = zoo::tiny_cnn(6, 10, Activation::Relu, 17).unwrap();
     let pool = seeded_inputs(&net, 12, 29);
     let run = |exec: ExecPolicy| {
-        let analyzer = CoverageAnalyzer::new(&net, config_with(exec, 4));
+        let evaluator = Evaluator::new(&net, config_with(exec, 4));
         let config = CombinedConfig {
             max_tests: 8,
             gradgen: GradGenConfig {
@@ -212,7 +213,7 @@ fn combined_generator_is_execution_policy_invariant() {
                 ..GradGenConfig::default()
             },
         };
-        generate_combined(&analyzer, &pool, &config).unwrap()
+        generate_combined(&evaluator, &pool, &config).unwrap()
     };
     let a = run(ExecPolicy::Serial);
     let b = run(ExecPolicy::Threads(4));
@@ -223,4 +224,105 @@ fn combined_generator_is_execution_policy_invariant() {
         "combined curve diverged"
     );
     assert_eq!(a.switch_point, b.switch_point, "switch point diverged");
+}
+
+#[test]
+fn evaluator_cached_results_are_bit_identical_across_policies_and_reruns() {
+    // The acceptance contract of the evaluator layer: serial, threaded, cold
+    // and warm cache reads are all interchangeable — exact bit equality, no
+    // tolerance.
+    for (name, net) in zoo_networks() {
+        let inputs = seeded_inputs(&net, 10, 17);
+        let uncached = CoverageAnalyzer::new(&net, config_with(ExecPolicy::Serial, 32));
+        let baseline = uncached.activation_sets(&inputs).unwrap();
+        let serial = Evaluator::new(&net, config_with(ExecPolicy::Serial, 32));
+        let threaded = Evaluator::new(&net, config_with(ExecPolicy::Threads(4), 3));
+        for evaluator in [&serial, &threaded] {
+            let cold = evaluator.activation_sets(&inputs).unwrap();
+            let warm = evaluator.activation_sets(&inputs).unwrap();
+            assert_eq!(cold, baseline, "{name}: cold evaluator diverged");
+            assert_eq!(warm, baseline, "{name}: warm evaluator diverged");
+            let stats = evaluator.cache_stats();
+            assert_eq!(
+                stats.misses as usize,
+                inputs.len(),
+                "{name}: wrong miss count"
+            );
+            assert_eq!(
+                stats.hits as usize,
+                inputs.len(),
+                "{name}: warm run not served from cache"
+            );
+        }
+        // Coverage fractions through the cache match the uncached analyzer exactly.
+        assert_eq!(
+            serial.coverage_of_set(&inputs).unwrap(),
+            uncached.coverage_of_set(&inputs).unwrap(),
+            "{name}: cached set coverage diverged"
+        );
+        assert_eq!(
+            threaded.mean_sample_coverage(&inputs).unwrap(),
+            uncached.mean_sample_coverage(&inputs).unwrap(),
+            "{name}: cached mean coverage diverged"
+        );
+    }
+}
+
+#[test]
+fn detection_reports_are_bit_identical_across_policies() {
+    let net = zoo::tiny_mlp(6, 14, 4, Activation::Relu, 5).unwrap();
+    let probes = seeded_inputs(&net, 6, 23);
+    let tests = seeded_inputs(&net, 8, 31);
+    let attack = SingleBiasAttack::with_magnitude(5.0);
+    let run = |exec: ExecPolicy| {
+        detection_rate(
+            &net,
+            &attack,
+            &probes,
+            &tests,
+            &DetectionConfig {
+                trials: 24,
+                seed: 41,
+                policy: MatchPolicy::ArgMax,
+                exec,
+            },
+        )
+        .unwrap()
+    };
+    let serial = run(ExecPolicy::Serial);
+    for threads in [2usize, 4, 32] {
+        assert_eq!(
+            serial,
+            run(ExecPolicy::Threads(threads)),
+            "detection report diverged under Threads({threads})"
+        );
+    }
+}
+
+#[test]
+fn evaluator_detection_wrapper_matches_the_direct_harness() {
+    let net = zoo::tiny_mlp(6, 14, 4, Activation::Relu, 5).unwrap();
+    let probes = seeded_inputs(&net, 6, 23);
+    let tests = seeded_inputs(&net, 8, 31);
+    let attack = SingleBiasAttack::with_magnitude(5.0);
+    let config = DetectionConfig {
+        trials: 16,
+        seed: 3,
+        policy: MatchPolicy::ArgMax,
+        exec: ExecPolicy::Serial,
+    };
+    let evaluator = Evaluator::new(&net, config_with(ExecPolicy::Threads(4), 8));
+    let via_evaluator = evaluator
+        .detection_rate(&attack, &probes, &tests, &config)
+        .unwrap();
+    let direct = detection_rate(&net, &attack, &probes, &tests, &config).unwrap();
+    assert_eq!(via_evaluator, direct);
+    // Fanning the trials over the evaluator's own exec policy (Threads(4))
+    // still produces the identical report: per-trial streams are seed-derived.
+    let shared_knob = evaluator.detection_config(&config);
+    assert_eq!(shared_knob.exec, ExecPolicy::Threads(4));
+    let via_shared = evaluator
+        .detection_rate(&attack, &probes, &tests, &shared_knob)
+        .unwrap();
+    assert_eq!(via_shared, direct);
 }

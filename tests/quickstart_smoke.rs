@@ -29,13 +29,13 @@ fn quickstart_pipeline_end_to_end() {
     assert!(report.final_accuracy().is_finite());
 
     // Vendor side: generate functional tests with the paper's combined method.
-    let analyzer = CoverageAnalyzer::new(&model, CoverageConfig::default());
+    let evaluator = Evaluator::new(&model, CoverageConfig::default());
     let generation = GenerationConfig {
         max_tests: 6,
         ..GenerationConfig::default()
     };
     let tests = generate_tests(
-        &analyzer,
+        &evaluator,
         &train_set.inputs,
         GenerationMethod::Combined,
         &generation,
