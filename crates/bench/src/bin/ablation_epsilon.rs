@@ -46,6 +46,9 @@ fn main() {
     );
     println!("  relative eps | training |   OOD    |  noise   | training-set ordering holds?");
     println!("  -------------+----------+----------+----------+-----------------------------");
+    // This ablation is inherently about the param-gradient criterion's ε, so
+    // each sweep point derives that criterion from its config (the default
+    // `Evaluator::new` path) rather than honoring `DNNIP_CRITERION`.
     for eps in [1e-4f32, 1e-3, 1e-2, 5e-2, 1e-1] {
         let analyzer = Evaluator::new(
             &model.network,

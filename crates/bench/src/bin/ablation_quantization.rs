@@ -14,8 +14,7 @@
 
 use dnnip_accel::ip::AcceleratorIp;
 use dnnip_accel::quant::BitWidth;
-use dnnip_bench::{pct, prepare_mnist, seed_from_env_or, ExperimentProfile};
-use dnnip_core::eval::Evaluator;
+use dnnip_bench::{evaluator_for, pct, prepare_mnist, seed_from_env_or, ExperimentProfile};
 use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
 use dnnip_core::gradgen::GradGenConfig;
 use dnnip_core::par::ExecPolicy;
@@ -32,7 +31,8 @@ fn main() {
 
     let seed = seed_from_env_or(31);
     let model = prepare_mnist(profile, seed);
-    let evaluator = Evaluator::new(&model.network, model.coverage);
+    // Criterion-selectable generation (DNNIP_CRITERION; param-gradient default).
+    let evaluator = evaluator_for(&model);
     let tests = generate_tests(
         &evaluator,
         &model.dataset.inputs,
@@ -63,14 +63,14 @@ fn main() {
     for width in [BitWidth::Int8, BitWidth::Int16] {
         let accel = AcceleratorIp::from_network(&model.network, width);
         // Suites built against the *float* golden model, as the vendor would.
-        let strict = FunctionalTestSuite::from_network(
-            &model.network,
+        let strict = FunctionalTestSuite::from_evaluator(
+            &evaluator,
             tests.clone(),
             MatchPolicy::OutputTolerance(1e-4),
         )
         .expect("suite");
         let argmax =
-            FunctionalTestSuite::from_network(&model.network, tests.clone(), MatchPolicy::ArgMax)
+            FunctionalTestSuite::from_evaluator(&evaluator, tests.clone(), MatchPolicy::ArgMax)
                 .expect("suite");
         let fp_strict = !strict.validate(&accel).expect("validate").passed;
         let fp_argmax = !argmax.validate(&accel).expect("validate").passed;

@@ -1,0 +1,164 @@
+//! Per-criterion coverage/runtime sweep, recorded as JSON next to the
+//! criterion benches.
+//!
+//! For every built-in [`dnnip_core::criterion::CoverageCriterion`]
+//! (param-gradient, neuron-activation, topk-neuron) on the scaled MNIST
+//! model, measures:
+//!
+//! * covered-unit-set computation for a 32-sample batch (cold),
+//! * a greedy budget-10 selection over the same pool (cold evaluator, then a
+//!   warm rerun answered from the covered-set cache),
+//! * the criterion's unit count and the selection's final coverage.
+//!
+//! Results are printed and written to
+//! `crates/bench/results/criteria_sweep.json` so per-criterion before/after
+//! numbers ride with the repository.
+//!
+//! ```text
+//! cargo run --release -p dnnip-bench --bin criteria_sweep [smoke|default|paper]
+//! DNNIP_SEED=123 cargo run --release -p dnnip-bench --bin criteria_sweep
+//! ```
+
+use dnnip_bench::{seed_from_env_or, ExperimentProfile};
+use dnnip_core::coverage::CoverageConfig;
+use dnnip_core::criterion::builtin_criteria;
+use dnnip_core::eval::Evaluator;
+use dnnip_core::par::ExecPolicy;
+use dnnip_nn::zoo;
+use dnnip_tensor::Tensor;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct Row {
+    criterion: &'static str,
+    units: usize,
+    sets_ms: f64,
+    select_cold_ms: f64,
+    select_warm_ms: f64,
+    final_coverage: f32,
+    hit_rate: f64,
+}
+
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One untimed warm-up rep, then the best of `reps` timed runs.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn main() {
+    let profile = ExperimentProfile::from_env_or_args();
+    let seed = seed_from_env_or(1);
+    let pool_size = 32usize;
+    let budget = 10usize;
+    let reps = if profile == ExperimentProfile::Smoke {
+        2
+    } else {
+        5
+    };
+    println!("== Criterion sweep (pool = {pool_size}, budget = {budget}, scaled MNIST model) ==");
+    println!("profile: {}, seed: {seed}\n", profile.name());
+
+    let net = zoo::mnist_model_scaled(seed).expect("scaled MNIST geometry");
+    let pool: Vec<Tensor> = (0..pool_size)
+        .map(|i| Tensor::from_fn(&[1, 16, 16], |j| ((i * 256 + j) as f32 * 0.07).sin().abs()))
+        .collect();
+    let config = CoverageConfig {
+        exec: ExecPolicy::auto(),
+        ..CoverageConfig::default()
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for criterion in builtin_criteria(&config) {
+        let id = criterion.id();
+        // Covered-set computation, uncached (budget 0 disables the cache).
+        let raw = Evaluator::with_criterion_cache_bytes(&net, config, criterion.clone(), 0);
+        let sets_ms = time_ms(reps, || {
+            black_box(raw.activation_sets(black_box(&pool)).expect("sets"));
+        });
+
+        // Cold selection: evaluator constructed inside the timed region.
+        let select_cold_ms = time_ms(reps, || {
+            let evaluator = Evaluator::with_criterion(&net, config, criterion.clone());
+            black_box(
+                evaluator
+                    .select_from_training_set(black_box(&pool), budget)
+                    .expect("selection"),
+            );
+        });
+
+        // Warm rerun over one persistent evaluator: all cache hits.
+        let evaluator = Evaluator::with_criterion(&net, config, criterion.clone());
+        let result = evaluator
+            .select_from_training_set(&pool, budget)
+            .expect("selection");
+        let select_warm_ms = time_ms(reps, || {
+            black_box(
+                evaluator
+                    .select_from_training_set(black_box(&pool), budget)
+                    .expect("warm selection"),
+            );
+        });
+        let stats = evaluator.criterion_cache_stats();
+        rows.push(Row {
+            criterion: id,
+            units: evaluator.num_units(),
+            sets_ms,
+            select_cold_ms,
+            select_warm_ms,
+            final_coverage: result.final_coverage(),
+            hit_rate: stats.hit_rate(),
+        });
+    }
+
+    println!("  criterion          units   sets ms  select cold  select warm  coverage  hit rate");
+    println!("  ------------------ ------- -------- ------------ ------------ --------- --------");
+    for row in &rows {
+        println!(
+            "  {:<18} {:>7} {:>8.2} {:>12.2} {:>12.3} {:>8.1}% {:>7.1}%",
+            row.criterion,
+            row.units,
+            row.sets_ms,
+            row.select_cold_ms,
+            row.select_warm_ms,
+            row.final_coverage * 100.0,
+            row.hit_rate * 100.0
+        );
+    }
+
+    // Hand-rolled JSON (the workspace has no serde): flat and diff-friendly.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"per-criterion selection sweep, scaled MNIST model\",\n");
+    json.push_str(&format!("  \"pool_size\": {pool_size},\n"));
+    json.push_str(&format!("  \"budget\": {budget},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"criterion\": \"{}\", \"units\": {}, \"sets_best_ms\": {:.3}, \
+             \"select_cold_best_ms\": {:.3}, \"select_warm_best_ms\": {:.3}, \
+             \"final_coverage\": {:.4}, \"cache_hit_rate\": {:.4}}}{}\n",
+            row.criterion,
+            row.units,
+            row.sets_ms,
+            row.select_cold_ms,
+            row.select_warm_ms,
+            row.final_coverage,
+            row.hit_rate,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/results");
+    let out_path = format!("{out_dir}/criteria_sweep.json");
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    std::fs::write(&out_path, &json).expect("write results json");
+    println!("\nwrote {out_path}");
+}

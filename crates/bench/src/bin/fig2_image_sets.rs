@@ -9,14 +9,13 @@
 //! ```
 
 use dnnip_bench::{
-    holdout_accuracy, pct, prepare_cifar, prepare_mnist, seed_from_env_or, ExperimentProfile,
-    PreparedModel,
+    evaluator_for, holdout_accuracy, pct, prepare_cifar, prepare_mnist, seed_from_env_or,
+    ExperimentProfile, PreparedModel,
 };
-use dnnip_core::eval::Evaluator;
 use dnnip_dataset::{noise, ood};
 
 fn family_coverages(model: &PreparedModel, images_per_family: usize, seed: u64) -> (f32, f32, f32) {
-    let analyzer = Evaluator::new(&model.network, model.coverage);
+    let analyzer = evaluator_for(model);
     let shape = model.network.input_shape();
     let (channels, size) = (shape[0], shape[1]);
 
@@ -70,7 +69,11 @@ fn main() {
             model.network.num_parameters()
         );
         let (noise_cov, ood_cov, train_cov) = family_coverages(&model, images, seed);
-        println!("  image family          mean validation coverage ({images} images each)");
+        let criterion = dnnip_bench::criterion_from_env(&model.coverage);
+        println!(
+            "  image family          mean {} coverage ({images} images each)",
+            criterion.id()
+        );
         println!("  noisy images (rand)   {}", pct(noise_cov, 8));
         println!("  OOD images (imagenet) {}", pct(ood_cov, 8));
         println!("  training set          {}", pct(train_cov, 8));

@@ -6,8 +6,7 @@
 //! cargo run --release -p dnnip-bench --bin fig3_methods_sweep [smoke|default|paper]
 //! ```
 
-use dnnip_bench::{pct, prepare_cifar, seed_from_env_or, ExperimentProfile};
-use dnnip_core::eval::Evaluator;
+use dnnip_bench::{evaluator_for, pct, prepare_cifar, seed_from_env_or, ExperimentProfile};
 use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
 use dnnip_core::gradgen::GradGenConfig;
 use dnnip_core::par::ExecPolicy;
@@ -19,15 +18,19 @@ fn main() {
 
     let model = prepare_cifar(profile, seed_from_env_or(11));
     // One evaluator for the whole sweep: every budget re-evaluates the same
-    // candidate pool, so all sweeps after the first hit the activation-set
-    // cache instead of redoing gradient work.
-    let analyzer = Evaluator::new(&model.network, model.coverage);
+    // candidate pool, so all sweeps after the first hit the covered-set
+    // cache instead of redoing criterion work. The criterion itself follows
+    // `DNNIP_CRITERION` (parameter-gradient when unset).
+    let analyzer = evaluator_for(&model);
     let pool_size = profile.candidate_pool().min(model.dataset.len());
     let pool = &model.dataset.inputs[..pool_size];
     println!(
-        "{}: {} parameters, candidate pool of {} training images, train acc {}",
+        "{}: {} parameters, {} coverable units under criterion {}, candidate pool of {} \
+         training images, train acc {}",
         model.name,
         model.network.num_parameters(),
+        analyzer.num_units(),
+        analyzer.criterion().id(),
         pool.len(),
         pct(model.train_accuracy, 7)
     );
@@ -82,7 +85,7 @@ fn main() {
     );
     let stats = analyzer.cache_stats();
     println!(
-        "  activation-set cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} evictions",
+        "  covered-set cache: {} hits / {} misses ({:.1}% hit rate), {} entries, {} evictions",
         stats.hits,
         stats.misses,
         stats.hit_rate() * 100.0,

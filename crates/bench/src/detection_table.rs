@@ -1,6 +1,5 @@
 //! Shared driver for the Table II / Table III detection-rate experiments.
 
-use dnnip_core::eval::Evaluator;
 use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
 use dnnip_core::gradgen::GradGenConfig;
 use dnnip_core::neuron::{NeuronCoverageAnalyzer, NeuronCoverageConfig};
@@ -9,7 +8,7 @@ use dnnip_faults::attacks::{Attack, GradientDescentAttack, RandomPerturbation, S
 use dnnip_faults::detection::{detection_rate, DetectionConfig, MatchPolicy};
 use dnnip_tensor::Tensor;
 
-use crate::{pct, ExperimentProfile, PreparedModel};
+use crate::{evaluator_for, pct, ExperimentProfile, PreparedModel};
 
 /// One row of a detection table: a test budget and the six detection rates
 /// (SBA/GDA/random for the neuron-coverage baseline and for the proposed
@@ -35,7 +34,10 @@ pub fn detection_table(
     profile: ExperimentProfile,
     seed: u64,
 ) -> Vec<DetectionRow> {
-    let evaluator = Evaluator::new(&model.network, model.coverage);
+    // The proposed tests are generated under the criterion selected by
+    // `DNNIP_CRITERION` (the paper's parameter-gradient metric when unset);
+    // the comparison baseline stays fixed at neuron coverage either way.
+    let evaluator = evaluator_for(model);
     let neuron = NeuronCoverageAnalyzer::new(&model.network, NeuronCoverageConfig::default());
     let pool_size = profile.candidate_pool().min(model.dataset.len());
     let pool = &model.dataset.inputs[..pool_size];
@@ -140,14 +142,18 @@ pub fn detection_table(
 
 /// Print a detection table in the layout of the paper's Tables II/III.
 pub fn print_detection_table(model: &PreparedModel, profile: ExperimentProfile, seed: u64) {
+    let criterion_id = crate::criterion_from_env(&model.coverage).id();
     println!(
-        "{}: {} parameters, {} trials per cell, train acc {}",
+        "{}: {} parameters, {} trials per cell, train acc {}, criterion {}",
         model.name,
         model.network.num_parameters(),
         profile.detection_trials(),
-        pct(model.train_accuracy, 7)
+        pct(model.train_accuracy, 7),
+        criterion_id
     );
-    println!("\n              |  tests with neuron coverage   |  proposed with parameter coverage");
+    println!(
+        "\n              |  tests with neuron coverage   |  proposed with {criterion_id} coverage"
+    );
     println!("  #tests      |    SBA      GDA     Random    |    SBA      GDA     Random");
     println!("  ------------+-------------------------------+----------------------------------");
     for row in detection_table(model, profile, seed) {

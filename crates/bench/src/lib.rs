@@ -14,7 +14,11 @@
 
 pub mod detection_table;
 
+use std::sync::Arc;
+
 use dnnip_core::coverage::{CoverageConfig, EpsilonPolicy};
+use dnnip_core::criterion::{criterion_from_spec, CoverageCriterion, ParamGradient};
+use dnnip_core::eval::Evaluator;
 use dnnip_core::par::ExecPolicy;
 use dnnip_dataset::digits::{synthetic_mnist, DigitConfig};
 use dnnip_dataset::objects::{synthetic_cifar, ObjectConfig};
@@ -238,6 +242,40 @@ pub fn coverage_config_for(activation: Activation) -> CoverageConfig {
     }
 }
 
+/// Resolve the coverage criterion from the `DNNIP_CRITERION` environment
+/// variable (see [`dnnip_core::criterion::criterion_from_spec`] for the
+/// accepted specs), defaulting to the paper's parameter-gradient criterion
+/// configured by `coverage`.
+///
+/// # Panics
+///
+/// Panics on a malformed `DNNIP_CRITERION` value — a typo'd criterion name
+/// must not silently fall back to a different experiment.
+pub fn criterion_from_env(coverage: &CoverageConfig) -> Arc<dyn CoverageCriterion> {
+    match std::env::var("DNNIP_CRITERION") {
+        Ok(spec) => criterion_from_spec(&spec, coverage).expect("valid DNNIP_CRITERION spec"),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("DNNIP_CRITERION is set but not valid UTF-8")
+        }
+        Err(std::env::VarError::NotPresent) => Arc::new(ParamGradient::from_config(coverage)),
+    }
+}
+
+/// Build the evaluator every experiment binary runs through: the model's
+/// coverage configuration plus the criterion selected by `DNNIP_CRITERION`
+/// (parameter-gradient when unset).
+///
+/// # Panics
+///
+/// Panics on a malformed `DNNIP_CRITERION` value.
+pub fn evaluator_for(model: &PreparedModel) -> Evaluator<'_> {
+    Evaluator::with_criterion(
+        &model.network,
+        model.coverage,
+        criterion_from_env(&model.coverage),
+    )
+}
+
 /// Resolve the experiment seed: the `DNNIP_SEED` environment variable when set
 /// to a valid `u64`, otherwise `default`.
 ///
@@ -404,6 +442,15 @@ mod tests {
         std::env::set_var("DNNIP_SEED", "not-a-number");
         assert_eq!(seed_from_env_or(42), 42);
         std::env::remove_var("DNNIP_SEED");
+    }
+
+    #[test]
+    fn default_criterion_is_param_gradient() {
+        // No DNNIP_CRITERION in the test environment → the paper's metric.
+        if std::env::var("DNNIP_CRITERION").is_err() {
+            let config = coverage_config_for(Activation::Relu);
+            assert_eq!(criterion_from_env(&config).id(), "param-gradient");
+        }
     }
 
     #[test]

@@ -101,10 +101,10 @@ pub fn generate_combined(
         });
     }
 
-    let num_params = evaluator.num_parameters();
+    let num_units = evaluator.num_units();
     let candidate_sets = evaluator.activation_sets(candidates)?;
     let mut taken = vec![false; candidates.len()];
-    let mut covered = Bitset::new(num_params);
+    let mut covered = Bitset::new(num_units);
     let mut result = CombinedResult::default();
 
     let mut generator = evaluator.gradient_generator(config.gradgen);
@@ -128,7 +128,7 @@ pub fn generate_combined(
             result.sources.push(TestSource::Synthetic(class));
             result
                 .coverage_curve
-                .push(covered.count_ones() as f32 / num_params as f32);
+                .push(covered.count_ones() as f32 / num_units as f32);
             continue;
         }
 
@@ -175,7 +175,7 @@ pub fn generate_combined(
         result.sources.push(TestSource::TrainingSample(index));
         result
             .coverage_curve
-            .push(covered.count_ones() as f32 / num_params as f32);
+            .push(covered.count_ones() as f32 / num_units as f32);
     }
     Ok(result)
 }

@@ -1,24 +1,31 @@
-//! The validation-coverage metric (paper Section IV-A, Eq. 2–5).
+//! The criterion-driven coverage analyzer (paper Section IV-A, Eq. 2–5 under
+//! the default criterion).
 //!
-//! A parameter θ is **activated** by input `x` when a perturbation of θ would
-//! propagate to the DNN output, which the paper measures through the gradient
-//! `∇θ F(x)`:
+//! Under the paper's metric a parameter θ is **activated** by input `x` when a
+//! perturbation of θ would propagate to the DNN output, which the paper
+//! measures through the gradient `∇θ F(x)`:
 //!
 //! * for ReLU networks the gradient is exactly zero for every parameter on an
 //!   inactive path, so "activated" means `∇θ F(x) ≠ 0` (Eq. 2);
 //! * for saturating activations (Tanh, Sigmoid) the gradient never vanishes
 //!   exactly, so a parameter counts as activated when `|∇θ F(x)| > ε`.
 //!
-//! [`CoverageAnalyzer`] computes per-input activation sets as [`Bitset`]s over
-//! the network's flat parameter space; the validation coverage of a test set is
-//! the density of the union of its members' activation sets (Eq. 4).
+//! That rule is one [`crate::criterion::CoverageCriterion`]
+//! ([`crate::criterion::ParamGradient`], the default); the analyzer itself is
+//! generic over the criterion and only handles chunking, batching and the
+//! execution policy. [`CoverageAnalyzer`] computes per-input covered-unit sets
+//! as [`Bitset`]s over the criterion's unit space (the flat parameter space
+//! for the paper's metric); the coverage of a test set is the density of the
+//! union of its members' sets (Eq. 4).
+
+use std::sync::Arc;
 
 use dnnip_nn::batch::BatchGradientEngine;
-use dnnip_nn::layers::Layer;
 use dnnip_nn::Network;
 use dnnip_tensor::Tensor;
 
 use crate::bitset::Bitset;
+use crate::criterion::{CoverageCriterion, ParamGradient};
 use crate::par::{self, ExecPolicy};
 use crate::{CoreError, Result};
 
@@ -90,28 +97,48 @@ impl Default for CoverageConfig {
     }
 }
 
-/// Computes parameter activation sets and validation coverage for one network.
+/// Computes per-input covered-unit sets and coverage for one network under a
+/// pluggable [`CoverageCriterion`] (the paper's parameter-gradient metric by
+/// default).
 #[derive(Debug, Clone)]
 pub struct CoverageAnalyzer<'a> {
     network: &'a Network,
     config: CoverageConfig,
-    saturating: bool,
+    criterion: Arc<dyn CoverageCriterion>,
+    /// Unit count of the criterion for this network (bitset length), computed
+    /// once at construction.
+    num_units: usize,
     /// Batched evaluation engine, built once (it precomputes per-conv-layer
     /// weight matrices) and shared read-only across worker threads.
     engine: BatchGradientEngine<'a>,
 }
 
 impl<'a> CoverageAnalyzer<'a> {
-    /// Create an analyzer for `network`.
+    /// Create an analyzer for `network` under the paper's parameter-gradient
+    /// criterion (threshold policy and projection taken from `config`).
     pub fn new(network: &'a Network, config: CoverageConfig) -> Self {
-        let saturating = network.layers().iter().any(|l| match l {
-            Layer::Activation(a) => a.activation().is_saturating(),
-            _ => false,
-        });
+        Self::with_criterion(
+            network,
+            config,
+            Arc::new(ParamGradient::from_config(&config)),
+        )
+    }
+
+    /// Create an analyzer for `network` under an explicit coverage criterion.
+    /// The `epsilon`/`projection` fields of `config` are ignored unless the
+    /// criterion itself reads them (only [`ParamGradient`] does); `exec` and
+    /// `batch_size` govern every criterion's work distribution.
+    pub fn with_criterion(
+        network: &'a Network,
+        config: CoverageConfig,
+        criterion: Arc<dyn CoverageCriterion>,
+    ) -> Self {
+        let num_units = criterion.num_units(network);
         Self {
             network,
             config,
-            saturating,
+            criterion,
+            num_units,
             engine: BatchGradientEngine::new(network),
         }
     }
@@ -119,6 +146,11 @@ impl<'a> CoverageAnalyzer<'a> {
     /// The analyzed network.
     pub fn network(&self) -> &'a Network {
         self.network
+    }
+
+    /// The coverage criterion driving this analyzer.
+    pub fn criterion(&self) -> &Arc<dyn CoverageCriterion> {
+        &self.criterion
     }
 
     /// The analyzer's batched gradient engine (precomputed weight matrices
@@ -134,75 +166,24 @@ impl<'a> CoverageAnalyzer<'a> {
         &self.config
     }
 
-    /// Total number of parameters (the length of every activation set).
+    /// Total number of network parameters (the criterion's unit count — and
+    /// the length of every activation set — under the default
+    /// [`ParamGradient`] criterion).
     pub fn num_parameters(&self) -> usize {
         self.network.num_parameters()
     }
 
-    /// Resolve the effective threshold for a gradient vector.
-    fn threshold(&self, grads: &[f32]) -> f32 {
-        let policy = match self.config.epsilon {
-            EpsilonPolicy::Auto(fraction) => {
-                if self.saturating {
-                    EpsilonPolicy::RelativeToMax(fraction)
-                } else {
-                    EpsilonPolicy::Exact
-                }
-            }
-            other => other,
-        };
-        match policy {
-            EpsilonPolicy::Exact => 0.0,
-            EpsilonPolicy::Absolute(eps) => eps,
-            EpsilonPolicy::RelativeToMax(fraction) => {
-                let max = grads.iter().fold(0.0f32, |m, g| m.max(g.abs()));
-                fraction * max
-            }
-            EpsilonPolicy::Auto(_) => unreachable!("Auto resolved above"),
-        }
+    /// Number of coverable units under the analyzer's criterion (the length of
+    /// every covered-unit set).
+    pub fn num_units(&self) -> usize {
+        self.num_units
     }
 
-    fn set_from_grads(&self, grads: &[f32], out: &mut Bitset) {
-        let threshold = self.threshold(grads);
-        for (i, g) in grads.iter().enumerate() {
-            let activated = if threshold == 0.0 {
-                *g != 0.0
-            } else {
-                g.abs() > threshold
-            };
-            if activated {
-                out.set(i);
-            }
-        }
-    }
-
-    /// The output projections whose gradients define activation under the
-    /// configured policy.
-    fn projections(&self) -> Vec<Vec<f32>> {
-        let classes = self.network.num_classes();
-        match self.config.projection {
-            OutputProjection::SumOfOutputs => vec![vec![1.0f32; classes]],
-            OutputProjection::PerClassMax => (0..classes)
-                .map(|class| {
-                    let mut weights = vec![0.0f32; classes];
-                    weights[class] = 1.0;
-                    weights
-                })
-                .collect(),
-        }
-    }
-
-    /// Activation sets for one contiguous chunk of samples: one batched forward
-    /// pass through the engine, then per-sample gradient extraction.
+    /// Covered-unit sets for one contiguous chunk of samples: one batched pass
+    /// through the criterion (a stacked forward + per-sample gradient
+    /// extraction for [`ParamGradient`]; forward-only for the neuron criteria).
     fn sets_for_chunk(&self, chunk: &[Tensor]) -> Result<Vec<Bitset>> {
-        let n = self.num_parameters();
-        let mut sets: Vec<Bitset> = (0..chunk.len()).map(|_| Bitset::new(n)).collect();
-        let projections = self.projections();
-        self.engine
-            .for_each_parameter_gradient(chunk, &projections, |s, _, grads| {
-                self.set_from_grads(grads, &mut sets[s]);
-            })?;
-        Ok(sets)
+        self.criterion.covered_units(&self.engine, chunk)
     }
 
     /// The [`CoverageConfig::batch_size`] chunking of `samples` — formed before
@@ -226,10 +207,11 @@ impl<'a> CoverageAnalyzer<'a> {
         Ok(sets.pop().expect("one set per sample"))
     }
 
-    /// Reference activation set computed the pre-batching way: one full
-    /// forward + backward per `(sample, projection)` pair through
-    /// [`Network::parameter_gradients`], with the direct (non-im2col)
-    /// convolution kernels.
+    /// Reference covered-unit set computed independently of the batched
+    /// engine. For the default [`ParamGradient`] criterion this is the
+    /// pre-batching path: one full forward + backward per
+    /// `(sample, projection)` pair through [`Network::parameter_gradients`],
+    /// with the direct (non-im2col) convolution kernels.
     ///
     /// Kept as the independent baseline the differential tests and the
     /// throughput benchmarks compare the batched engine against.
@@ -238,13 +220,7 @@ impl<'a> CoverageAnalyzer<'a> {
     ///
     /// Returns an error when the sample shape does not match the network input.
     pub fn activation_set_reference(&self, sample: &Tensor) -> Result<Bitset> {
-        let n = self.num_parameters();
-        let mut set = Bitset::new(n);
-        for weights in self.projections() {
-            let grads = self.network.parameter_gradients(sample, &weights)?;
-            self.set_from_grads(&grads, &mut set);
-        }
-        Ok(set)
+        self.criterion.covered_units_reference(self.network, sample)
     }
 
     /// Activation sets for a collection of inputs — the batched, multi-threaded
@@ -288,7 +264,7 @@ impl<'a> CoverageAnalyzer<'a> {
     ///
     /// Returns an error when any sample shape does not match the network input.
     pub fn coverage_of_set(&self, samples: &[Tensor]) -> Result<f32> {
-        let n = self.num_parameters();
+        let n = self.num_units();
         let chunk_unions = par::try_map(
             self.config.exec,
             &self.chunks(samples),
@@ -328,13 +304,13 @@ impl<'a> CoverageAnalyzer<'a> {
     }
 }
 
-/// Validation coverage of a pre-computed family of activation sets (Eq. 4),
-/// without re-running any gradients.
-pub fn coverage_of_sets(sets: &[Bitset], num_parameters: usize) -> f32 {
-    if num_parameters == 0 {
+/// Coverage of a pre-computed family of covered-unit sets (Eq. 4 under the
+/// default criterion), without re-running the criterion.
+pub fn coverage_of_sets(sets: &[Bitset], num_units: usize) -> f32 {
+    if num_units == 0 {
         return 0.0;
     }
-    Bitset::union_of(num_parameters, sets).density()
+    Bitset::union_of(num_units, sets).density()
 }
 
 #[cfg(test)]
@@ -488,6 +464,42 @@ mod tests {
                 serial.activation_set_reference(s).unwrap(),
                 "batched engine disagrees with the per-sample reference at {i}"
             );
+        }
+    }
+
+    #[test]
+    fn criterion_driven_analyzer_reports_criterion_units() {
+        use crate::criterion::{NeuronActivation, TopKNeuron};
+        let net = relu_net();
+        let samples: Vec<Tensor> = (0..5).map(sample).collect();
+        let default = CoverageAnalyzer::new(&net, CoverageConfig::default());
+        assert_eq!(default.num_units(), net.num_parameters());
+        assert_eq!(default.criterion().id(), "param-gradient");
+        let neuron = CoverageAnalyzer::with_criterion(
+            &net,
+            CoverageConfig::default(),
+            Arc::new(NeuronActivation::default()),
+        );
+        // tiny_mlp(4, 8, 3) has one 8-unit activation layer.
+        assert_eq!(neuron.num_units(), 8);
+        let sets = neuron.activation_sets(&samples).unwrap();
+        assert!(sets.iter().all(|s| s.len() == 8));
+        let cov = neuron.coverage_of_set(&samples).unwrap();
+        assert!((0.0..=1.0).contains(&cov));
+        let topk = CoverageAnalyzer::with_criterion(
+            &net,
+            CoverageConfig {
+                exec: ExecPolicy::Threads(3),
+                batch_size: 2,
+                ..CoverageConfig::default()
+            },
+            Arc::new(TopKNeuron { k: 2 }),
+        );
+        let topk_sets = topk.activation_sets(&samples).unwrap();
+        assert!(topk_sets.iter().all(|s| s.count_ones() == 2));
+        // Reference path agrees with the batched path for every criterion.
+        for (i, x) in samples.iter().enumerate() {
+            assert_eq!(topk.activation_set_reference(x).unwrap(), topk_sets[i]);
         }
     }
 

@@ -1,28 +1,37 @@
 //! The unified evaluator layer: one object that owns the network reference,
-//! the batched gradient engine, the execution policy and a content-addressed
-//! activation-set cache.
+//! the batched gradient engine, the coverage criterion, the execution policy
+//! and content-addressed caches.
 //!
 //! The paper's pipeline (coverage analysis → greedy selection → gradient
 //! synthesis → fault detection) re-evaluates the same samples against the same
 //! network at every stage: Fig. 3 sweeps budgets over one candidate pool,
 //! Tables II/III evaluate nested prefixes of one suite, and the combined
 //! generator re-scores its pending synthetic batch against a growing covered
-//! set. [`Evaluator`] makes those repeats near-free: every activation set it
-//! computes is stored in an [`ActivationSetCache`] keyed by
+//! set. [`Evaluator`] makes those repeats near-free: every covered-unit set it
+//! computes is stored in a [`CoveredSetCache`] keyed by
 //!
 //! * the **network fingerprint** — a 128-bit digest of the serialized model
 //!   ([`NetworkFingerprint`]), so any parameter change invalidates silently;
 //! * the **sample content hash** — two independent FNV-1a streams over the
 //!   sample's shape and exact `f32` bit patterns;
-//! * the **coverage-config key** — threshold policy and output projection.
+//! * the **criterion digest** — the coverage criterion's id and configuration
+//!   ([`crate::criterion::criterion_digest`]), so two criteria (or two
+//!   configurations of one criterion) never alias each other's sets.
 //!
 //! The cache holds clones of the computed [`Bitset`]s under an LRU byte
-//! budget, and because activation sets are bit-identical across execution
+//! budget, with hit/miss/eviction counters kept both globally and **per
+//! criterion**. Because covered-unit sets are bit-identical across execution
 //! policies and chunkings (pinned by `tests/parallel_equivalence.rs`), a cache
 //! hit returns exactly the bits a fresh computation would — serial, threaded,
 //! cached and uncached results are all interchangeable.
+//!
+//! A second, structurally identical cache stores **golden forward outputs**
+//! keyed by (fingerprint, sample hash) — the vendor-side suite construction of
+//! [`crate::protocol::FunctionalTestSuite::from_evaluator`] routes through it,
+//! so building suites for nested test prefixes replays no inference.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use std::sync::Mutex;
 
 use dnnip_faults::attacks::Attack;
@@ -33,64 +42,118 @@ use dnnip_tensor::Tensor;
 
 use crate::bitset::Bitset;
 use crate::combined::{self, CombinedConfig, CombinedResult};
-use crate::coverage::{CoverageAnalyzer, CoverageConfig, EpsilonPolicy, OutputProjection};
+use crate::coverage::{CoverageAnalyzer, CoverageConfig};
+use crate::criterion::{criterion_digest, CoverageCriterion};
 use crate::generator::{self, GeneratedTests, GenerationConfig, GenerationMethod};
 use crate::gradgen::{GradGenConfig, GradientGenerator};
 use crate::select::{self, SelectionResult};
 use crate::{CoreError, Result};
 
-/// Default LRU byte budget of an evaluator's activation-set cache (64 MiB —
+/// Default LRU byte budget of an evaluator's covered-unit-set cache (64 MiB —
 /// roughly 8k cached sets for a 65k-parameter model).
 pub const DEFAULT_CACHE_BYTES: usize = 64 * 1024 * 1024;
 
+/// Default LRU byte budget of an evaluator's golden forward-output cache
+/// (outputs are `k` floats each, so 4 MiB holds on the order of 10k suites).
+pub const DEFAULT_OUTPUT_CACHE_BYTES: usize = 4 * 1024 * 1024;
+
 /// Fixed per-entry bookkeeping overhead charged against the byte budget
-/// (key, LRU links, map slot) on top of the bitset's own words.
+/// (key, LRU links, map slot) on top of the value's own bytes.
 const ENTRY_OVERHEAD_BYTES: usize = 96;
 
-/// Cache key: network fingerprint × sample content hash × coverage config.
+/// Cache key: network fingerprint × sample content hash × criterion digest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct CacheKey {
     net: NetworkFingerprint,
     sample: (u64, u64),
-    config: u64,
+    criterion: u64,
 }
 
-/// One cached activation set plus its LRU bookkeeping.
+/// A value storable in a [`ContentCache`]: clonable, with a stable resident
+/// byte estimate.
+pub trait CacheValue: Clone {
+    /// Approximate heap bytes of one resident value (excluding the fixed
+    /// per-entry overhead, which the cache adds itself).
+    fn resident_bytes(&self) -> usize;
+}
+
+impl CacheValue for Bitset {
+    fn resident_bytes(&self) -> usize {
+        self.len().div_ceil(64) * 8
+    }
+}
+
+impl CacheValue for Tensor {
+    fn resident_bytes(&self) -> usize {
+        self.len() * 4
+    }
+}
+
+/// One cached value plus its LRU bookkeeping.
 #[derive(Debug)]
-struct CacheEntry {
-    set: Bitset,
+struct CacheEntry<V> {
+    value: V,
     bytes: usize,
     tick: u64,
+    /// Criterion id the entry is attributed to in the per-criterion counters.
+    criterion: &'static str,
 }
 
-#[derive(Debug, Default)]
-struct CacheInner {
-    map: HashMap<CacheKey, CacheEntry>,
+/// One slice of the cache counters. The whole-cache slice (`total`) only uses
+/// the event counters — its entry/byte gauges are derived from the resident
+/// map at read time; the per-criterion slices maintain their gauges
+/// incrementally (attributed by each entry's criterion id).
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    entries: usize,
+    bytes: usize,
+}
+
+#[derive(Debug)]
+struct CacheInner<V> {
+    map: HashMap<CacheKey, CacheEntry<V>>,
     /// LRU order: `tick -> key`, oldest first. Ticks are unique (monotone
     /// counter), so the BTreeMap is a total order over residents.
     order: BTreeMap<u64, CacheKey>,
     tick: u64,
     bytes: usize,
-    hits: u64,
-    misses: u64,
-    insertions: u64,
-    evictions: u64,
+    total: Counters,
+    /// Counters split by criterion id (insertion order preserved by sorting on
+    /// read; the handful of criteria makes this map tiny).
+    per_criterion: HashMap<&'static str, Counters>,
 }
 
-/// Snapshot of an [`ActivationSetCache`]'s counters.
+impl<V> Default for CacheInner<V> {
+    fn default() -> Self {
+        Self {
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+            bytes: 0,
+            total: Counters::default(),
+            per_criterion: HashMap::new(),
+        }
+    }
+}
+
+/// Snapshot of a cache's counters (whole cache or one criterion's slice).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that required a fresh computation.
     pub misses: u64,
-    /// Sets stored (hits never re-store).
+    /// Values stored (hits never re-store).
     pub insertions: u64,
-    /// Sets dropped to stay under the byte budget.
+    /// Values dropped to stay under the byte budget.
     pub evictions: u64,
     /// Resident entries.
     pub entries: usize,
-    /// Resident bytes (bitset words + per-entry overhead).
+    /// Resident bytes (value bytes + per-entry overhead).
     pub bytes: usize,
     /// Configured byte budget (0 disables the cache).
     pub max_bytes: usize,
@@ -108,19 +171,38 @@ impl CacheStats {
     }
 }
 
-/// Content-addressed LRU cache of activation [`Bitset`]s.
+impl Counters {
+    fn stats(&self, max_bytes: usize) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            entries: self.entries,
+            bytes: self.bytes,
+            max_bytes,
+        }
+    }
+}
+
+/// Content-addressed LRU cache of criterion results.
 ///
 /// Thread-safe behind one mutex; lookups and insertions are O(log n) in the
 /// resident count. Keys are content digests, never references — two evaluators
 /// over byte-identical networks share hits, and a tampered clone of a network
-/// can never alias the original's entries.
+/// can never alias the original's entries. Counters are kept globally and per
+/// criterion id.
 #[derive(Debug)]
-pub struct ActivationSetCache {
+pub struct ContentCache<V: CacheValue> {
     max_bytes: usize,
-    inner: Mutex<CacheInner>,
+    inner: Mutex<CacheInner<V>>,
 }
 
-impl ActivationSetCache {
+/// The evaluator's covered-unit-set cache (one [`Bitset`] per
+/// `(network, sample, criterion)`).
+pub type CoveredSetCache = ContentCache<Bitset>;
+
+impl<V: CacheValue> ContentCache<V> {
     /// Create a cache with the given LRU byte budget (0 disables caching).
     pub fn new(max_bytes: usize) -> Self {
         Self {
@@ -129,31 +211,32 @@ impl ActivationSetCache {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
-        self.inner.lock().expect("activation-set cache lock")
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner<V>> {
+        self.inner.lock().expect("content cache lock")
     }
 
-    fn get(&self, key: &CacheKey) -> Option<Bitset> {
+    fn get(&self, key: &CacheKey, criterion: &'static str) -> Option<V> {
         let mut inner = self.lock();
         // Bump the entry to most-recently-used and record the hit. The map and
         // order structures are updated together under the same lock. Misses
         // are NOT counted here: a request's duplicate lookups of one pending
         // key trigger a single fresh computation, so the caller reports the
-        // distinct-miss count via [`ActivationSetCache::note_misses`].
+        // distinct-miss count via [`ContentCache::note_misses`].
         let entry = inner.map.get(key)?;
         let old_tick = entry.tick;
-        let set = entry.set.clone();
+        let value = entry.value.clone();
         inner.tick += 1;
         let new_tick = inner.tick;
         inner.order.remove(&old_tick);
         inner.order.insert(new_tick, *key);
         inner.map.get_mut(key).expect("entry just observed").tick = new_tick;
-        inner.hits += 1;
-        Some(set)
+        inner.total.hits += 1;
+        inner.per_criterion.entry(criterion).or_default().hits += 1;
+        Some(value)
     }
 
-    fn insert(&self, key: CacheKey, set: &Bitset) {
-        let bytes = set.len().div_ceil(64) * 8 + ENTRY_OVERHEAD_BYTES;
+    fn insert(&self, key: CacheKey, value: &V, criterion: &'static str) {
+        let bytes = value.resident_bytes() + ENTRY_OVERHEAD_BYTES;
         if bytes > self.max_bytes {
             // A single entry larger than the whole budget can never reside.
             return;
@@ -164,6 +247,9 @@ impl ActivationSetCache {
             // replace, keeping the accounting exact.
             inner.order.remove(&existing.tick);
             inner.bytes -= existing.bytes;
+            let prev = inner.per_criterion.entry(existing.criterion).or_default();
+            prev.entries -= 1;
+            prev.bytes -= existing.bytes;
         }
         while inner.bytes + bytes > self.max_bytes {
             let Some((&oldest_tick, &oldest_key)) = inner.order.iter().next() else {
@@ -172,48 +258,141 @@ impl ActivationSetCache {
             inner.order.remove(&oldest_tick);
             let evicted = inner.map.remove(&oldest_key).expect("ordered key resident");
             inner.bytes -= evicted.bytes;
-            inner.evictions += 1;
+            inner.total.evictions += 1;
+            let prev = inner.per_criterion.entry(evicted.criterion).or_default();
+            prev.evictions += 1;
+            prev.entries -= 1;
+            prev.bytes -= evicted.bytes;
         }
         inner.tick += 1;
         let tick = inner.tick;
         inner.order.insert(tick, key);
         inner.bytes += bytes;
-        inner.insertions += 1;
+        inner.total.insertions += 1;
+        let per = inner.per_criterion.entry(criterion).or_default();
+        per.insertions += 1;
+        per.entries += 1;
+        per.bytes += bytes;
         inner.map.insert(
             key,
             CacheEntry {
-                set: set.clone(),
+                value: value.clone(),
                 bytes,
                 tick,
+                criterion,
             },
         );
     }
 
     /// Record `count` lookups that required a fresh computation.
-    fn note_misses(&self, count: u64) {
-        self.lock().misses += count;
+    fn note_misses(&self, count: u64, criterion: &'static str) {
+        let mut inner = self.lock();
+        inner.total.misses += count;
+        inner.per_criterion.entry(criterion).or_default().misses += count;
     }
 
-    /// Current counters.
+    /// Current counters over the whole cache. The entry/byte gauges are read
+    /// straight off the resident map, so they can never drift from the budget
+    /// accounting; only the per-criterion split is maintained incrementally.
     pub fn stats(&self) -> CacheStats {
         let inner = self.lock();
         CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            insertions: inner.insertions,
-            evictions: inner.evictions,
             entries: inner.map.len(),
             bytes: inner.bytes,
-            max_bytes: self.max_bytes,
+            ..inner.total.stats(self.max_bytes)
         }
     }
 
-    /// Drop every resident entry (counters are kept).
+    /// Counters attributed to one criterion id (zeroes when the criterion has
+    /// never touched this cache).
+    pub fn stats_for(&self, criterion: &str) -> CacheStats {
+        self.lock()
+            .per_criterion
+            .get(criterion)
+            .copied()
+            .unwrap_or_default()
+            .stats(self.max_bytes)
+    }
+
+    /// Per-criterion counter snapshots, sorted by criterion id.
+    pub fn stats_by_criterion(&self) -> Vec<(&'static str, CacheStats)> {
+        let inner = self.lock();
+        let mut out: Vec<(&'static str, CacheStats)> = inner
+            .per_criterion
+            .iter()
+            .map(|(&id, c)| (id, c.stats(self.max_bytes)))
+            .collect();
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Serve `samples` through the cache: hits are returned directly, distinct
+    /// misses (deduplicated by key within the request, so a sample repeated in
+    /// one batch is computed and hashed exactly once) are computed in a single
+    /// `compute` call and inserted. Both evaluator caches route through this,
+    /// so the dedup/fill machinery exists exactly once.
+    fn get_or_compute<K, F>(
+        &self,
+        samples: &[Tensor],
+        key_fn: K,
+        label: &'static str,
+        compute: F,
+    ) -> Result<Vec<V>>
+    where
+        K: Fn(&Tensor) -> CacheKey,
+        F: FnOnce(&[Tensor]) -> Result<Vec<V>>,
+    {
+        let mut out: Vec<Option<V>> = (0..samples.len()).map(|_| None).collect();
+        // `miss_indices[p]` lists every output slot the `p`-th distinct miss
+        // fills; keys computed here are kept for the insert pass.
+        let mut miss_keys: Vec<CacheKey> = Vec::new();
+        let mut miss_indices: Vec<Vec<usize>> = Vec::new();
+        let mut miss_samples: Vec<Tensor> = Vec::new();
+        let mut key_to_miss: HashMap<CacheKey, usize> = HashMap::new();
+        for (i, sample) in samples.iter().enumerate() {
+            let key = key_fn(sample);
+            match self.get(&key, label) {
+                Some(value) => out[i] = Some(value),
+                None => match key_to_miss.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(entry) => {
+                        miss_indices[*entry.get()].push(i);
+                    }
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        entry.insert(miss_samples.len());
+                        miss_keys.push(key);
+                        miss_indices.push(vec![i]);
+                        miss_samples.push(sample.clone());
+                    }
+                },
+            }
+        }
+        if !miss_samples.is_empty() {
+            self.note_misses(miss_samples.len() as u64, label);
+            let computed = compute(&miss_samples)?;
+            for ((indices, key), value) in miss_indices.iter().zip(&miss_keys).zip(computed) {
+                self.insert(*key, &value, label);
+                for &i in indices {
+                    out[i] = Some(value.clone());
+                }
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|s| s.expect("every slot filled by hit or computation"))
+            .collect())
+    }
+
+    /// Drop every resident entry (hit/miss/insertion/eviction counters are
+    /// kept; entry/byte gauges reset).
     pub fn clear(&self) {
         let mut inner = self.lock();
         inner.map.clear();
         inner.order.clear();
         inner.bytes = 0;
+        for c in inner.per_criterion.values_mut() {
+            c.entries = 0;
+            c.bytes = 0;
+        }
     }
 }
 
@@ -236,58 +415,50 @@ fn sample_hash(sample: &Tensor) -> (u64, u64) {
     (lo.finish(), hi.finish())
 }
 
-/// Digest of the parts of a [`CoverageConfig`] that influence activation sets
-/// (threshold policy and projection; execution policy and batch size never
-/// change results, so they are deliberately excluded).
-fn config_key(config: &CoverageConfig) -> u64 {
-    let mut h = Fnv1a::new();
-    match config.epsilon {
-        EpsilonPolicy::Exact => h.write_u64(0),
-        EpsilonPolicy::Absolute(eps) => {
-            h.write_u64(1);
-            h.write_u64(eps.to_bits() as u64);
-        }
-        EpsilonPolicy::RelativeToMax(fraction) => {
-            h.write_u64(2);
-            h.write_u64(fraction.to_bits() as u64);
-        }
-        EpsilonPolicy::Auto(fraction) => {
-            h.write_u64(3);
-            h.write_u64(fraction.to_bits() as u64);
-        }
-    }
-    h.write_u64(match config.projection {
-        OutputProjection::SumOfOutputs => 0,
-        OutputProjection::PerClassMax => 1,
-    });
-    h.finish()
-}
+/// Criterion-id label used for forward-output cache counters (outputs are
+/// criterion-independent, so they get their own slice).
+const FORWARD_OUTPUT_LABEL: &str = "forward-output";
 
 /// The unified evaluation front-end: coverage analysis, test generation and
-/// detection experiments over one network, with every activation set flowing
-/// through one content-addressed cache.
+/// detection experiments over one network and one coverage criterion, with
+/// every covered-unit set flowing through one content-addressed cache.
 ///
 /// The evaluator owns a [`CoverageAnalyzer`] (which owns the shared
-/// [`dnnip_nn::batch::BatchGradientEngine`]), the network's
-/// [`NetworkFingerprint`], and an [`ActivationSetCache`]. All higher stages —
-/// [`crate::select`], [`crate::gradgen`], [`crate::combined`],
-/// [`crate::generator`], and the detection harness — take an `&Evaluator`, so
-/// repeated sweeps over overlapping sample pools (Fig. 3 budgets, Table II/III
-/// prefixes) pay for each distinct `(network, sample, config)` gradient
-/// exactly once.
+/// [`dnnip_nn::batch::BatchGradientEngine`] and the
+/// [`crate::criterion::CoverageCriterion`]), the network's
+/// [`NetworkFingerprint`], a [`CoveredSetCache`] and a golden forward-output
+/// cache. All higher stages — [`crate::select`], [`crate::gradgen`],
+/// [`crate::combined`], [`crate::generator`], the protocol's vendor side and
+/// the detection harness — take an `&Evaluator`, so repeated sweeps over
+/// overlapping sample pools (Fig. 3 budgets, Table II/III prefixes) pay for
+/// each distinct `(network, sample, criterion)` evaluation exactly once.
 #[derive(Debug)]
 pub struct Evaluator<'a> {
     analyzer: CoverageAnalyzer<'a>,
     fingerprint: NetworkFingerprint,
-    config_key: u64,
-    cache: ActivationSetCache,
+    criterion_key: u64,
+    cache: CoveredSetCache,
+    output_cache: ContentCache<Tensor>,
 }
 
 impl<'a> Evaluator<'a> {
-    /// Create an evaluator with the default cache budget
-    /// ([`DEFAULT_CACHE_BYTES`]).
+    /// Create an evaluator under the paper's default parameter-gradient
+    /// criterion with the default cache budget ([`DEFAULT_CACHE_BYTES`]).
     pub fn new(network: &'a Network, config: CoverageConfig) -> Self {
         Self::with_cache_bytes(network, config, DEFAULT_CACHE_BYTES)
+    }
+
+    /// Create an evaluator under an explicit coverage criterion with the
+    /// default cache budget.
+    pub fn with_criterion(
+        network: &'a Network,
+        config: CoverageConfig,
+        criterion: Arc<dyn CoverageCriterion>,
+    ) -> Self {
+        Self::from_analyzer(
+            CoverageAnalyzer::with_criterion(network, config, criterion),
+            DEFAULT_CACHE_BYTES,
+        )
     }
 
     /// Create an evaluator with an explicit cache byte budget (0 disables
@@ -297,11 +468,38 @@ impl<'a> Evaluator<'a> {
         config: CoverageConfig,
         max_bytes: usize,
     ) -> Self {
+        Self::from_analyzer(CoverageAnalyzer::new(network, config), max_bytes)
+    }
+
+    /// Create an evaluator under an explicit criterion and cache byte budget.
+    pub fn with_criterion_cache_bytes(
+        network: &'a Network,
+        config: CoverageConfig,
+        criterion: Arc<dyn CoverageCriterion>,
+        max_bytes: usize,
+    ) -> Self {
+        Self::from_analyzer(
+            CoverageAnalyzer::with_criterion(network, config, criterion),
+            max_bytes,
+        )
+    }
+
+    fn from_analyzer(analyzer: CoverageAnalyzer<'a>, max_bytes: usize) -> Self {
+        let fingerprint = NetworkFingerprint::of(analyzer.network());
+        let criterion_key = criterion_digest(analyzer.criterion().as_ref());
+        // The output cache is disabled together with the set cache so a zero
+        // budget really is the raw compute path end to end.
+        let output_bytes = if max_bytes == 0 {
+            0
+        } else {
+            DEFAULT_OUTPUT_CACHE_BYTES
+        };
         Self {
-            analyzer: CoverageAnalyzer::new(network, config),
-            fingerprint: NetworkFingerprint::of(network),
-            config_key: config_key(&config),
-            cache: ActivationSetCache::new(max_bytes),
+            analyzer,
+            fingerprint,
+            criterion_key,
+            cache: CoveredSetCache::new(max_bytes),
+            output_cache: ContentCache::new(output_bytes),
         }
     }
 
@@ -315,36 +513,73 @@ impl<'a> Evaluator<'a> {
         &self.analyzer
     }
 
+    /// The coverage criterion this evaluator computes.
+    pub fn criterion(&self) -> &Arc<dyn CoverageCriterion> {
+        self.analyzer.criterion()
+    }
+
     /// The network's content fingerprint.
     pub fn fingerprint(&self) -> NetworkFingerprint {
         self.fingerprint
     }
 
-    /// Total number of parameters (the length of every activation set).
+    /// Total number of parameters of the evaluated network.
     pub fn num_parameters(&self) -> usize {
         self.analyzer.num_parameters()
     }
 
-    /// Snapshot of the activation-set cache counters.
+    /// Number of coverable units under this evaluator's criterion (the length
+    /// of every covered-unit set).
+    pub fn num_units(&self) -> usize {
+        self.analyzer.num_units()
+    }
+
+    /// Snapshot of the covered-unit-set cache counters (all criteria).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
-    /// Drop all cached activation sets (counters survive).
+    /// Covered-unit-set cache counters attributed to this evaluator's
+    /// criterion.
+    pub fn criterion_cache_stats(&self) -> CacheStats {
+        self.cache.stats_for(self.criterion().id())
+    }
+
+    /// Per-criterion covered-unit-set cache counters, sorted by criterion id.
+    pub fn cache_stats_by_criterion(&self) -> Vec<(&'static str, CacheStats)> {
+        self.cache.stats_by_criterion()
+    }
+
+    /// Snapshot of the golden forward-output cache counters.
+    pub fn output_cache_stats(&self) -> CacheStats {
+        self.output_cache.stats()
+    }
+
+    /// Drop all cached covered-unit sets and forward outputs (counters
+    /// survive).
     pub fn clear_cache(&self) {
         self.cache.clear();
+        self.output_cache.clear();
     }
 
     fn key_for(&self, sample: &Tensor) -> CacheKey {
         CacheKey {
             net: self.fingerprint,
             sample: sample_hash(sample),
-            config: self.config_key,
+            criterion: self.criterion_key,
         }
     }
 
-    /// Activation sets for a collection of inputs — the cache-aware version of
-    /// [`CoverageAnalyzer::activation_sets`].
+    fn output_key_for(&self, sample: &Tensor) -> CacheKey {
+        CacheKey {
+            net: self.fingerprint,
+            sample: sample_hash(sample),
+            criterion: 0,
+        }
+    }
+
+    /// Covered-unit sets for a collection of inputs — the cache-aware version
+    /// of [`CoverageAnalyzer::activation_sets`].
     ///
     /// Cached samples are served without touching the network; the misses run
     /// through the analyzer's batched, possibly multi-threaded path in one
@@ -360,49 +595,15 @@ impl<'a> Evaluator<'a> {
             // budget of zero really is the raw analyzer path.
             return self.analyzer.activation_sets(samples);
         }
-        let mut out: Vec<Option<Bitset>> = (0..samples.len()).map(|_| None).collect();
-        // Misses are deduplicated within the request by cache key (a sample
-        // repeated in one batch is computed once); `miss_indices[p]` lists
-        // every output slot the `p`-th distinct miss fills. Keys computed here
-        // are kept for the insert pass, so each sample is hashed exactly once.
-        let mut miss_keys: Vec<CacheKey> = Vec::new();
-        let mut miss_indices: Vec<Vec<usize>> = Vec::new();
-        let mut miss_samples: Vec<Tensor> = Vec::new();
-        let mut key_to_miss: HashMap<CacheKey, usize> = HashMap::new();
-        for (i, sample) in samples.iter().enumerate() {
-            let key = self.key_for(sample);
-            match self.cache.get(&key) {
-                Some(set) => out[i] = Some(set),
-                None => match key_to_miss.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(entry) => {
-                        miss_indices[*entry.get()].push(i);
-                    }
-                    std::collections::hash_map::Entry::Vacant(entry) => {
-                        entry.insert(miss_samples.len());
-                        miss_keys.push(key);
-                        miss_indices.push(vec![i]);
-                        miss_samples.push(sample.clone());
-                    }
-                },
-            }
-        }
-        if !miss_samples.is_empty() {
-            self.cache.note_misses(miss_samples.len() as u64);
-            let computed = self.analyzer.activation_sets(&miss_samples)?;
-            for ((indices, key), set) in miss_indices.iter().zip(&miss_keys).zip(computed) {
-                self.cache.insert(*key, &set);
-                for &i in indices {
-                    out[i] = Some(set.clone());
-                }
-            }
-        }
-        Ok(out
-            .into_iter()
-            .map(|s| s.expect("every slot filled by hit or computation"))
-            .collect())
+        self.cache.get_or_compute(
+            samples,
+            |sample| self.key_for(sample),
+            self.criterion().id(),
+            |misses| self.analyzer.activation_sets(misses),
+        )
     }
 
-    /// The activation set of a single input (cache-aware).
+    /// The covered-unit set of a single input (cache-aware).
     ///
     /// # Errors
     ///
@@ -412,7 +613,8 @@ impl<'a> Evaluator<'a> {
         Ok(sets.pop().expect("one set per sample"))
     }
 
-    /// Validation coverage of a single input (Eq. 3), cache-aware.
+    /// Coverage of a single input (Eq. 3 under the default criterion),
+    /// cache-aware.
     ///
     /// # Errors
     ///
@@ -421,18 +623,19 @@ impl<'a> Evaluator<'a> {
         Ok(self.activation_set(sample)?.density())
     }
 
-    /// Validation coverage of a test set (Eq. 4), cache-aware: density of the
-    /// exact bitwise union of the members' activation sets.
+    /// Coverage of a test set (Eq. 4 under the default criterion),
+    /// cache-aware: density of the exact bitwise union of the members'
+    /// covered-unit sets.
     ///
     /// # Errors
     ///
     /// Returns an error when any sample shape does not match the network input.
     pub fn coverage_of_set(&self, samples: &[Tensor]) -> Result<f32> {
         let sets = self.activation_sets(samples)?;
-        Ok(Bitset::union_of(self.num_parameters(), &sets).density())
+        Ok(Bitset::union_of(self.num_units(), &sets).density())
     }
 
-    /// Mean per-sample validation coverage (Fig. 2 comparison), cache-aware.
+    /// Mean per-sample coverage (Fig. 2 comparison), cache-aware.
     ///
     /// # Errors
     ///
@@ -447,8 +650,38 @@ impl<'a> Evaluator<'a> {
         Ok(total / samples.len() as f32)
     }
 
-    /// Algorithm 1 end to end: activation sets for `candidates` (through the
-    /// cache), then greedy max-coverage selection.
+    /// Golden forward outputs for `samples` (vendor-side suite construction),
+    /// cached by (network fingerprint, sample content hash).
+    ///
+    /// Outputs are computed per sample through [`Network::forward_sample`] —
+    /// exactly what [`crate::protocol::FunctionalTestSuite::from_network`]
+    /// computes — fanned out over the evaluator's execution policy, so cached,
+    /// fresh, serial and threaded golden outputs are bit-identical. Repeated
+    /// suite construction over overlapping test prefixes replays no inference.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any sample shape does not match the network input.
+    pub fn forward_outputs(&self, samples: &[Tensor]) -> Result<Vec<Tensor>> {
+        let infer = |misses: &[Tensor]| {
+            crate::par::try_map(self.analyzer.config().exec, misses, |x| -> Result<Tensor> {
+                Ok(self.network().forward_sample(x)?)
+            })
+        };
+        if self.output_cache.max_bytes == 0 {
+            return infer(samples);
+        }
+        self.output_cache.get_or_compute(
+            samples,
+            |sample| self.output_key_for(sample),
+            FORWARD_OUTPUT_LABEL,
+            infer,
+        )
+    }
+
+    /// Algorithm 1 end to end: covered-unit sets for `candidates` (through the
+    /// cache), then greedy max-coverage selection under this evaluator's
+    /// criterion.
     ///
     /// # Errors
     ///
@@ -462,9 +695,13 @@ impl<'a> Evaluator<'a> {
     }
 
     /// A gradient generator sharing this evaluator's batched engine (its
-    /// precomputed per-layer weight matrices are cloned, not re-derived).
+    /// precomputed per-layer weight matrices are cloned, not re-derived) and
+    /// the criterion's synthesis objective, when it supplies one (criteria
+    /// without a gradient hook fall back to the paper's cross-entropy
+    /// objective).
     pub fn gradient_generator(&self, config: GradGenConfig) -> GradientGenerator<'a> {
         GradientGenerator::with_engine(self.analyzer.engine().clone(), config)
+            .with_objective(self.criterion().gradient_objective())
     }
 
     /// The combined generator (Section IV-D) through this evaluator.
@@ -535,6 +772,8 @@ impl<'a> Evaluator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coverage::EpsilonPolicy;
+    use crate::criterion::{NeuronActivation, ParamGradient, TopKNeuron};
     use crate::par::ExecPolicy;
     use dnnip_nn::layers::Activation;
     use dnnip_nn::zoo;
@@ -565,6 +804,14 @@ mod tests {
         assert_eq!(stats.insertions, 8);
         assert_eq!(stats.entries, 8);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        // Per-criterion counters see the same traffic under the criterion id.
+        let per = evaluator.criterion_cache_stats();
+        assert_eq!(per.hits, 8);
+        assert_eq!(per.misses, 8);
+        assert_eq!(per.entries, 8);
+        let by = evaluator.cache_stats_by_criterion();
+        assert_eq!(by.len(), 1);
+        assert_eq!(by[0].0, "param-gradient");
     }
 
     #[test]
@@ -597,15 +844,28 @@ mod tests {
         let a = Evaluator::new(&network, CoverageConfig::default());
         let b = Evaluator::new(&tampered, CoverageConfig::default());
         assert_ne!(a.fingerprint(), b.fingerprint());
-        // Different configs address different entries too.
+        // Different criterion configs address different entries too.
         let strict = Evaluator::new(
             &network,
             CoverageConfig {
-                epsilon: crate::coverage::EpsilonPolicy::Absolute(0.1),
+                epsilon: EpsilonPolicy::Absolute(0.1),
                 ..CoverageConfig::default()
             },
         );
-        assert_ne!(a.config_key, strict.config_key);
+        assert_ne!(a.criterion_key, strict.criterion_key);
+        // And different criteria have different keys entirely.
+        let neuron = Evaluator::with_criterion(
+            &network,
+            CoverageConfig::default(),
+            Arc::new(NeuronActivation::default()),
+        );
+        let topk = Evaluator::with_criterion(
+            &network,
+            CoverageConfig::default(),
+            Arc::new(TopKNeuron::default()),
+        );
+        assert_ne!(a.criterion_key, neuron.criterion_key);
+        assert_ne!(neuron.criterion_key, topk.criterion_key);
     }
 
     #[test]
@@ -624,6 +884,11 @@ mod tests {
         assert!(stats.evictions > 0, "tiny budget must evict");
         assert!(stats.entries <= 2);
         assert!(stats.bytes <= entry * 2);
+        // Per-criterion gauges track the same residency.
+        let per = evaluator.criterion_cache_stats();
+        assert_eq!(per.entries, stats.entries);
+        assert_eq!(per.bytes, stats.bytes);
+        assert_eq!(per.evictions, stats.evictions);
     }
 
     #[test]
@@ -638,6 +903,11 @@ mod tests {
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.insertions, 0);
         assert_eq!(stats.entries, 0);
+        // The forward-output cache is disabled alongside.
+        let g1 = evaluator.forward_outputs(&pool).unwrap();
+        let g2 = evaluator.forward_outputs(&pool).unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(evaluator.output_cache_stats().hits, 0);
     }
 
     #[test]
@@ -677,5 +947,114 @@ mod tests {
         assert_eq!(a0, b0);
         assert_eq!(a1, b1);
         assert_eq!(a0, a1);
+    }
+
+    #[test]
+    fn criterion_evaluators_use_criterion_units_and_caches() {
+        let network = net();
+        let pool = samples(6);
+        let neuron = Evaluator::with_criterion(
+            &network,
+            CoverageConfig::default(),
+            Arc::new(NeuronActivation::default()),
+        );
+        assert_eq!(neuron.num_units(), 12);
+        assert_eq!(neuron.criterion().id(), "neuron-activation");
+        let fresh = CoverageAnalyzer::with_criterion(
+            &network,
+            CoverageConfig::default(),
+            Arc::new(NeuronActivation::default()),
+        )
+        .activation_sets(&pool)
+        .unwrap();
+        let cold = neuron.activation_sets(&pool).unwrap();
+        let warm = neuron.activation_sets(&pool).unwrap();
+        assert_eq!(cold, fresh);
+        assert_eq!(warm, fresh);
+        let per = neuron.criterion_cache_stats();
+        assert_eq!(per.misses as usize, pool.len());
+        assert_eq!(per.hits as usize, pool.len());
+        // The param-gradient slice of this evaluator's cache is untouched.
+        assert_eq!(
+            neuron.cache.stats_for("param-gradient"),
+            CacheStats {
+                max_bytes: neuron.cache.max_bytes,
+                ..CacheStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn same_criterion_different_config_never_aliases() {
+        let network = net();
+        let pool = samples(4);
+        let loose = Evaluator::with_criterion(
+            &network,
+            CoverageConfig::default(),
+            Arc::new(NeuronActivation { threshold: 0.0 }),
+        );
+        let strict = Evaluator::with_criterion(
+            &network,
+            CoverageConfig::default(),
+            Arc::new(NeuronActivation { threshold: 1.5 }),
+        );
+        assert_ne!(loose.criterion_key, strict.criterion_key);
+        let a = loose.activation_sets(&pool).unwrap();
+        let b = strict.activation_sets(&pool).unwrap();
+        // Different thresholds genuinely see different sets on this pool.
+        assert!(a
+            .iter()
+            .zip(&b)
+            .any(|(x, y)| x.count_ones() != y.count_ones()));
+    }
+
+    #[test]
+    fn forward_outputs_are_cached_and_match_direct_inference() {
+        let network = net();
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
+        let pool = samples(5);
+        let cold = evaluator.forward_outputs(&pool).unwrap();
+        for (x, golden) in pool.iter().zip(&cold) {
+            assert_eq!(golden, &network.forward_sample(x).unwrap());
+        }
+        // A prefix replay is answered entirely from the cache.
+        let warm = evaluator.forward_outputs(&pool[..3]).unwrap();
+        assert_eq!(warm, cold[..3].to_vec());
+        let stats = evaluator.output_cache_stats();
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.hits, 3);
+        // Duplicates within one request compute once.
+        let dup = vec![pool[0].clone(), pool[0].clone()];
+        evaluator.forward_outputs(&dup).unwrap();
+        assert_eq!(evaluator.output_cache_stats().misses, 5);
+    }
+
+    #[test]
+    fn criterion_gradient_generators_pick_up_the_objective() {
+        let network = net();
+        let pg = Evaluator::new(&network, CoverageConfig::default());
+        let nk = Evaluator::with_criterion(
+            &network,
+            CoverageConfig::default(),
+            Arc::new(NeuronActivation::default()),
+        );
+        let config = GradGenConfig {
+            steps: 4,
+            ..GradGenConfig::default()
+        };
+        assert_eq!(pg.gradient_generator(config).objective_name(), None);
+        assert_eq!(
+            nk.gradient_generator(config).objective_name(),
+            Some("target-logit")
+        );
+        // ParamGradient evaluators produce exactly the plain generator's batch.
+        let mut via_eval = pg.gradient_generator(config);
+        let mut plain = GradientGenerator::new(&network, config);
+        let a = via_eval.generate_batch().unwrap();
+        let b = plain.generate_batch().unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.input, y.input);
+        }
+        let _ = ParamGradient::default();
     }
 }

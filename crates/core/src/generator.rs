@@ -91,9 +91,9 @@ impl Default for GenerationConfig {
 pub struct GeneratedTests {
     /// The functional-test inputs, in generation order.
     pub inputs: Vec<Tensor>,
-    /// Validation (parameter) coverage after each test, regardless of which
-    /// metric drove the generation — so methods are always compared on the
-    /// paper's metric.
+    /// Coverage under the evaluator's criterion after each test, regardless of
+    /// which strategy drove the generation — so methods are always compared on
+    /// one metric (the paper's parameter-gradient metric by default).
     pub coverage_curve: Vec<f32>,
     /// The method that produced the tests.
     pub method: GenerationMethod,
@@ -116,13 +116,13 @@ impl GeneratedTests {
     }
 }
 
-/// Compute the parameter-coverage curve of an ordered list of tests: one
-/// batched (possibly multi-threaded, cache-aware) coverage pass, then a serial
-/// prefix-union. Tests whose sets were already computed during generation —
+/// Compute the coverage curve of an ordered list of tests under the
+/// evaluator's criterion: one batched (possibly multi-threaded, cache-aware)
+/// coverage pass, then a serial prefix-union. Tests whose sets were already computed during generation —
 /// e.g. every training sample the combined generator scored — are cache hits.
 fn coverage_curve(evaluator: &Evaluator<'_>, inputs: &[Tensor]) -> Result<Vec<f32>> {
     let sets = evaluator.activation_sets(inputs)?;
-    let mut covered = crate::bitset::Bitset::new(evaluator.num_parameters());
+    let mut covered = crate::bitset::Bitset::new(evaluator.num_units());
     let mut curve = Vec::with_capacity(inputs.len());
     for set in &sets {
         covered.union_with(set);

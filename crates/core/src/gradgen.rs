@@ -24,6 +24,8 @@
 //! via [`GradGenConfig::init_noise`]); round 0 uses the paper's all-zero start.
 //! The deviation is recorded in DESIGN.md.
 
+use std::sync::Arc;
+
 use dnnip_nn::batch::BatchGradientEngine;
 use dnnip_nn::loss::cross_entropy;
 use dnnip_nn::Network;
@@ -31,6 +33,7 @@ use dnnip_tensor::{ops, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::criterion::GradientObjective;
 use crate::par::{self, ExecPolicy};
 use crate::{CoreError, Result};
 
@@ -83,12 +86,20 @@ pub struct SyntheticTest {
 }
 
 /// Gradient-based test generator (Algorithm 2), running on the batched engine.
+///
+/// The descent objective defaults to the paper's softmax cross-entropy
+/// (Eq. 8); a [`crate::criterion::CoverageCriterion`] may substitute its own
+/// [`GradientObjective`] through [`GradientGenerator::with_objective`] (the
+/// [`crate::eval::Evaluator`] wires this automatically).
 #[derive(Debug, Clone)]
 pub struct GradientGenerator<'a> {
     engine: BatchGradientEngine<'a>,
     config: GradGenConfig,
     rng: StdRng,
     round: usize,
+    /// Criterion-supplied synthesis objective; `None` falls back to the
+    /// paper's cross-entropy objective (the exact pre-hook code path).
+    objective: Option<Arc<dyn GradientObjective>>,
 }
 
 impl<'a> GradientGenerator<'a> {
@@ -106,7 +117,22 @@ impl<'a> GradientGenerator<'a> {
             config,
             rng: StdRng::seed_from_u64(config.seed),
             round: 0,
+            objective: None,
         }
+    }
+
+    /// Replace the synthesis objective (`None` restores the paper's
+    /// cross-entropy descent). Builder-style so the evaluator can attach a
+    /// criterion's gradient hook in one expression.
+    pub fn with_objective(mut self, objective: Option<Arc<dyn GradientObjective>>) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Name of the criterion-supplied objective, or `None` when the generator
+    /// runs the paper's cross-entropy descent.
+    pub fn objective_name(&self) -> Option<&'static str> {
+        self.objective.as_ref().map(|o| o.name())
     }
 
     /// The network tests are generated for.
@@ -139,10 +165,23 @@ impl<'a> GradientGenerator<'a> {
                 par::try_map(self.config.exec, &indices, |&s| -> Result<(Tensor, f32)> {
                     let target = targets[s];
                     let logits = ops::row(pass.output(), s)?.reshape(&[1, classes])?;
-                    let loss = cross_entropy(&logits, &[target])?;
-                    let grad = self
-                        .engine
-                        .input_gradient(&pass, s, loss.grad_logits.data())?;
+                    // The gradient extraction stays inside each arm so the
+                    // default cross-entropy path passes its logit-gradient
+                    // slice straight through without a per-step allocation.
+                    let (loss_value, grad) = match &self.objective {
+                        Some(objective) => {
+                            let (value, grad_logits) =
+                                objective.loss_and_logit_grad(&logits, target)?;
+                            (value, self.engine.input_gradient(&pass, s, &grad_logits)?)
+                        }
+                        None => {
+                            let loss = cross_entropy(&logits, &[target])?;
+                            let grad =
+                                self.engine
+                                    .input_gradient(&pass, s, loss.grad_logits.data())?;
+                            (loss.value, grad)
+                        }
+                    };
                     let mut x = states[s].clone();
                     if grad.max_abs() == 0.0 {
                         // Dead start: with an all-zero input a ReLU network can
@@ -164,7 +203,7 @@ impl<'a> GradientGenerator<'a> {
                     if let Some((lo, hi)) = self.config.clamp {
                         x = x.clamp(lo, hi);
                     }
-                    Ok((x, loss.value))
+                    Ok((x, loss_value))
                 })?;
             for (s, (next, loss)) in stepped.into_iter().enumerate() {
                 states[s] = next;
@@ -349,6 +388,40 @@ mod tests {
                 assert_eq!(t.classified_correctly, reference.classified_correctly);
             }
         }
+    }
+
+    #[test]
+    fn target_logit_objective_drives_the_target_logit_up() {
+        use crate::criterion::TargetLogitObjective;
+        let network = net();
+        let config = GradGenConfig {
+            eta: 0.5,
+            steps: 25,
+            clamp: None,
+            ..GradGenConfig::default()
+        };
+        let generator = GradientGenerator::new(&network, config)
+            .with_objective(Some(Arc::new(TargetLogitObjective)));
+        assert_eq!(generator.objective_name(), Some("target-logit"));
+        let zero = Tensor::zeros(&[6]);
+        let start_logit = network.forward_sample(&zero).unwrap().data()[1];
+        let result = generator.synthesize(&zero, 1).unwrap();
+        let end_logit = network.forward_sample(&result.input).unwrap().data()[1];
+        assert!(
+            end_logit > start_logit,
+            "target logit did not rise: {start_logit} -> {end_logit}"
+        );
+        // The recorded loss is the negated target logit of the penultimate step.
+        assert!(result.final_loss <= -start_logit + 1e-6);
+        // Resetting the objective restores the paper's descent bit-for-bit.
+        let plain = GradientGenerator::new(&network, config);
+        let reset = GradientGenerator::new(&network, config)
+            .with_objective(Some(Arc::new(TargetLogitObjective)))
+            .with_objective(None);
+        assert_eq!(
+            plain.synthesize(&zero, 1).unwrap().input,
+            reset.synthesize(&zero, 1).unwrap().input
+        );
     }
 
     #[test]

@@ -12,8 +12,13 @@
 //! This crate implements every piece of that pipeline:
 //!
 //! * [`bitset`] — compact activation sets over the flat parameter space.
-//! * [`coverage`] — the paper's validation-coverage metric (Eq. 2–5): a parameter
-//!   is *activated* by input `x` when `∇θ F(x)` is non-zero (ReLU) or exceeds an
+//! * [`criterion`] — the pluggable [`criterion::CoverageCriterion`] layer: what
+//!   counts as a covered unit. Ships the paper's parameter-gradient metric (the
+//!   default), forward-only neuron-activation coverage and top-k neuron
+//!   coverage, plus per-criterion synthesis objectives.
+//! * [`coverage`] — the criterion-driven analyzer. Under the default criterion
+//!   this is the paper's validation-coverage metric (Eq. 2–5): a parameter is
+//!   *activated* by input `x` when `∇θ F(x)` is non-zero (ReLU) or exceeds an
 //!   ε threshold (saturating activations).
 //! * [`neuron`] — the neuron-coverage metric used by the hardware-testing
 //!   baseline the paper compares against (its Tables II/III "tests with neuron
@@ -63,6 +68,7 @@ mod error;
 pub mod bitset;
 pub mod combined;
 pub mod coverage;
+pub mod criterion;
 pub mod eval;
 pub mod generator;
 pub mod gradgen;

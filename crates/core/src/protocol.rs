@@ -18,6 +18,7 @@ use dnnip_faults::detection::MatchPolicy;
 use dnnip_nn::Network;
 use dnnip_tensor::Tensor;
 
+use crate::eval::Evaluator;
 use crate::{CoreError, Result};
 
 /// The vendor's released validation package: functional tests plus golden
@@ -70,6 +71,61 @@ impl FunctionalTestSuite {
             inputs,
             golden_outputs,
             policy,
+        })
+    }
+
+    /// Vendor side, cache-aware: compute golden outputs through `evaluator`'s
+    /// forward-output cache ([`Evaluator::forward_outputs`]).
+    ///
+    /// Golden outputs are bit-identical to
+    /// [`FunctionalTestSuite::from_network`] on the same network; the win is
+    /// that repeated suite construction over overlapping test prefixes (the
+    /// Table II/III budget sweeps, [`FunctionalTestSuite::prefix`] refreshes)
+    /// replays no inference for already-seen tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSuite`] for an empty test list and propagates
+    /// inference errors for incompatible shapes.
+    pub fn from_evaluator(
+        evaluator: &Evaluator<'_>,
+        inputs: Vec<Tensor>,
+        policy: MatchPolicy,
+    ) -> Result<Self> {
+        if inputs.is_empty() {
+            return Err(CoreError::InvalidSuite {
+                reason: "a functional-test suite needs at least one test".to_string(),
+            });
+        }
+        let golden_outputs = evaluator.forward_outputs(&inputs)?;
+        Ok(Self {
+            inputs,
+            golden_outputs,
+            policy,
+        })
+    }
+
+    /// The suite of the first `n` tests (golden outputs are reused, not
+    /// recomputed) — how a vendor derives the nested budgets of the paper's
+    /// Table II/III sweeps from one maximal suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSuite`] when `n` is zero or exceeds the
+    /// suite length.
+    pub fn prefix(&self, n: usize) -> Result<Self> {
+        if n == 0 || n > self.inputs.len() {
+            return Err(CoreError::InvalidSuite {
+                reason: format!(
+                    "prefix length {n} out of range for a suite of {}",
+                    self.inputs.len()
+                ),
+            });
+        }
+        Ok(Self {
+            inputs: self.inputs[..n].to_vec(),
+            golden_outputs: self.golden_outputs[..n].to_vec(),
+            policy: self.policy,
         })
     }
 
@@ -324,6 +380,41 @@ mod tests {
     fn empty_suite_is_rejected() {
         let network = net();
         assert!(FunctionalTestSuite::from_network(&network, vec![], MatchPolicy::ArgMax).is_err());
+    }
+
+    #[test]
+    fn evaluator_built_suite_matches_from_network_and_caches_prefixes() {
+        use crate::coverage::CoverageConfig;
+        let network = net();
+        let inputs = tests_for(&network, 6);
+        let evaluator = Evaluator::new(&network, CoverageConfig::default());
+        let policy = MatchPolicy::OutputTolerance(1e-4);
+        let via_eval =
+            FunctionalTestSuite::from_evaluator(&evaluator, inputs.clone(), policy).unwrap();
+        let via_net = FunctionalTestSuite::from_network(&network, inputs.clone(), policy).unwrap();
+        assert_eq!(via_eval, via_net, "golden outputs must be bit-identical");
+        // Re-building nested prefixes replays no inference: all cache hits.
+        let misses_before = evaluator.output_cache_stats().misses;
+        for n in [1usize, 3, 6] {
+            let sub = FunctionalTestSuite::from_evaluator(&evaluator, inputs[..n].to_vec(), policy)
+                .unwrap();
+            assert_eq!(sub.golden_outputs, via_net.golden_outputs[..n].to_vec());
+        }
+        assert_eq!(
+            evaluator.output_cache_stats().misses,
+            misses_before,
+            "prefix suites recomputed golden outputs"
+        );
+        // The prefix helper agrees with a freshly built sub-suite.
+        let pre = via_eval.prefix(3).unwrap();
+        assert_eq!(pre.len(), 3);
+        assert_eq!(pre.golden_outputs, via_net.golden_outputs[..3].to_vec());
+        assert!(pre.validate(&FloatIp::new(network.clone())).unwrap().passed);
+        assert!(via_eval.prefix(0).is_err());
+        assert!(via_eval.prefix(7).is_err());
+        assert!(
+            FunctionalTestSuite::from_evaluator(&evaluator, vec![], MatchPolicy::ArgMax).is_err()
+        );
     }
 
     #[test]

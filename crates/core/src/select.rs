@@ -35,7 +35,9 @@ impl SelectionResult {
     }
 }
 
-/// Greedy max-coverage selection over pre-computed activation sets.
+/// Greedy max-coverage selection over pre-computed covered-unit sets (any
+/// [`crate::criterion::CoverageCriterion`]'s — the algorithm only sees
+/// bitsets over `num_units` positions).
 ///
 /// Selects at most `max_tests` candidates; stops early when no candidate adds any
 /// new coverage (additional tests would be wasted).
@@ -43,33 +45,33 @@ impl SelectionResult {
 /// # Errors
 ///
 /// Returns [`CoreError::EmptyCandidatePool`] when `sets` is empty and
-/// [`CoreError::InvalidConfig`] when `num_parameters` is zero or a set has the
+/// [`CoreError::InvalidConfig`] when `num_units` is zero or a set has the
 /// wrong length.
 pub fn greedy_select(
     sets: &[Bitset],
-    num_parameters: usize,
+    num_units: usize,
     max_tests: usize,
 ) -> Result<SelectionResult> {
     if sets.is_empty() {
         return Err(CoreError::EmptyCandidatePool);
     }
-    if num_parameters == 0 {
+    if num_units == 0 {
         return Err(CoreError::InvalidConfig {
-            reason: "network has no parameters".to_string(),
+            reason: "criterion has no coverable units".to_string(),
         });
     }
-    if let Some(bad) = sets.iter().find(|s| s.len() != num_parameters) {
+    if let Some(bad) = sets.iter().find(|s| s.len() != num_units) {
         return Err(CoreError::InvalidConfig {
             reason: format!(
-                "activation set length {} does not match parameter count {num_parameters}",
+                "covered-unit set length {} does not match unit count {num_units}",
                 bad.len()
             ),
         });
     }
 
-    let mut covered = Bitset::new(num_parameters);
+    let mut covered = Bitset::new(num_units);
     let mut result = SelectionResult {
-        covered: Bitset::new(num_parameters),
+        covered: Bitset::new(num_units),
         ..SelectionResult::default()
     };
 
@@ -102,7 +104,7 @@ pub fn greedy_select(
             result.selected.push(candidate);
             result
                 .coverage_curve
-                .push(covered.count_ones() as f32 / num_parameters as f32);
+                .push(covered.count_ones() as f32 / num_units as f32);
             round += 1;
         } else {
             // Stale bound: recompute against the current covered set and re-queue.
@@ -114,10 +116,11 @@ pub fn greedy_select(
     Ok(result)
 }
 
-/// Convenience wrapper: compute activation sets for `candidates` through
-/// `evaluator`'s content-addressed cache and run [`greedy_select`] —
-/// Algorithm 1 end to end. Re-running a selection over an overlapping pool
-/// (e.g. a larger budget on the same candidates) reuses every cached set.
+/// Convenience wrapper: compute covered-unit sets for `candidates` through
+/// `evaluator`'s content-addressed cache (under its coverage criterion) and
+/// run [`greedy_select`] — Algorithm 1 end to end. Re-running a selection over
+/// an overlapping pool (e.g. a larger budget on the same candidates) reuses
+/// every cached set.
 ///
 /// # Errors
 ///
@@ -131,7 +134,7 @@ pub fn select_from_training_set(
         return Err(CoreError::EmptyCandidatePool);
     }
     let sets = evaluator.activation_sets(candidates)?;
-    greedy_select(&sets, evaluator.num_parameters(), max_tests)
+    greedy_select(&sets, evaluator.num_units(), max_tests)
 }
 
 /// Reference implementation of Algorithm 1 exactly as written in the paper
@@ -144,20 +147,20 @@ pub fn select_from_training_set(
 /// Same error conditions as [`greedy_select`].
 pub fn greedy_select_naive(
     sets: &[Bitset],
-    num_parameters: usize,
+    num_units: usize,
     max_tests: usize,
 ) -> Result<SelectionResult> {
     if sets.is_empty() {
         return Err(CoreError::EmptyCandidatePool);
     }
-    if num_parameters == 0 {
+    if num_units == 0 {
         return Err(CoreError::InvalidConfig {
-            reason: "network has no parameters".to_string(),
+            reason: "criterion has no coverable units".to_string(),
         });
     }
-    let mut covered = Bitset::new(num_parameters);
+    let mut covered = Bitset::new(num_units);
     let mut result = SelectionResult {
-        covered: Bitset::new(num_parameters),
+        covered: Bitset::new(num_units),
         ..SelectionResult::default()
     };
     let mut taken = vec![false; sets.len()];
@@ -185,7 +188,7 @@ pub fn greedy_select_naive(
         result.selected.push(index);
         result
             .coverage_curve
-            .push(covered.count_ones() as f32 / num_parameters as f32);
+            .push(covered.count_ones() as f32 / num_units as f32);
     }
     result.covered = covered;
     Ok(result)

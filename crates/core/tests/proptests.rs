@@ -3,6 +3,10 @@
 
 use dnnip_core::bitset::Bitset;
 use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig, EpsilonPolicy};
+use dnnip_core::criterion::{
+    builtin_criteria, criterion_digest, CoverageCriterion, NeuronActivation, ParamGradient,
+    TopKNeuron,
+};
 use dnnip_core::eval::Evaluator;
 use dnnip_core::protocol::FunctionalTestSuite;
 use dnnip_core::select::{greedy_select, greedy_select_naive};
@@ -178,6 +182,99 @@ proptest! {
         let stats = evaluator.cache_stats();
         prop_assert_eq!(stats.misses as usize, n);
         prop_assert_eq!(stats.hits as usize, n);
+    }
+
+    #[test]
+    fn every_criterion_coverage_is_monotone_under_sample_union(
+        seed in 0u64..100,
+        n in 2usize..8,
+        split in 1usize..7,
+    ) {
+        // For any criterion, adding samples to a test set can only add covered
+        // units: coverage(S) <= coverage(S ∪ T), exactly (bitwise union).
+        let net = zoo::tiny_mlp(4, 8, 3, Activation::Relu, seed).unwrap();
+        let pool: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::from_fn(&[4], |j| ((i * 4 + j) as f32 * 0.29 + seed as f32).sin()))
+            .collect();
+        let k = split.min(n - 1);
+        for criterion in builtin_criteria(&CoverageConfig::default()) {
+            let evaluator = Evaluator::with_criterion(
+                &net,
+                CoverageConfig::default(),
+                criterion.clone(),
+            );
+            let subset = evaluator.coverage_of_set(&pool[..k]).unwrap();
+            let full = evaluator.coverage_of_set(&pool).unwrap();
+            prop_assert!(
+                full >= subset,
+                "{}: union coverage {} < subset coverage {}",
+                criterion.id(), full, subset
+            );
+            // Per-sample sets are subsets of the union too.
+            let sets = evaluator.activation_sets(&pool).unwrap();
+            let mut union = Bitset::new(evaluator.num_units());
+            for s in &sets {
+                union.union_with(s);
+            }
+            for s in &sets {
+                prop_assert_eq!(union.union_gain(s), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn criterion_digests_track_config_changes(
+        threshold_a in 0.0f32..2.0,
+        threshold_b in 0.0f32..2.0,
+        k_a in 1usize..64,
+        k_b in 1usize..64,
+        eps_a in 1e-6f32..0.5,
+        eps_b in 1e-6f32..0.5,
+    ) {
+        // The evaluator cache key must change whenever the criterion config
+        // changes — equal configs hash equal, different configs hash different.
+        let na = NeuronActivation { threshold: threshold_a };
+        let nb = NeuronActivation { threshold: threshold_b };
+        prop_assert_eq!(
+            na.config_digest() == nb.config_digest(),
+            threshold_a.to_bits() == threshold_b.to_bits()
+        );
+        let ta = TopKNeuron { k: k_a };
+        let tb = TopKNeuron { k: k_b };
+        prop_assert_eq!(ta.config_digest() == tb.config_digest(), k_a == k_b);
+        let pa = ParamGradient {
+            epsilon: EpsilonPolicy::Absolute(eps_a),
+            projection: Default::default(),
+        };
+        let pb = ParamGradient {
+            epsilon: EpsilonPolicy::Absolute(eps_b),
+            projection: Default::default(),
+        };
+        prop_assert_eq!(
+            pa.config_digest() == pb.config_digest(),
+            eps_a.to_bits() == eps_b.to_bits()
+        );
+        // Cross-criterion keys never collide even when raw config digests do:
+        // the cache key mixes in the criterion id.
+        prop_assert_ne!(criterion_digest(&na), criterion_digest(&ta));
+        prop_assert_ne!(criterion_digest(&na), criterion_digest(&pa));
+        prop_assert_ne!(criterion_digest(&ta), criterion_digest(&pa));
+    }
+
+    #[test]
+    fn evaluator_golden_outputs_match_direct_inference(seed in 0u64..100, n in 1usize..6) {
+        let net = zoo::tiny_mlp(4, 6, 3, Activation::Relu, seed).unwrap();
+        let evaluator = Evaluator::new(&net, CoverageConfig::default());
+        let inputs: Vec<Tensor> = (0..n)
+            .map(|i| Tensor::from_fn(&[4], |j| ((i * 4 + j) as f32 * 0.37 + seed as f32).cos()))
+            .collect();
+        let cold = evaluator.forward_outputs(&inputs).unwrap();
+        let warm = evaluator.forward_outputs(&inputs).unwrap();
+        prop_assert_eq!(&cold, &warm);
+        for (x, golden) in inputs.iter().zip(&cold) {
+            prop_assert_eq!(golden, &net.forward_sample(x).unwrap());
+        }
+        prop_assert_eq!(evaluator.output_cache_stats().hits as usize, n);
     }
 
     #[test]

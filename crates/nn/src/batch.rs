@@ -26,7 +26,7 @@
 use dnnip_tensor::conv::{col2im, conv2d_sample_forward_cols};
 use dnnip_tensor::{ops, Tensor};
 
-use crate::layers::{Layer, LayerCache};
+use crate::layers::{Conv2d, Layer, LayerCache};
 use crate::{Network, NnError, Result};
 
 /// Per-layer state captured by the engine's batched forward pass.
@@ -86,6 +86,57 @@ impl BatchForwardPass {
     /// Number of samples in the batch.
     pub fn batch_size(&self) -> usize {
         self.batch
+    }
+}
+
+/// Post-activation outputs captured by a forward-only batched pass
+/// ([`BatchGradientEngine::activation_outputs`]).
+///
+/// Forward-only coverage criteria (neuron-activation thresholds, top-k neuron
+/// selection) need the output of every activation layer but no gradients at
+/// all; this capture carries exactly that, stacked along the batch axis, plus
+/// the final logits.
+#[derive(Debug)]
+pub struct ActivationCapture {
+    /// Stacked post-activation output of each [`Layer::Activation`] layer, in
+    /// network order. Every tensor's leading dimension is the batch size.
+    outputs: Vec<Tensor>,
+    /// Stacked network logits, shape `[B, classes]`.
+    logits: Tensor,
+    batch: usize,
+}
+
+impl ActivationCapture {
+    /// Stacked post-activation outputs, one tensor per activation layer in
+    /// network order (leading dimension = batch size).
+    pub fn per_layer(&self) -> &[Tensor] {
+        &self.outputs
+    }
+
+    /// The stacked network logits, shape `[B, classes]`.
+    pub fn logits(&self) -> &Tensor {
+        &self.logits
+    }
+
+    /// Number of samples in the captured batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch
+    }
+
+    /// Per-sample slice length of activation layer `layer` (index into
+    /// [`ActivationCapture::per_layer`]).
+    pub fn units_per_sample(&self, layer: usize) -> usize {
+        self.outputs[layer].len() / self.batch.max(1)
+    }
+
+    /// This sample's contiguous slice of activation layer `layer`'s output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` or `sample` is out of range.
+    pub fn sample_slice(&self, layer: usize, sample: usize) -> &[f32] {
+        let per = self.units_per_sample(layer);
+        &self.outputs[layer].data()[sample * per..(sample + 1) * per]
     }
 }
 
@@ -215,6 +266,39 @@ impl<'a> BatchGradientEngine<'a> {
         })
     }
 
+    /// Forward-only batched pass capturing every activation layer's
+    /// **post-activation** output (stacked `[B, ...]`) plus the final logits.
+    ///
+    /// This is the fast path for coverage criteria that only look at neuron
+    /// outputs: no backward caches are built and no gradients are computed.
+    /// Convolutions run through the same precomputed im2col weight matrices as
+    /// [`BatchGradientEngine::forward_batch`], so captured values are
+    /// bit-identical to the gradient path's intermediate activations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when any sample shape does not match the network input.
+    pub fn activation_outputs(&self, samples: &[Tensor]) -> Result<ActivationCapture> {
+        let batch = ops::stack(samples)?;
+        self.network.check_batch_input(&batch)?;
+        let mut x = batch;
+        let mut outputs = Vec::new();
+        for (i, layer) in self.network.layers().iter().enumerate() {
+            x = match layer {
+                Layer::Conv2d(l) => self.conv_forward_batch(i, l, &x, false)?.0,
+                other => other.forward(&x)?.0,
+            };
+            if layer.is_activation() {
+                outputs.push(x.clone());
+            }
+        }
+        Ok(ActivationCapture {
+            outputs,
+            logits: x,
+            batch: samples.len(),
+        })
+    }
+
     /// Gradient of `Σ_j c_j · F_j(x_s)` with respect to the **input** of sample
     /// `s` of a completed batched forward pass, where `c` is `output_grad`
     /// (one value per class — e.g. a softmax-cross-entropy logit gradient).
@@ -273,6 +357,45 @@ impl<'a> BatchGradientEngine<'a> {
         Ok(out)
     }
 
+    /// One convolution layer's batched forward through its precomputed weight
+    /// matrix: per-sample im2col + matmul. Returns the stacked output and,
+    /// when `keep_cols`, each sample's lowered column matrix (what the
+    /// backward pass consumes). Both the gradient path and the forward-only
+    /// activation capture go through this single implementation, so their
+    /// intermediate values are bit-identical by construction.
+    fn conv_forward_batch(
+        &self,
+        layer_index: usize,
+        l: &Conv2d,
+        x: &Tensor,
+        keep_cols: bool,
+    ) -> Result<(Tensor, Vec<Tensor>)> {
+        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let geom = l.geometry();
+        let (oh, ow) = geom.output_hw(h, w)?;
+        let oc = l.out_channels();
+        let bias = l.parameters().1;
+        let (wmat, _) = self.conv_mats[layer_index]
+            .as_ref()
+            .expect("conv layer has precomputed weight matrices");
+        let sample_len = c * h * w;
+        let out_len = oc * oh * ow;
+        let mut out = vec![0.0f32; b * out_len];
+        let mut cols_vec = Vec::with_capacity(if keep_cols { b } else { 0 });
+        for s in 0..b {
+            let sample = Tensor::from_vec(
+                x.data()[s * sample_len..(s + 1) * sample_len].to_vec(),
+                &[c, h, w],
+            )?;
+            let (prod, cols) = conv2d_sample_forward_cols(&sample, wmat, bias, geom)?;
+            out[s * out_len..(s + 1) * out_len].copy_from_slice(prod.data());
+            if keep_cols {
+                cols_vec.push(cols);
+            }
+        }
+        Ok((Tensor::from_vec(out, &[b, oc, oh, ow])?, cols_vec))
+    }
+
     /// Batched forward pass recording the per-layer state the per-sample
     /// backward passes need, returning the final stacked output alongside.
     fn forward(&self, batch: &Tensor) -> Result<(Tensor, Vec<BatchCache>)> {
@@ -281,31 +404,12 @@ impl<'a> BatchGradientEngine<'a> {
         for (i, layer) in self.network.layers().iter().enumerate() {
             match layer {
                 Layer::Conv2d(l) => {
-                    let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-                    let geom = l.geometry();
-                    let (oh, ow) = geom.output_hw(h, w)?;
-                    let oc = l.out_channels();
-                    let bias = l.parameters().1;
-                    let (wmat, _) = self.conv_mats[i]
-                        .as_ref()
-                        .expect("conv layer has precomputed weight matrices");
-                    let sample_len = c * h * w;
-                    let out_len = oc * oh * ow;
-                    let mut out = vec![0.0f32; b * out_len];
-                    let mut cols_vec = Vec::with_capacity(b);
-                    for s in 0..b {
-                        let sample = Tensor::from_vec(
-                            x.data()[s * sample_len..(s + 1) * sample_len].to_vec(),
-                            &[c, h, w],
-                        )?;
-                        let (prod, cols) = conv2d_sample_forward_cols(&sample, wmat, bias, geom)?;
-                        out[s * out_len..(s + 1) * out_len].copy_from_slice(prod.data());
-                        cols_vec.push(cols);
-                    }
-                    x = Tensor::from_vec(out, &[b, oc, oh, ow])?;
+                    let chw = (x.shape()[1], x.shape()[2], x.shape()[3]);
+                    let (out, cols_vec) = self.conv_forward_batch(i, l, &x, true)?;
+                    x = out;
                     caches.push(BatchCache::Conv {
                         cols: cols_vec,
-                        chw: (c, h, w),
+                        chw,
                     });
                 }
                 Layer::Dense(l) => {
@@ -619,6 +723,52 @@ mod tests {
                 assert_eq!(batched.data(), reference.data(), "sample {s} class {class}");
             }
         }
+    }
+
+    #[test]
+    fn activation_capture_matches_the_network_forward() {
+        // On Dense-only networks the capture reuses the exact layer kernels, so
+        // post-activation values are bit-identical to `forward_cached`.
+        let net = zoo::tiny_mlp(5, 9, 4, Activation::Relu, 3).unwrap();
+        let engine = BatchGradientEngine::new(&net);
+        let inputs = samples(4, &[5]);
+        let capture = engine.activation_outputs(&inputs).unwrap();
+        assert_eq!(capture.batch_size(), 4);
+        assert_eq!(capture.per_layer().len(), 1, "one activation layer");
+        assert_eq!(capture.units_per_sample(0), 9);
+        for (s, x) in inputs.iter().enumerate() {
+            let pass = net.forward_cached(&net.batch_one(x).unwrap()).unwrap();
+            let act_out = net
+                .layers()
+                .iter()
+                .zip(&pass.layer_outputs)
+                .find(|(l, _)| l.is_activation())
+                .map(|(_, o)| o)
+                .unwrap();
+            assert_eq!(capture.sample_slice(0, s), act_out.data(), "sample {s}");
+        }
+        // Logits agree with the gradient engine's batched forward bit-for-bit.
+        let pass = engine.forward_batch(&inputs).unwrap();
+        assert_eq!(capture.logits().data(), pass.output().data());
+    }
+
+    #[test]
+    fn activation_capture_covers_cnn_layers() {
+        let net = tiny_cnn();
+        let engine = BatchGradientEngine::new(&net);
+        let inputs = samples(3, &[1, 8, 8]);
+        let capture = engine.activation_outputs(&inputs).unwrap();
+        assert_eq!(capture.per_layer().len(), 1);
+        // 3 channels × 8×8 spatial positions after the stride-1 padded conv.
+        assert_eq!(capture.units_per_sample(0), 3 * 8 * 8);
+        let pass = engine.forward_batch(&inputs).unwrap();
+        assert_eq!(
+            capture.logits().data(),
+            pass.output().data(),
+            "capture and gradient paths share the conv kernels"
+        );
+        let bad = samples(1, &[1, 7, 7]);
+        assert!(engine.activation_outputs(&bad).is_err());
     }
 
     #[test]

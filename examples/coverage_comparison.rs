@@ -1,6 +1,7 @@
 //! Parameter coverage vs neuron coverage on the same model and budget — the
 //! comparison that motivates the paper (its Tables II/III baseline), plus the
-//! Fig. 2 image-family ranking (training set vs out-of-distribution vs noise).
+//! Fig. 2 image-family ranking (training set vs out-of-distribution vs noise)
+//! and a sweep over the pluggable coverage criteria.
 //!
 //! Run with:
 //!
@@ -8,6 +9,7 @@
 //! cargo run --release --example coverage_comparison
 //! ```
 
+use dnnip::core::criterion::builtin_criteria;
 use dnnip::core::neuron::{NeuronCoverageAnalyzer, NeuronCoverageConfig};
 use dnnip::dataset::digits::{synthetic_mnist, DigitConfig};
 use dnnip::dataset::{noise, ood};
@@ -79,6 +81,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         evaluator.coverage_of_set(&neuron_tests)? * 100.0,
         neuron_selection.final_coverage() * 100.0
     );
+
+    // --- Every pluggable criterion over the same suite: one greedy selection
+    // each, all served by criterion-keyed evaluator caches. ---
+    println!("\nPer-criterion greedy selection (budget {budget}):");
+    for criterion in builtin_criteria(&CoverageConfig::default()) {
+        let crit_eval = Evaluator::with_criterion(&model, CoverageConfig::default(), criterion);
+        let selection = crit_eval.select_from_training_set(&data.inputs[..100], budget)?;
+        println!(
+            "  {:<18}: {:>6} units, final coverage {:.1}% with {} tests",
+            crit_eval.criterion().id(),
+            crit_eval.num_units(),
+            selection.final_coverage() * 100.0,
+            selection.selected.len()
+        );
+    }
 
     // --- And the consequence: detection rates under the three attack models. ---
     let probes = &data.inputs[..12];

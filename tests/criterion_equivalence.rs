@@ -1,0 +1,237 @@
+//! Differential pins for the pluggable coverage-criterion layer.
+//!
+//! Two contracts are enforced exactly, with no tolerances:
+//!
+//! 1. **The default criterion is the paper's metric, bit for bit.** The
+//!    [`ParamGradient`] criterion (and the `Evaluator::new` path that builds
+//!    it implicitly) must reproduce the independent pre-batching reference
+//!    pipeline — `Network::parameter_gradients` with the direct convolution
+//!    kernels — on activation sets, coverage fractions and greedy selections.
+//!    That reference path predates the criterion refactor and is unchanged,
+//!    so agreement here pins the refactor against pre-refactor behaviour.
+//! 2. **Every criterion is a first-class citizen end to end.** All three
+//!    built-in criteria run through `Evaluator::select_from_training_set` and
+//!    `generate_combined`, with cached, fresh, serial and threaded results all
+//!    bit-identical per criterion.
+
+use std::sync::Arc;
+
+use dnnip::core::combined::CombinedConfig;
+use dnnip::core::coverage::CoverageConfig;
+use dnnip::core::criterion::builtin_criteria;
+use dnnip::core::eval::Evaluator;
+use dnnip::core::gradgen::GradGenConfig;
+use dnnip::core::par::ExecPolicy;
+use dnnip::core::select::greedy_select;
+use dnnip::dataset::digits::{synthetic_mnist, DigitConfig};
+use dnnip::nn::zoo;
+use dnnip::prelude::*;
+
+fn zoo_networks() -> Vec<(&'static str, Network)> {
+    vec![
+        (
+            "tiny_mlp_relu",
+            zoo::tiny_mlp(6, 14, 4, Activation::Relu, 5).unwrap(),
+        ),
+        (
+            "tiny_mlp_tanh",
+            zoo::tiny_mlp(6, 14, 4, Activation::Tanh, 5).unwrap(),
+        ),
+        (
+            "tiny_cnn_relu",
+            zoo::tiny_cnn(6, 10, Activation::Relu, 9).unwrap(),
+        ),
+    ]
+}
+
+fn seeded_inputs(net: &Network, n: usize, seed: u64) -> Vec<Tensor> {
+    let shape = net.input_shape().to_vec();
+    if shape.len() == 3 && shape[0] == 1 {
+        synthetic_mnist(&DigitConfig::with_size(shape[1]), n, seed).inputs
+    } else {
+        (0..n)
+            .map(|i| {
+                Tensor::from_fn(&shape, |j| {
+                    ((seed as usize + i * 131 + j * 7) as f32 * 0.23).sin()
+                })
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn param_gradient_criterion_is_bit_identical_to_the_reference_pipeline() {
+    for (name, net) in zoo_networks() {
+        let pool = seeded_inputs(&net, 12, 3);
+        let config = CoverageConfig::default();
+        let implicit = Evaluator::new(&net, config);
+        let explicit =
+            Evaluator::with_criterion(&net, config, Arc::new(ParamGradient::from_config(&config)));
+        assert_eq!(implicit.criterion().id(), "param-gradient");
+        assert_eq!(implicit.num_units(), net.num_parameters(), "{name}");
+
+        // The independent reference path: per-sample, non-batched, direct
+        // conv kernels — untouched by the criterion refactor.
+        let reference: Vec<_> = pool
+            .iter()
+            .map(|x| implicit.analyzer().activation_set_reference(x).unwrap())
+            .collect();
+        let a = implicit.activation_sets(&pool).unwrap();
+        let b = explicit.activation_sets(&pool).unwrap();
+        assert_eq!(a, reference, "{name}: implicit evaluator diverged");
+        assert_eq!(b, reference, "{name}: explicit criterion diverged");
+
+        // Coverage fractions are exactly the reference-set densities.
+        let direct = implicit.coverage_of_set(&pool).unwrap();
+        let from_reference =
+            dnnip::core::coverage::coverage_of_sets(&reference, net.num_parameters());
+        assert_eq!(direct, from_reference, "{name}: coverage fraction diverged");
+
+        // Greedy selection over the evaluator equals greedy over the
+        // reference sets — indices, curve and covered union.
+        let via_eval = implicit.select_from_training_set(&pool, 6).unwrap();
+        let via_reference = greedy_select(&reference, net.num_parameters(), 6).unwrap();
+        assert_eq!(via_eval.selected, via_reference.selected, "{name}");
+        assert_eq!(via_eval.coverage_curve, via_reference.coverage_curve);
+        assert_eq!(via_eval.covered, via_reference.covered);
+    }
+}
+
+#[test]
+fn every_criterion_selects_end_to_end_with_cached_equals_fresh() {
+    for (name, net) in zoo_networks() {
+        let pool = seeded_inputs(&net, 14, 7);
+        for criterion in builtin_criteria(&CoverageConfig::default()) {
+            let id = criterion.id();
+            let evaluator =
+                Evaluator::with_criterion(&net, CoverageConfig::default(), criterion.clone());
+            let cold = evaluator.select_from_training_set(&pool, 6).unwrap();
+            let misses = evaluator.criterion_cache_stats().misses;
+            let warm = evaluator.select_from_training_set(&pool, 6).unwrap();
+            assert_eq!(
+                evaluator.criterion_cache_stats().misses,
+                misses,
+                "{name}/{id}: warm selection recomputed covered sets"
+            );
+            assert_eq!(cold.selected, warm.selected, "{name}/{id}");
+            assert_eq!(cold.coverage_curve, warm.coverage_curve, "{name}/{id}");
+            assert!(!cold.selected.is_empty(), "{name}/{id}: nothing selected");
+            assert!(cold.final_coverage() > 0.0, "{name}/{id}");
+            // A brand-new evaluator (fresh cache) agrees bit for bit.
+            let fresh =
+                Evaluator::with_criterion(&net, CoverageConfig::default(), criterion.clone())
+                    .select_from_training_set(&pool, 6)
+                    .unwrap();
+            assert_eq!(fresh.selected, cold.selected, "{name}/{id}: fresh diverged");
+            assert_eq!(fresh.covered, cold.covered, "{name}/{id}");
+        }
+    }
+}
+
+#[test]
+fn every_criterion_generates_combined_suites_deterministically() {
+    let net = zoo::tiny_mlp(6, 16, 4, Activation::Relu, 17).unwrap();
+    let pool = seeded_inputs(&net, 10, 11);
+    let config = CombinedConfig {
+        max_tests: 8,
+        gradgen: GradGenConfig {
+            steps: 5,
+            ..GradGenConfig::default()
+        },
+    };
+    for criterion in builtin_criteria(&CoverageConfig::default()) {
+        let id = criterion.id();
+        let run = |crit: &Arc<dyn dnnip::core::criterion::CoverageCriterion>| {
+            let evaluator =
+                Evaluator::with_criterion(&net, CoverageConfig::default(), crit.clone());
+            evaluator.generate_combined(&pool, &config).unwrap()
+        };
+        let a = run(&criterion);
+        let b = run(&criterion);
+        assert_eq!(a.tests.len(), 8, "{id}");
+        assert_eq!(
+            a.tests, b.tests,
+            "{id}: combined generation not deterministic"
+        );
+        assert_eq!(a.sources, b.sources, "{id}");
+        assert_eq!(a.coverage_curve, b.coverage_curve, "{id}");
+        // The curve is non-decreasing under every criterion.
+        for w in a.coverage_curve.windows(2) {
+            assert!(w[1] >= w[0] - 1e-6, "{id}: coverage curve decreased");
+        }
+    }
+}
+
+#[test]
+fn criteria_are_execution_policy_invariant() {
+    for (name, net) in zoo_networks() {
+        let pool = seeded_inputs(&net, 10, 13);
+        for criterion in builtin_criteria(&CoverageConfig::default()) {
+            let id = criterion.id();
+            let serial = Evaluator::with_criterion(
+                &net,
+                CoverageConfig {
+                    exec: ExecPolicy::Serial,
+                    batch_size: 32,
+                    ..CoverageConfig::default()
+                },
+                criterion.clone(),
+            );
+            let threaded = Evaluator::with_criterion(
+                &net,
+                CoverageConfig {
+                    exec: ExecPolicy::Threads(4),
+                    batch_size: 3,
+                    ..CoverageConfig::default()
+                },
+                criterion.clone(),
+            );
+            assert_eq!(
+                serial.activation_sets(&pool).unwrap(),
+                threaded.activation_sets(&pool).unwrap(),
+                "{name}/{id}: covered sets diverged across policies"
+            );
+            assert_eq!(
+                serial.coverage_of_set(&pool).unwrap(),
+                threaded.coverage_of_set(&pool).unwrap(),
+                "{name}/{id}: coverage diverged across policies"
+            );
+        }
+    }
+}
+
+#[test]
+fn criterion_generated_suites_detect_tampering() {
+    // The whole point of a test suite, under every criterion: an unmodified IP
+    // passes, a parameter-tampered IP fails.
+    let net = zoo::tiny_mlp(6, 16, 4, Activation::Relu, 29).unwrap();
+    let pool = seeded_inputs(&net, 12, 19);
+    for criterion in builtin_criteria(&CoverageConfig::default()) {
+        let id = criterion.id();
+        let evaluator = Evaluator::with_criterion(&net, CoverageConfig::default(), criterion);
+        let selection = evaluator.select_from_training_set(&pool, 6).unwrap();
+        let tests: Vec<Tensor> = selection
+            .selected
+            .iter()
+            .map(|&i| pool[i].clone())
+            .collect();
+        let suite = FunctionalTestSuite::from_evaluator(
+            &evaluator,
+            tests,
+            MatchPolicy::OutputTolerance(1e-5),
+        )
+        .unwrap();
+        let clean = FloatIp::new(net.clone());
+        assert!(
+            suite.validate(&clean).unwrap().passed,
+            "{id}: clean IP failed"
+        );
+        let mut tampered = net.clone();
+        let last = tampered.num_parameters() - 1;
+        tampered.set_parameter(last, 30.0).unwrap();
+        assert!(
+            !suite.validate(&FloatIp::new(tampered)).unwrap().passed,
+            "{id}: tampering went undetected"
+        );
+    }
+}
