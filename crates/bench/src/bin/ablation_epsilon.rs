@@ -11,10 +11,15 @@
 //! cargo run --release -p dnnip-bench --bin ablation_epsilon [smoke|default|paper]
 //! ```
 
-use dnnip_bench::{pct, prepare_mnist, seed_from_env_or, ExperimentProfile};
-use dnnip_core::coverage::{CoverageConfig, EpsilonPolicy};
-use dnnip_core::eval::Evaluator;
+use dnnip_bench::{
+    cache_banner, pct, prepare_mnist, register_model, seed_from_env_or, workspace_from_env,
+    ExperimentProfile,
+};
+use dnnip_core::coverage::{EpsilonPolicy, OutputProjection};
+use dnnip_core::criterion::ParamGradient;
+use dnnip_core::workspace::CriterionSpec;
 use dnnip_dataset::{noise, ood};
+use std::sync::Arc;
 
 fn main() {
     let profile = ExperimentProfile::from_env_or_args();
@@ -47,16 +52,21 @@ fn main() {
     println!("  relative eps | training |   OOD    |  noise   | training-set ordering holds?");
     println!("  -------------+----------+----------+----------+-----------------------------");
     // This ablation is inherently about the param-gradient criterion's ε, so
-    // each sweep point derives that criterion from its config (the default
-    // `Evaluator::new` path) rather than honoring `DNNIP_CRITERION`.
+    // each sweep point pins an explicit `ParamGradient` instance rather than
+    // honoring `DNNIP_CRITERION`. Every ε gets its own criterion digest, so
+    // all five evaluators share the workspace's one cache budget without
+    // aliasing (and persist separately on disk).
+    let ws = workspace_from_env();
+    println!("{}", cache_banner(&ws));
+    let fingerprint = register_model(&ws, &model);
     for eps in [1e-4f32, 1e-3, 1e-2, 5e-2, 1e-1] {
-        let analyzer = Evaluator::new(
-            &model.network,
-            CoverageConfig {
-                epsilon: EpsilonPolicy::RelativeToMax(eps),
-                ..CoverageConfig::default()
-            },
-        );
+        let criterion = ParamGradient {
+            epsilon: EpsilonPolicy::RelativeToMax(eps),
+            projection: OutputProjection::default(),
+        };
+        let analyzer = ws
+            .evaluator(fingerprint, &CriterionSpec::Instance(Arc::new(criterion)))
+            .expect("registered model");
         let train_cov = analyzer
             .mean_sample_coverage(training)
             .expect("training coverage");

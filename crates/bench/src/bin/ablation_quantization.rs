@@ -14,11 +14,15 @@
 
 use dnnip_accel::ip::AcceleratorIp;
 use dnnip_accel::quant::BitWidth;
-use dnnip_bench::{evaluator_for, pct, prepare_mnist, seed_from_env_or, ExperimentProfile};
-use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
+use dnnip_bench::{
+    cache_banner, criterion_spec_from_env, evaluator_in, pct, prepare_mnist, seed_from_env_or,
+    workspace_from_env, ExperimentProfile,
+};
+use dnnip_core::generator::GenerationMethod;
 use dnnip_core::gradgen::GradGenConfig;
 use dnnip_core::par::ExecPolicy;
 use dnnip_core::protocol::FunctionalTestSuite;
+use dnnip_core::workspace::TestGenRequest;
 use dnnip_faults::attacks::random_bit_flips;
 use dnnip_faults::detection::MatchPolicy;
 use rand::rngs::StdRng;
@@ -31,24 +35,24 @@ fn main() {
 
     let seed = seed_from_env_or(31);
     let model = prepare_mnist(profile, seed);
-    // Criterion-selectable generation (DNNIP_CRITERION; param-gradient default).
-    let evaluator = evaluator_for(&model);
-    let tests = generate_tests(
-        &evaluator,
-        &model.dataset.inputs,
-        GenerationMethod::Combined,
-        &GenerationConfig {
-            max_tests: 20,
-            coverage: model.coverage,
-            gradgen: GradGenConfig {
-                exec: ExecPolicy::auto(),
-                ..GradGenConfig::default()
-            },
-            ..GenerationConfig::default()
-        },
-    )
-    .expect("test generation")
-    .inputs;
+    // Criterion-selectable generation (DNNIP_CRITERION; param-gradient default)
+    // through the session workspace.
+    let ws = workspace_from_env();
+    println!("{}", cache_banner(&ws));
+    let evaluator = evaluator_in(&ws, &model);
+    let tests = ws
+        .run(
+            &TestGenRequest::new(evaluator.fingerprint(), GenerationMethod::Combined, 20)
+                .with_criterion_selector(criterion_spec_from_env())
+                .with_gradgen(GradGenConfig {
+                    exec: ExecPolicy::auto(),
+                    ..GradGenConfig::default()
+                })
+                .with_candidates(model.dataset.inputs.clone()),
+        )
+        .expect("test generation")
+        .tests
+        .inputs;
     println!(
         "{}: {} functional tests, {} parameters\n",
         model.name,

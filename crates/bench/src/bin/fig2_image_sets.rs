@@ -9,13 +9,19 @@
 //! ```
 
 use dnnip_bench::{
-    evaluator_for, holdout_accuracy, pct, prepare_cifar, prepare_mnist, seed_from_env_or,
-    ExperimentProfile, PreparedModel,
+    cache_banner, evaluator_in, holdout_accuracy, pct, prepare_cifar, prepare_mnist,
+    seed_from_env_or, workspace_from_env, ExperimentProfile, PreparedModel,
 };
+use dnnip_core::workspace::Workspace;
 use dnnip_dataset::{noise, ood};
 
-fn family_coverages(model: &PreparedModel, images_per_family: usize, seed: u64) -> (f32, f32, f32) {
-    let analyzer = evaluator_for(model);
+fn family_coverages(
+    ws: &Workspace,
+    model: &PreparedModel,
+    images_per_family: usize,
+    seed: u64,
+) -> (f32, f32, f32) {
+    let analyzer = evaluator_in(ws, model);
     let shape = model.network.input_shape();
     let (channels, size) = (shape[0], shape[1]);
 
@@ -54,6 +60,8 @@ fn main() {
     println!("profile: {}\n", profile.name());
 
     let seed = seed_from_env_or(7);
+    let ws = workspace_from_env();
+    println!("{}\n", cache_banner(&ws));
     let images = profile.fig2_images();
     for prepare in [
         prepare_mnist as fn(ExperimentProfile, u64) -> PreparedModel,
@@ -68,7 +76,7 @@ fn main() {
             pct(holdout, 7),
             model.network.num_parameters()
         );
-        let (noise_cov, ood_cov, train_cov) = family_coverages(&model, images, seed);
+        let (noise_cov, ood_cov, train_cov) = family_coverages(&ws, &model, images, seed);
         let criterion = dnnip_bench::criterion_from_env(&model.coverage);
         println!(
             "  image family          mean {} coverage ({images} images each)",

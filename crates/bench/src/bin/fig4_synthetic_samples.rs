@@ -5,8 +5,11 @@
 //! cargo run --release -p dnnip-bench --bin fig4_synthetic_samples [smoke|default|paper]
 //! ```
 
-use dnnip_bench::{prepare_mnist, seed_from_env_or, ExperimentProfile};
-use dnnip_core::gradgen::{GradGenConfig, GradientGenerator};
+use dnnip_bench::{
+    cache_banner, evaluator_in, prepare_mnist, seed_from_env_or, workspace_from_env,
+    ExperimentProfile,
+};
+use dnnip_core::gradgen::GradGenConfig;
 use dnnip_core::par::ExecPolicy;
 use dnnip_dataset::render;
 use std::path::PathBuf;
@@ -17,15 +20,16 @@ fn main() {
     println!("profile: {}\n", profile.name());
 
     let model = prepare_mnist(profile, seed_from_env_or(13));
-    let mut generator = GradientGenerator::new(
-        &model.network,
-        GradGenConfig {
-            steps: 60,
-            eta: 0.8,
-            exec: ExecPolicy::auto(),
-            ..GradGenConfig::default()
-        },
-    );
+    let ws = workspace_from_env();
+    println!("{}", cache_banner(&ws));
+    // The generator shares the workspace evaluator's batched engine (its
+    // precomputed per-layer matrices are reference-shared, not re-derived).
+    let mut generator = evaluator_in(&ws, &model).gradient_generator(GradGenConfig {
+        steps: 60,
+        eta: 0.8,
+        exec: ExecPolicy::auto(),
+        ..GradGenConfig::default()
+    });
     let synthetic = generator.generate_batch().expect("synthetic batch");
 
     let out_dir = PathBuf::from("target/fig4");

@@ -21,6 +21,7 @@ use dnnip_bench::{seed_from_env_or, ExperimentProfile};
 use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig};
 use dnnip_core::eval::Evaluator;
 use dnnip_core::par::ExecPolicy;
+use dnnip_core::workspace::DiskCacheConfig;
 use dnnip_nn::zoo;
 use dnnip_tensor::Tensor;
 use std::hint::black_box;
@@ -57,10 +58,19 @@ fn main() {
         5
     };
     println!("== Parallel coverage sweep (batch = {batch_size}, scaled MNIST model) ==");
+    // This sweep measures the raw engine and the in-memory tier, so its
+    // evaluators stay standalone; the resolved persistent-cache settings are
+    // still echoed (and recorded in the JSON) like every experiment binary.
+    let cache = DiskCacheConfig::from_env();
     println!(
-        "profile: {}, seed: {seed}, available parallelism: {}\n",
+        "profile: {}, seed: {seed}, available parallelism: {}",
         profile.name(),
         ExecPolicy::auto().threads()
+    );
+    println!(
+        "cache dir: {} (persist {})\n",
+        cache.dir.display(),
+        if cache.enabled { "on" } else { "off" }
     );
 
     let net = zoo::mnist_model_scaled(seed).expect("scaled MNIST geometry");
@@ -133,6 +143,10 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"activation sets, scaled MNIST model\",\n");
+    json.push_str(&format!(
+        "  \"cache_dir\": {:?},\n",
+        cache.dir.display().to_string()
+    ));
     json.push_str(&format!("  \"batch_size\": {batch_size},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!(

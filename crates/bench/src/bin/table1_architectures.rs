@@ -6,10 +6,14 @@
 //! cargo run --release -p dnnip-bench --bin table1_architectures
 //! ```
 
+use dnnip_bench::{cache_banner, workspace_from_env};
 use dnnip_nn::zoo;
 
 fn main() {
-    println!("== Table I: model architectures ==\n");
+    println!("== Table I: model architectures ==");
+    // No coverage work runs here, but the banner keeps the cache plumbing
+    // visible across every experiment binary.
+    println!("{}\n", cache_banner(&workspace_from_env()));
     let mnist = zoo::mnist_model(0).expect("Table-I MNIST geometry");
     println!("MNIST model (28x28x1, Tanh):\n{}", mnist.summary());
     let cifar = zoo::cifar_model(0).expect("Table-I CIFAR geometry");

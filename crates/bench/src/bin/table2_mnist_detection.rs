@@ -7,7 +7,7 @@
 //! ```
 
 use dnnip_bench::detection_table::print_detection_table;
-use dnnip_bench::{prepare_mnist, seed_from_env_or, ExperimentProfile};
+use dnnip_bench::{prepare_mnist, seed_from_env_or, workspace_from_env, ExperimentProfile};
 
 fn main() {
     let profile = ExperimentProfile::from_env_or_args();
@@ -15,7 +15,8 @@ fn main() {
     println!("profile: {}\n", profile.name());
     let seed = seed_from_env_or(17);
     let model = prepare_mnist(profile, seed);
-    print_detection_table(&model, profile, seed.wrapping_add(1700));
+    let ws = workspace_from_env();
+    print_detection_table(&ws, &model, profile, seed.wrapping_add(1700));
     println!("\npaper (N=20, proposed): SBA 91.1%  GDA 92.5%  Random 90.4%");
     println!("paper (N=20, neuron baseline): SBA 67.4%  GDA 76.5%  Random 65.9%");
 }

@@ -7,7 +7,7 @@
 //! ```
 
 use dnnip_bench::detection_table::print_detection_table;
-use dnnip_bench::{prepare_cifar, seed_from_env_or, ExperimentProfile};
+use dnnip_bench::{prepare_cifar, seed_from_env_or, workspace_from_env, ExperimentProfile};
 
 fn main() {
     let profile = ExperimentProfile::from_env_or_args();
@@ -15,7 +15,8 @@ fn main() {
     println!("profile: {}\n", profile.name());
     let seed = seed_from_env_or(19);
     let model = prepare_cifar(profile, seed);
-    print_detection_table(&model, profile, seed.wrapping_add(1900));
+    let ws = workspace_from_env();
+    print_detection_table(&ws, &model, profile, seed.wrapping_add(1900));
     println!("\npaper (N=20, proposed): SBA 87.2%  GDA 89.0%  Random 86.2%");
     println!("paper (N=20, neuron baseline): SBA 58.3%  GDA 67.2%  Random 57.6%");
 }

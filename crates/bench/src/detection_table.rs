@@ -1,14 +1,15 @@
 //! Shared driver for the Table II / Table III detection-rate experiments.
 
-use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
+use dnnip_core::generator::GenerationMethod;
 use dnnip_core::gradgen::GradGenConfig;
 use dnnip_core::neuron::{NeuronCoverageAnalyzer, NeuronCoverageConfig};
 use dnnip_core::par::ExecPolicy;
+use dnnip_core::workspace::{TestGenRequest, Workspace};
 use dnnip_faults::attacks::{Attack, GradientDescentAttack, RandomPerturbation, SingleBiasAttack};
 use dnnip_faults::detection::{detection_rate, DetectionConfig, MatchPolicy};
 use dnnip_tensor::Tensor;
 
-use crate::{evaluator_for, pct, ExperimentProfile, PreparedModel};
+use crate::{criterion_spec_from_env, pct, register_model, ExperimentProfile, PreparedModel};
 
 /// One row of a detection table: a test budget and the six detection rates
 /// (SBA/GDA/random for the neuron-coverage baseline and for the proposed
@@ -23,13 +24,14 @@ pub struct DetectionRow {
     pub proposed: [f32; 3],
 }
 
-/// Compute the full detection table for a prepared model.
+/// Compute the full detection table for a prepared model through `ws`.
 ///
 /// # Panics
 ///
 /// Panics on generation or detection errors — the experiment cannot continue
 /// meaningfully and all configurations used here are statically valid.
 pub fn detection_table(
+    ws: &Workspace,
     model: &PreparedModel,
     profile: ExperimentProfile,
     seed: u64,
@@ -37,7 +39,7 @@ pub fn detection_table(
     // The proposed tests are generated under the criterion selected by
     // `DNNIP_CRITERION` (the paper's parameter-gradient metric when unset);
     // the comparison baseline stays fixed at neuron coverage either way.
-    let evaluator = evaluator_for(model);
+    let fingerprint = register_model(ws, model);
     let neuron = NeuronCoverageAnalyzer::new(&model.network, NeuronCoverageConfig::default());
     let pool_size = profile.candidate_pool().min(model.dataset.len());
     let pool = &model.dataset.inputs[..pool_size];
@@ -51,22 +53,19 @@ pub fn detection_table(
 
     // Generate the largest suites once; smaller budgets are prefixes, which is
     // exactly how the paper sweeps N (the greedy orders are nested).
-    let proposed_all = generate_tests(
-        &evaluator,
-        pool,
-        GenerationMethod::Combined,
-        &GenerationConfig {
-            max_tests: max_budget,
-            coverage: model.coverage,
-            gradgen: GradGenConfig {
-                exec: ExecPolicy::auto(),
-                ..GradGenConfig::default()
-            },
-            ..GenerationConfig::default()
-        },
-    )
-    .expect("combined generation")
-    .inputs;
+    let proposed_all = ws
+        .run(
+            &TestGenRequest::new(fingerprint, GenerationMethod::Combined, max_budget)
+                .with_criterion_selector(criterion_spec_from_env())
+                .with_gradgen(GradGenConfig {
+                    exec: ExecPolicy::auto(),
+                    ..GradGenConfig::default()
+                })
+                .with_candidates(pool.to_vec()),
+        )
+        .expect("combined generation")
+        .tests
+        .inputs;
     let baseline_selection = neuron
         .select_by_neuron_coverage(pool, max_budget)
         .expect("neuron-coverage selection");
@@ -141,7 +140,12 @@ pub fn detection_table(
 }
 
 /// Print a detection table in the layout of the paper's Tables II/III.
-pub fn print_detection_table(model: &PreparedModel, profile: ExperimentProfile, seed: u64) {
+pub fn print_detection_table(
+    ws: &Workspace,
+    model: &PreparedModel,
+    profile: ExperimentProfile,
+    seed: u64,
+) {
     let criterion_id = crate::criterion_from_env(&model.coverage).id();
     println!(
         "{}: {} parameters, {} trials per cell, train acc {}, criterion {}",
@@ -151,12 +155,13 @@ pub fn print_detection_table(model: &PreparedModel, profile: ExperimentProfile, 
         pct(model.train_accuracy, 7),
         criterion_id
     );
+    println!("{}", crate::cache_banner(ws));
     println!(
         "\n              |  tests with neuron coverage   |  proposed with {criterion_id} coverage"
     );
     println!("  #tests      |    SBA      GDA     Random    |    SBA      GDA     Random");
     println!("  ------------+-------------------------------+----------------------------------");
-    for row in detection_table(model, profile, seed) {
+    for row in detection_table(ws, model, profile, seed) {
         println!(
             "  N={:<10} | {} {} {}   | {} {} {}",
             row.num_tests,
@@ -179,7 +184,8 @@ mod tests {
     fn smoke_table_has_expected_shape_and_ranges() {
         let profile = ExperimentProfile::Smoke;
         let model = prepare_mnist(profile, 3);
-        let rows = detection_table(&model, profile, 5);
+        let ws = Workspace::new();
+        let rows = detection_table(&ws, &model, profile, 5);
         assert_eq!(rows.len(), profile.table_test_counts().len());
         for row in &rows {
             for rate in row.baseline.iter().chain(&row.proposed) {

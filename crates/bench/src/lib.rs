@@ -20,9 +20,11 @@ use dnnip_core::coverage::{CoverageConfig, EpsilonPolicy};
 use dnnip_core::criterion::{criterion_from_spec, CoverageCriterion, ParamGradient};
 use dnnip_core::eval::Evaluator;
 use dnnip_core::par::ExecPolicy;
+use dnnip_core::workspace::{CriterionSpec, Workspace};
 use dnnip_dataset::digits::{synthetic_mnist, DigitConfig};
 use dnnip_dataset::objects::{synthetic_cifar, ObjectConfig};
 use dnnip_dataset::LabeledDataset;
+use dnnip_nn::fingerprint::NetworkFingerprint;
 use dnnip_nn::layers::Activation;
 use dnnip_nn::train::{evaluate, train, TrainConfig};
 use dnnip_nn::{zoo, Network};
@@ -261,14 +263,66 @@ pub fn criterion_from_env(coverage: &CoverageConfig) -> Arc<dyn CoverageCriterio
     }
 }
 
-/// Build the evaluator every experiment binary runs through: the model's
-/// coverage configuration plus the criterion selected by `DNNIP_CRITERION`
-/// (parameter-gradient when unset).
+/// The criterion selector of this process ([`CriterionSpec::Spec`] when
+/// `DNNIP_CRITERION` is set, the model default otherwise) — what every
+/// experiment binary passes into its [`Workspace`] requests.
+pub fn criterion_spec_from_env() -> CriterionSpec {
+    match std::env::var("DNNIP_CRITERION") {
+        Ok(spec) => CriterionSpec::Spec(spec),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("DNNIP_CRITERION is set but not valid UTF-8")
+        }
+        Err(std::env::VarError::NotPresent) => CriterionSpec::ModelDefault,
+    }
+}
+
+/// The workspace every experiment binary runs through: default shared cache
+/// budget, persistent tier resolved from `DNNIP_CACHE_DIR` /
+/// `DNNIP_CACHE_PERSIST` (on by default, rooted at `target/dnnip-cache`).
+pub fn workspace_from_env() -> Workspace {
+    Workspace::from_env()
+}
+
+/// One-line description of a workspace's persistent tier for the binaries'
+/// report headers ("cache dir: target/dnnip-cache (persist on)").
+pub fn cache_banner(ws: &Workspace) -> String {
+    match ws.cache_dir() {
+        Some(dir) => format!("cache dir: {} (persist on)", dir.display()),
+        None => "cache dir: none (persist off)".to_string(),
+    }
+}
+
+/// Register a prepared model in a workspace (by name, with its coverage
+/// configuration) and return its fingerprint.
+pub fn register_model(ws: &Workspace, model: &PreparedModel) -> NetworkFingerprint {
+    ws.register(model.name, model.network.clone(), model.coverage)
+}
+
+/// Register `model` and mint its evaluator under the `DNNIP_CRITERION`
+/// selection — the [`Workspace`]-era replacement for [`evaluator_for`].
+///
+/// # Panics
+///
+/// Panics on a malformed `DNNIP_CRITERION` value — a typo'd criterion name
+/// must not silently fall back to a different experiment.
+pub fn evaluator_in(ws: &Workspace, model: &PreparedModel) -> Evaluator {
+    let fingerprint = register_model(ws, model);
+    ws.evaluator(fingerprint, &criterion_spec_from_env())
+        .expect("valid DNNIP_CRITERION spec")
+}
+
+/// Build a standalone evaluator for one model (private caches, no registry,
+/// no persistent tier).
 ///
 /// # Panics
 ///
 /// Panics on a malformed `DNNIP_CRITERION` value.
-pub fn evaluator_for(model: &PreparedModel) -> Evaluator<'_> {
+#[deprecated(
+    since = "0.1.0",
+    note = "go through a Workspace: `evaluator_in(&workspace_from_env(), model)` \
+            shares one cache budget across models and persists across processes"
+)]
+pub fn evaluator_for(model: &PreparedModel) -> Evaluator {
     Evaluator::with_criterion(
         &model.network,
         model.coverage,

@@ -118,6 +118,30 @@ impl Bitset {
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         (0..self.len).filter(move |&i| self.get(i))
     }
+
+    /// The backing `u64` words (`len.div_ceil(64)` of them, low bits first) —
+    /// the stable payload the persistent cache tier serializes.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a bitset from its backing words and position count.
+    ///
+    /// Returns `None` when the word count does not match `len` or a bit
+    /// beyond `len` is set — the validation the persistent tier relies on to
+    /// turn corrupted payloads into cache misses instead of bogus sets.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        if let Some(&last) = words.last() {
+            let used = len % 64;
+            if used != 0 && (last >> used) != 0 {
+                return None;
+            }
+        }
+        Some(Self { words, len })
+    }
 }
 
 #[cfg(test)]

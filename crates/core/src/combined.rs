@@ -88,7 +88,7 @@ impl CombinedResult {
 /// [`CoreError::InvalidConfig`] for a zero budget, and propagates gradient /
 /// coverage errors.
 pub fn generate_combined(
-    evaluator: &Evaluator<'_>,
+    evaluator: &Evaluator,
     candidates: &[Tensor],
     config: &CombinedConfig,
 ) -> Result<CombinedResult> {
@@ -181,8 +181,8 @@ pub fn generate_combined(
 }
 
 fn materialize_batch(
-    generator: &mut GradientGenerator<'_>,
-    evaluator: &Evaluator<'_>,
+    generator: &mut GradientGenerator,
+    evaluator: &Evaluator,
 ) -> Result<Vec<(Tensor, usize, Bitset)>> {
     let batch = generator.generate_batch()?;
     // One batched (and possibly multi-threaded) coverage pass over the whole

@@ -100,23 +100,28 @@ impl Default for CoverageConfig {
 /// Computes per-input covered-unit sets and coverage for one network under a
 /// pluggable [`CoverageCriterion`] (the paper's parameter-gradient metric by
 /// default).
+///
+/// The analyzer **owns** its network (`Arc<Network>`, shared with the batched
+/// engine), so it is a `'static` value: it can be stored in registries,
+/// moved across threads and cloned cheaply. Constructors accept `&Network`
+/// (cloned into the `Arc` once) or an `Arc<Network>` (shared, no copy).
 #[derive(Debug, Clone)]
-pub struct CoverageAnalyzer<'a> {
-    network: &'a Network,
+pub struct CoverageAnalyzer {
     config: CoverageConfig,
     criterion: Arc<dyn CoverageCriterion>,
     /// Unit count of the criterion for this network (bitset length), computed
     /// once at construction.
     num_units: usize,
     /// Batched evaluation engine, built once (it precomputes per-conv-layer
-    /// weight matrices) and shared read-only across worker threads.
-    engine: BatchGradientEngine<'a>,
+    /// weight matrices) and shared read-only across worker threads. Owns the
+    /// network handle the analyzer evaluates.
+    engine: BatchGradientEngine,
 }
 
-impl<'a> CoverageAnalyzer<'a> {
+impl CoverageAnalyzer {
     /// Create an analyzer for `network` under the paper's parameter-gradient
     /// criterion (threshold policy and projection taken from `config`).
-    pub fn new(network: &'a Network, config: CoverageConfig) -> Self {
+    pub fn new(network: impl Into<Arc<Network>>, config: CoverageConfig) -> Self {
         Self::with_criterion(
             network,
             config,
@@ -129,23 +134,28 @@ impl<'a> CoverageAnalyzer<'a> {
     /// criterion itself reads them (only [`ParamGradient`] does); `exec` and
     /// `batch_size` govern every criterion's work distribution.
     pub fn with_criterion(
-        network: &'a Network,
+        network: impl Into<Arc<Network>>,
         config: CoverageConfig,
         criterion: Arc<dyn CoverageCriterion>,
     ) -> Self {
-        let num_units = criterion.num_units(network);
+        let engine = BatchGradientEngine::new(network);
+        let num_units = criterion.num_units(engine.network());
         Self {
-            network,
             config,
             criterion,
             num_units,
-            engine: BatchGradientEngine::new(network),
+            engine,
         }
     }
 
     /// The analyzed network.
-    pub fn network(&self) -> &'a Network {
-        self.network
+    pub fn network(&self) -> &Network {
+        self.engine.network()
+    }
+
+    /// The shared handle to the analyzed network (reference-count bump only).
+    pub fn network_arc(&self) -> Arc<Network> {
+        self.engine.network_arc()
     }
 
     /// The coverage criterion driving this analyzer.
@@ -157,7 +167,7 @@ impl<'a> CoverageAnalyzer<'a> {
     /// included). Cloning the returned engine reuses those precomputed
     /// matrices, which is how the [`crate::eval::Evaluator`] hands one engine's
     /// work to the gradient generator without re-deriving it.
-    pub fn engine(&self) -> &BatchGradientEngine<'a> {
+    pub fn engine(&self) -> &BatchGradientEngine {
         &self.engine
     }
 
@@ -170,7 +180,7 @@ impl<'a> CoverageAnalyzer<'a> {
     /// the length of every activation set — under the default
     /// [`ParamGradient`] criterion).
     pub fn num_parameters(&self) -> usize {
-        self.network.num_parameters()
+        self.network().num_parameters()
     }
 
     /// Number of coverable units under the analyzer's criterion (the length of
@@ -220,7 +230,8 @@ impl<'a> CoverageAnalyzer<'a> {
     ///
     /// Returns an error when the sample shape does not match the network input.
     pub fn activation_set_reference(&self, sample: &Tensor) -> Result<Bitset> {
-        self.criterion.covered_units_reference(self.network, sample)
+        self.criterion
+            .covered_units_reference(self.network(), sample)
     }
 
     /// Activation sets for a collection of inputs — the batched, multi-threaded

@@ -69,11 +69,7 @@ pub trait CoverageCriterion: fmt::Debug + Send + Sync {
     /// # Errors
     ///
     /// Returns an error when a sample shape does not match the network input.
-    fn covered_units(
-        &self,
-        engine: &BatchGradientEngine<'_>,
-        chunk: &[Tensor],
-    ) -> Result<Vec<Bitset>>;
+    fn covered_units(&self, engine: &BatchGradientEngine, chunk: &[Tensor]) -> Result<Vec<Bitset>>;
 
     /// Independent reference implementation for one sample, used by the
     /// differential tests and throughput baselines. Defaults to the batched
@@ -283,11 +279,7 @@ impl CoverageCriterion for ParamGradient {
         network.num_parameters()
     }
 
-    fn covered_units(
-        &self,
-        engine: &BatchGradientEngine<'_>,
-        chunk: &[Tensor],
-    ) -> Result<Vec<Bitset>> {
+    fn covered_units(&self, engine: &BatchGradientEngine, chunk: &[Tensor]) -> Result<Vec<Bitset>> {
         let network = engine.network();
         let n = network.num_parameters();
         let saturating = network_saturates(network);
@@ -380,11 +372,7 @@ impl CoverageCriterion for NeuronActivation {
         count_neurons(network)
     }
 
-    fn covered_units(
-        &self,
-        engine: &BatchGradientEngine<'_>,
-        chunk: &[Tensor],
-    ) -> Result<Vec<Bitset>> {
+    fn covered_units(&self, engine: &BatchGradientEngine, chunk: &[Tensor]) -> Result<Vec<Bitset>> {
         let n = self.num_units(engine.network());
         let capture = engine.activation_outputs(chunk)?;
         let mut sets: Vec<Bitset> = (0..chunk.len()).map(|_| Bitset::new(n)).collect();
@@ -439,11 +427,7 @@ impl CoverageCriterion for TopKNeuron {
         count_neurons(network)
     }
 
-    fn covered_units(
-        &self,
-        engine: &BatchGradientEngine<'_>,
-        chunk: &[Tensor],
-    ) -> Result<Vec<Bitset>> {
+    fn covered_units(&self, engine: &BatchGradientEngine, chunk: &[Tensor]) -> Result<Vec<Bitset>> {
         let n = self.num_units(engine.network());
         let capture = engine.activation_outputs(chunk)?;
         let mut sets: Vec<Bitset> = (0..chunk.len()).map(|_| Bitset::new(n)).collect();

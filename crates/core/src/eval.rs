@@ -46,6 +46,7 @@ use crate::coverage::{CoverageAnalyzer, CoverageConfig};
 use crate::criterion::{criterion_digest, CoverageCriterion};
 use crate::generator::{self, GeneratedTests, GenerationConfig, GenerationMethod};
 use crate::gradgen::{GradGenConfig, GradientGenerator};
+use crate::persist::{DiskStats, DiskTier};
 use crate::select::{self, SelectionResult};
 use crate::{CoreError, Result};
 
@@ -63,29 +64,108 @@ const ENTRY_OVERHEAD_BYTES: usize = 96;
 
 /// Cache key: network fingerprint × sample content hash × criterion digest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct CacheKey {
-    net: NetworkFingerprint,
-    sample: (u64, u64),
-    criterion: u64,
+pub(crate) struct CacheKey {
+    pub(crate) net: NetworkFingerprint,
+    pub(crate) sample: (u64, u64),
+    pub(crate) criterion: u64,
 }
 
 /// A value storable in a [`ContentCache`]: clonable, with a stable resident
-/// byte estimate.
+/// byte estimate and a stable byte encoding for the persistent disk tier
+/// ([`crate::persist::DiskTier`]).
 pub trait CacheValue: Clone {
+    /// One-byte payload-kind tag written into the persistent-entry header, so
+    /// a covered-set file can never decode as a forward-output tensor (or
+    /// vice versa) even under a hash collision of the path components.
+    const KIND: u8;
+
     /// Approximate heap bytes of one resident value (excluding the fixed
     /// per-entry overhead, which the cache adds itself).
     fn resident_bytes(&self) -> usize;
+
+    /// Append the value's stable on-disk payload to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode a payload produced by [`CacheValue::encode`]; `None` on any
+    /// structural mismatch (the persistent tier turns that into a miss).
+    fn decode(bytes: &[u8]) -> Option<Self>
+    where
+        Self: Sized;
 }
 
 impl CacheValue for Bitset {
+    const KIND: u8 = 1;
+
     fn resident_bytes(&self) -> usize {
         self.len().div_ceil(64) * 8
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.len() as u64).to_le_bytes());
+        for &word in self.words() {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let (len_bytes, rest) = bytes.split_at_checked(8)?;
+        let len = u64::from_le_bytes(len_bytes.try_into().ok()?) as usize;
+        if rest.len() != len.div_ceil(64) * 8 {
+            return None;
+        }
+        let words = rest
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        Bitset::from_words(words, len)
     }
 }
 
 impl CacheValue for Tensor {
+    const KIND: u8 = 2;
+
     fn resident_bytes(&self) -> usize {
         self.len() * 4
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.shape().len() as u64).to_le_bytes());
+        for &d in self.shape() {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for &v in self.data() {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let (rank_bytes, mut rest) = bytes.split_at_checked(8)?;
+        let rank = u64::from_le_bytes(rank_bytes.try_into().ok()?) as usize;
+        // Every header field is untrusted (the payload may be a corrupted
+        // disk entry): bound the rank by the bytes actually present before
+        // allocating, and refuse overflowing element counts — decode must
+        // degrade to a miss, never abort or panic.
+        if rank > rest.len() / 8 {
+            return None;
+        }
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let (dim, tail) = rest.split_at_checked(8)?;
+            shape.push(u64::from_le_bytes(dim.try_into().ok()?) as usize);
+            rest = tail;
+        }
+        let expected = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .and_then(|n| n.checked_mul(4))?;
+        if rest.len() != expected {
+            return None;
+        }
+        let data = rest
+            .chunks_exact(4)
+            .map(|c| f32::from_bits(u32::from_le_bytes(c.try_into().expect("4-byte chunk"))))
+            .collect();
+        Tensor::from_vec(data, &shape).ok()
     }
 }
 
@@ -125,6 +205,11 @@ struct CacheInner<V> {
     /// Counters split by criterion id (insertion order preserved by sorting on
     /// read; the handful of criteria makes this map tiny).
     per_criterion: HashMap<&'static str, Counters>,
+    /// Counters split by network fingerprint — the per-model view of a cache
+    /// shared across a whole [`crate::workspace::Workspace`]. Eviction is
+    /// still global (one LRU order over every model), but each model's share
+    /// of the traffic and residency is observable here.
+    per_model: HashMap<NetworkFingerprint, Counters>,
 }
 
 impl<V> Default for CacheInner<V> {
@@ -136,6 +221,7 @@ impl<V> Default for CacheInner<V> {
             bytes: 0,
             total: Counters::default(),
             per_criterion: HashMap::new(),
+            per_model: HashMap::new(),
         }
     }
 }
@@ -143,9 +229,10 @@ impl<V> Default for CacheInner<V> {
 /// Snapshot of a cache's counters (whole cache or one criterion's slice).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the in-memory cache.
     pub hits: u64,
-    /// Lookups that required a fresh computation.
+    /// Lookups not answered from memory (served by the persistent tier, when
+    /// one is attached, or freshly computed).
     pub misses: u64,
     /// Values stored (hits never re-store).
     pub insertions: u64,
@@ -196,6 +283,9 @@ impl Counters {
 pub struct ContentCache<V: CacheValue> {
     max_bytes: usize,
     inner: Mutex<CacheInner<V>>,
+    /// Optional persistent tier consulted on in-memory misses and filled on
+    /// fresh computations (shared across every cache of a workspace).
+    disk: Option<Arc<DiskTier>>,
 }
 
 /// The evaluator's covered-unit-set cache (one [`Bitset`] per
@@ -205,10 +295,28 @@ pub type CoveredSetCache = ContentCache<Bitset>;
 impl<V: CacheValue> ContentCache<V> {
     /// Create a cache with the given LRU byte budget (0 disables caching).
     pub fn new(max_bytes: usize) -> Self {
+        Self::with_disk(max_bytes, None)
+    }
+
+    /// Create a cache with an LRU byte budget and an optional persistent
+    /// tier: in-memory misses probe the tier before recomputing, and fresh
+    /// computations are spilled to it.
+    pub fn with_disk(max_bytes: usize, disk: Option<Arc<DiskTier>>) -> Self {
         Self {
             max_bytes,
             inner: Mutex::new(CacheInner::default()),
+            disk,
         }
+    }
+
+    /// The configured LRU byte budget (0 means the cache is disabled).
+    pub fn max_bytes(&self) -> usize {
+        self.max_bytes
+    }
+
+    /// Counters of the persistent tier, when one is attached.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.disk.as_ref().map(|d| d.stats())
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner<V>> {
@@ -232,6 +340,7 @@ impl<V: CacheValue> ContentCache<V> {
         inner.map.get_mut(key).expect("entry just observed").tick = new_tick;
         inner.total.hits += 1;
         inner.per_criterion.entry(criterion).or_default().hits += 1;
+        inner.per_model.entry(key.net).or_default().hits += 1;
         Some(value)
     }
 
@@ -250,6 +359,9 @@ impl<V: CacheValue> ContentCache<V> {
             let prev = inner.per_criterion.entry(existing.criterion).or_default();
             prev.entries -= 1;
             prev.bytes -= existing.bytes;
+            let model = inner.per_model.entry(key.net).or_default();
+            model.entries -= 1;
+            model.bytes -= existing.bytes;
         }
         while inner.bytes + bytes > self.max_bytes {
             let Some((&oldest_tick, &oldest_key)) = inner.order.iter().next() else {
@@ -263,6 +375,10 @@ impl<V: CacheValue> ContentCache<V> {
             prev.evictions += 1;
             prev.entries -= 1;
             prev.bytes -= evicted.bytes;
+            let model = inner.per_model.entry(oldest_key.net).or_default();
+            model.evictions += 1;
+            model.entries -= 1;
+            model.bytes -= evicted.bytes;
         }
         inner.tick += 1;
         let tick = inner.tick;
@@ -273,6 +389,10 @@ impl<V: CacheValue> ContentCache<V> {
         per.insertions += 1;
         per.entries += 1;
         per.bytes += bytes;
+        let model = inner.per_model.entry(key.net).or_default();
+        model.insertions += 1;
+        model.entries += 1;
+        model.bytes += bytes;
         inner.map.insert(
             key,
             CacheEntry {
@@ -284,11 +404,13 @@ impl<V: CacheValue> ContentCache<V> {
         );
     }
 
-    /// Record `count` lookups that required a fresh computation.
-    fn note_misses(&self, count: u64, criterion: &'static str) {
+    /// Record `count` lookups (all for model `net`) that were not resident in
+    /// memory.
+    fn note_misses(&self, count: u64, criterion: &'static str, net: NetworkFingerprint) {
         let mut inner = self.lock();
         inner.total.misses += count;
         inner.per_criterion.entry(criterion).or_default().misses += count;
+        inner.per_model.entry(net).or_default().misses += count;
     }
 
     /// Current counters over the whole cache. The entry/byte gauges are read
@@ -326,6 +448,29 @@ impl<V: CacheValue> ContentCache<V> {
         out
     }
 
+    /// Counters attributed to one model's fingerprint (zeroes when the model
+    /// has never touched this cache).
+    pub fn stats_for_model(&self, net: NetworkFingerprint) -> CacheStats {
+        self.lock()
+            .per_model
+            .get(&net)
+            .copied()
+            .unwrap_or_default()
+            .stats(self.max_bytes)
+    }
+
+    /// Per-model counter snapshots, sorted by fingerprint.
+    pub fn stats_by_model(&self) -> Vec<(NetworkFingerprint, CacheStats)> {
+        let inner = self.lock();
+        let mut out: Vec<(NetworkFingerprint, CacheStats)> = inner
+            .per_model
+            .iter()
+            .map(|(&net, c)| (net, c.stats(self.max_bytes)))
+            .collect();
+        out.sort_unstable_by_key(|(net, _)| *net);
+        out
+    }
+
     /// Serve `samples` through the cache: hits are returned directly, distinct
     /// misses (deduplicated by key within the request, so a sample repeated in
     /// one batch is computed and hashed exactly once) are computed in a single
@@ -351,26 +496,38 @@ impl<V: CacheValue> ContentCache<V> {
         let mut key_to_miss: HashMap<CacheKey, usize> = HashMap::new();
         for (i, sample) in samples.iter().enumerate() {
             let key = key_fn(sample);
-            match self.get(&key, label) {
-                Some(value) => out[i] = Some(value),
-                None => match key_to_miss.entry(key) {
-                    std::collections::hash_map::Entry::Occupied(entry) => {
-                        miss_indices[*entry.get()].push(i);
-                    }
-                    std::collections::hash_map::Entry::Vacant(entry) => {
-                        entry.insert(miss_samples.len());
-                        miss_keys.push(key);
-                        miss_indices.push(vec![i]);
-                        miss_samples.push(sample.clone());
-                    }
-                },
+            if let Some(value) = self.get(&key, label) {
+                out[i] = Some(value);
+                continue;
             }
+            if let Some(&pending) = key_to_miss.get(&key) {
+                miss_indices[pending].push(i);
+                continue;
+            }
+            // First in-memory miss of this key in the request: probe the
+            // persistent tier before scheduling a fresh computation. A disk
+            // hit is promoted into memory, so later duplicates hit there.
+            if let Some(value) = self.disk.as_ref().and_then(|d| d.load::<V>(&key)) {
+                self.note_misses(1, label, key.net);
+                self.insert(key, &value, label);
+                out[i] = Some(value);
+                continue;
+            }
+            key_to_miss.insert(key, miss_samples.len());
+            miss_keys.push(key);
+            miss_indices.push(vec![i]);
+            miss_samples.push(sample.clone());
         }
         if !miss_samples.is_empty() {
-            self.note_misses(miss_samples.len() as u64, label);
+            // Every key of one request shares the evaluator's fingerprint, so
+            // the distinct-miss count is attributed to `miss_keys[0].net`.
+            self.note_misses(miss_samples.len() as u64, label, miss_keys[0].net);
             let computed = compute(&miss_samples)?;
             for ((indices, key), value) in miss_indices.iter().zip(&miss_keys).zip(computed) {
                 self.insert(*key, &value, label);
+                if let Some(disk) = &self.disk {
+                    disk.store(key, &value);
+                }
                 for &i in indices {
                     out[i] = Some(value.clone());
                 }
@@ -390,6 +547,10 @@ impl<V: CacheValue> ContentCache<V> {
         inner.order.clear();
         inner.bytes = 0;
         for c in inner.per_criterion.values_mut() {
+            c.entries = 0;
+            c.bytes = 0;
+        }
+        for c in inner.per_model.values_mut() {
             c.entries = 0;
             c.bytes = 0;
         }
@@ -432,26 +593,39 @@ const FORWARD_OUTPUT_LABEL: &str = "forward-output";
 /// the detection harness — take an `&Evaluator`, so repeated sweeps over
 /// overlapping sample pools (Fig. 3 budgets, Table II/III prefixes) pay for
 /// each distinct `(network, sample, criterion)` evaluation exactly once.
-#[derive(Debug)]
-pub struct Evaluator<'a> {
-    analyzer: CoverageAnalyzer<'a>,
-    fingerprint: NetworkFingerprint,
-    criterion_key: u64,
-    cache: CoveredSetCache,
-    output_cache: ContentCache<Tensor>,
+///
+/// An `Evaluator` is a `'static`, cheaply **clonable handle**: the network is
+/// held by `Arc` (constructors accept `&Network`, cloned once, or an
+/// `Arc<Network>`, shared) and the caches are `Arc`-shared, so clones of one
+/// evaluator observe the same cache. The standalone constructors below give
+/// each evaluator its own private caches; evaluators minted by a
+/// [`crate::workspace::Workspace`] share **one** cache budget (and optionally
+/// a persistent disk tier) across every registered model and criterion.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    inner: Arc<EvalInner>,
 }
 
-impl<'a> Evaluator<'a> {
+#[derive(Debug)]
+struct EvalInner {
+    analyzer: CoverageAnalyzer,
+    fingerprint: NetworkFingerprint,
+    criterion_key: u64,
+    cache: Arc<CoveredSetCache>,
+    output_cache: Arc<ContentCache<Tensor>>,
+}
+
+impl Evaluator {
     /// Create an evaluator under the paper's default parameter-gradient
     /// criterion with the default cache budget ([`DEFAULT_CACHE_BYTES`]).
-    pub fn new(network: &'a Network, config: CoverageConfig) -> Self {
+    pub fn new(network: impl Into<Arc<Network>>, config: CoverageConfig) -> Self {
         Self::with_cache_bytes(network, config, DEFAULT_CACHE_BYTES)
     }
 
     /// Create an evaluator under an explicit coverage criterion with the
     /// default cache budget.
     pub fn with_criterion(
-        network: &'a Network,
+        network: impl Into<Arc<Network>>,
         config: CoverageConfig,
         criterion: Arc<dyn CoverageCriterion>,
     ) -> Self {
@@ -464,7 +638,7 @@ impl<'a> Evaluator<'a> {
     /// Create an evaluator with an explicit cache byte budget (0 disables
     /// caching; every lookup then recomputes).
     pub fn with_cache_bytes(
-        network: &'a Network,
+        network: impl Into<Arc<Network>>,
         config: CoverageConfig,
         max_bytes: usize,
     ) -> Self {
@@ -473,7 +647,7 @@ impl<'a> Evaluator<'a> {
 
     /// Create an evaluator under an explicit criterion and cache byte budget.
     pub fn with_criterion_cache_bytes(
-        network: &'a Network,
+        network: impl Into<Arc<Network>>,
         config: CoverageConfig,
         criterion: Arc<dyn CoverageCriterion>,
         max_bytes: usize,
@@ -484,9 +658,7 @@ impl<'a> Evaluator<'a> {
         )
     }
 
-    fn from_analyzer(analyzer: CoverageAnalyzer<'a>, max_bytes: usize) -> Self {
-        let fingerprint = NetworkFingerprint::of(analyzer.network());
-        let criterion_key = criterion_digest(analyzer.criterion().as_ref());
+    fn from_analyzer(analyzer: CoverageAnalyzer, max_bytes: usize) -> Self {
         // The output cache is disabled together with the set cache so a zero
         // budget really is the raw compute path end to end.
         let output_bytes = if max_bytes == 0 {
@@ -494,85 +666,110 @@ impl<'a> Evaluator<'a> {
         } else {
             DEFAULT_OUTPUT_CACHE_BYTES
         };
-        Self {
+        Self::with_shared_caches(
             analyzer,
-            fingerprint,
-            criterion_key,
-            cache: CoveredSetCache::new(max_bytes),
-            output_cache: ContentCache::new(output_bytes),
+            Arc::new(CoveredSetCache::new(max_bytes)),
+            Arc::new(ContentCache::new(output_bytes)),
+        )
+    }
+
+    /// Build an evaluator around pre-existing (typically workspace-shared)
+    /// caches. The cache keys carry the network fingerprint and criterion
+    /// digest, so arbitrarily many evaluators can share one cache without any
+    /// chance of aliasing each other's entries.
+    pub(crate) fn with_shared_caches(
+        analyzer: CoverageAnalyzer,
+        cache: Arc<CoveredSetCache>,
+        output_cache: Arc<ContentCache<Tensor>>,
+    ) -> Self {
+        let fingerprint = NetworkFingerprint::of(analyzer.network());
+        let criterion_key = criterion_digest(analyzer.criterion().as_ref());
+        Self {
+            inner: Arc::new(EvalInner {
+                analyzer,
+                fingerprint,
+                criterion_key,
+                cache,
+                output_cache,
+            }),
         }
     }
 
     /// The evaluated network.
-    pub fn network(&self) -> &'a Network {
-        self.analyzer.network()
+    pub fn network(&self) -> &Network {
+        self.inner.analyzer.network()
+    }
+
+    /// The shared handle to the evaluated network (reference-count bump only).
+    pub fn network_arc(&self) -> Arc<Network> {
+        self.inner.analyzer.network_arc()
     }
 
     /// The underlying coverage analyzer (compute layer, cache-unaware).
-    pub fn analyzer(&self) -> &CoverageAnalyzer<'a> {
-        &self.analyzer
+    pub fn analyzer(&self) -> &CoverageAnalyzer {
+        &self.inner.analyzer
     }
 
     /// The coverage criterion this evaluator computes.
     pub fn criterion(&self) -> &Arc<dyn CoverageCriterion> {
-        self.analyzer.criterion()
+        self.inner.analyzer.criterion()
     }
 
     /// The network's content fingerprint.
     pub fn fingerprint(&self) -> NetworkFingerprint {
-        self.fingerprint
+        self.inner.fingerprint
     }
 
     /// Total number of parameters of the evaluated network.
     pub fn num_parameters(&self) -> usize {
-        self.analyzer.num_parameters()
+        self.inner.analyzer.num_parameters()
     }
 
     /// Number of coverable units under this evaluator's criterion (the length
     /// of every covered-unit set).
     pub fn num_units(&self) -> usize {
-        self.analyzer.num_units()
+        self.inner.analyzer.num_units()
     }
 
     /// Snapshot of the covered-unit-set cache counters (all criteria).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.stats()
+        self.inner.cache.stats()
     }
 
     /// Covered-unit-set cache counters attributed to this evaluator's
     /// criterion.
     pub fn criterion_cache_stats(&self) -> CacheStats {
-        self.cache.stats_for(self.criterion().id())
+        self.inner.cache.stats_for(self.criterion().id())
     }
 
     /// Per-criterion covered-unit-set cache counters, sorted by criterion id.
     pub fn cache_stats_by_criterion(&self) -> Vec<(&'static str, CacheStats)> {
-        self.cache.stats_by_criterion()
+        self.inner.cache.stats_by_criterion()
     }
 
     /// Snapshot of the golden forward-output cache counters.
     pub fn output_cache_stats(&self) -> CacheStats {
-        self.output_cache.stats()
+        self.inner.output_cache.stats()
     }
 
     /// Drop all cached covered-unit sets and forward outputs (counters
     /// survive).
     pub fn clear_cache(&self) {
-        self.cache.clear();
-        self.output_cache.clear();
+        self.inner.cache.clear();
+        self.inner.output_cache.clear();
     }
 
     fn key_for(&self, sample: &Tensor) -> CacheKey {
         CacheKey {
-            net: self.fingerprint,
+            net: self.inner.fingerprint,
             sample: sample_hash(sample),
-            criterion: self.criterion_key,
+            criterion: self.inner.criterion_key,
         }
     }
 
     fn output_key_for(&self, sample: &Tensor) -> CacheKey {
         CacheKey {
-            net: self.fingerprint,
+            net: self.inner.fingerprint,
             sample: sample_hash(sample),
             criterion: 0,
         }
@@ -590,16 +787,16 @@ impl<'a> Evaluator<'a> {
     ///
     /// Returns an error when any sample shape does not match the network input.
     pub fn activation_sets(&self, samples: &[Tensor]) -> Result<Vec<Bitset>> {
-        if self.cache.max_bytes == 0 {
+        if self.inner.cache.max_bytes == 0 {
             // Cache disabled: skip hashing and miss bookkeeping entirely so a
             // budget of zero really is the raw analyzer path.
-            return self.analyzer.activation_sets(samples);
+            return self.inner.analyzer.activation_sets(samples);
         }
-        self.cache.get_or_compute(
+        self.inner.cache.get_or_compute(
             samples,
             |sample| self.key_for(sample),
             self.criterion().id(),
-            |misses| self.analyzer.activation_sets(misses),
+            |misses| self.inner.analyzer.activation_sets(misses),
         )
     }
 
@@ -664,14 +861,16 @@ impl<'a> Evaluator<'a> {
     /// Returns an error when any sample shape does not match the network input.
     pub fn forward_outputs(&self, samples: &[Tensor]) -> Result<Vec<Tensor>> {
         let infer = |misses: &[Tensor]| {
-            crate::par::try_map(self.analyzer.config().exec, misses, |x| -> Result<Tensor> {
-                Ok(self.network().forward_sample(x)?)
-            })
+            crate::par::try_map(
+                self.inner.analyzer.config().exec,
+                misses,
+                |x| -> Result<Tensor> { Ok(self.network().forward_sample(x)?) },
+            )
         };
-        if self.output_cache.max_bytes == 0 {
+        if self.inner.output_cache.max_bytes == 0 {
             return infer(samples);
         }
-        self.output_cache.get_or_compute(
+        self.inner.output_cache.get_or_compute(
             samples,
             |sample| self.output_key_for(sample),
             FORWARD_OUTPUT_LABEL,
@@ -699,8 +898,8 @@ impl<'a> Evaluator<'a> {
     /// the criterion's synthesis objective, when it supplies one (criteria
     /// without a gradient hook fall back to the paper's cross-entropy
     /// objective).
-    pub fn gradient_generator(&self, config: GradGenConfig) -> GradientGenerator<'a> {
-        GradientGenerator::with_engine(self.analyzer.engine().clone(), config)
+    pub fn gradient_generator(&self, config: GradGenConfig) -> GradientGenerator {
+        GradientGenerator::with_engine(self.inner.analyzer.engine().clone(), config)
             .with_objective(self.criterion().gradient_objective())
     }
 
@@ -763,7 +962,7 @@ impl<'a> Evaluator<'a> {
     /// detection to share thread settings.
     pub fn detection_config(&self, config: &DetectionConfig) -> DetectionConfig {
         DetectionConfig {
-            exec: self.analyzer.config().exec,
+            exec: self.inner.analyzer.config().exec,
             ..*config
         }
     }
@@ -852,7 +1051,7 @@ mod tests {
                 ..CoverageConfig::default()
             },
         );
-        assert_ne!(a.criterion_key, strict.criterion_key);
+        assert_ne!(a.inner.criterion_key, strict.inner.criterion_key);
         // And different criteria have different keys entirely.
         let neuron = Evaluator::with_criterion(
             &network,
@@ -864,8 +1063,8 @@ mod tests {
             CoverageConfig::default(),
             Arc::new(TopKNeuron::default()),
         );
-        assert_ne!(a.criterion_key, neuron.criterion_key);
-        assert_ne!(neuron.criterion_key, topk.criterion_key);
+        assert_ne!(a.inner.criterion_key, neuron.inner.criterion_key);
+        assert_ne!(neuron.inner.criterion_key, topk.inner.criterion_key);
     }
 
     #[test]
@@ -976,9 +1175,9 @@ mod tests {
         assert_eq!(per.hits as usize, pool.len());
         // The param-gradient slice of this evaluator's cache is untouched.
         assert_eq!(
-            neuron.cache.stats_for("param-gradient"),
+            neuron.inner.cache.stats_for("param-gradient"),
             CacheStats {
-                max_bytes: neuron.cache.max_bytes,
+                max_bytes: neuron.inner.cache.max_bytes,
                 ..CacheStats::default()
             }
         );
@@ -998,7 +1197,7 @@ mod tests {
             CoverageConfig::default(),
             Arc::new(NeuronActivation { threshold: 1.5 }),
         );
-        assert_ne!(loose.criterion_key, strict.criterion_key);
+        assert_ne!(loose.inner.criterion_key, strict.inner.criterion_key);
         let a = loose.activation_sets(&pool).unwrap();
         let b = strict.activation_sets(&pool).unwrap();
         // Different thresholds genuinely see different sets on this pool.

@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::combined::{generate_combined, CombinedConfig};
+use crate::combined::{generate_combined, CombinedConfig, TestSource};
 use crate::coverage::CoverageConfig;
 use crate::eval::Evaluator;
 use crate::gradgen::GradGenConfig;
@@ -97,6 +97,11 @@ pub struct GeneratedTests {
     pub coverage_curve: Vec<f32>,
     /// The method that produced the tests.
     pub method: GenerationMethod,
+    /// Where each test came from (parallel to `inputs`): a candidate-pool
+    /// index for selection-based methods, the target class for synthesized
+    /// tests. This is what lets [`crate::workspace::TestGenReport`] expose
+    /// selection indices without re-running the selection.
+    pub provenance: Vec<TestSource>,
 }
 
 impl GeneratedTests {
@@ -114,13 +119,25 @@ impl GeneratedTests {
     pub fn is_empty(&self) -> bool {
         self.inputs.is_empty()
     }
+
+    /// The candidate-pool indices of every pool-drawn test, in generation
+    /// order (synthesized tests contribute nothing here).
+    pub fn pool_indices(&self) -> Vec<usize> {
+        self.provenance
+            .iter()
+            .filter_map(|s| match s {
+                TestSource::TrainingSample(i) => Some(*i),
+                TestSource::Synthetic(_) => None,
+            })
+            .collect()
+    }
 }
 
 /// Compute the coverage curve of an ordered list of tests under the
 /// evaluator's criterion: one batched (possibly multi-threaded, cache-aware)
 /// coverage pass, then a serial prefix-union. Tests whose sets were already computed during generation —
 /// e.g. every training sample the combined generator scored — are cache hits.
-fn coverage_curve(evaluator: &Evaluator<'_>, inputs: &[Tensor]) -> Result<Vec<f32>> {
+fn coverage_curve(evaluator: &Evaluator, inputs: &[Tensor]) -> Result<Vec<f32>> {
     let sets = evaluator.activation_sets(inputs)?;
     let mut covered = crate::bitset::Bitset::new(evaluator.num_units());
     let mut curve = Vec::with_capacity(inputs.len());
@@ -142,7 +159,7 @@ fn coverage_curve(evaluator: &Evaluator<'_>, inputs: &[Tensor]) -> Result<Vec<f3
 /// [`CoreError::EmptyCandidatePool`] when a selection-based method receives an
 /// empty pool, and propagates coverage/gradient errors.
 pub fn generate_tests(
-    evaluator: &Evaluator<'_>,
+    evaluator: &Evaluator,
     training_pool: &[Tensor],
     method: GenerationMethod,
     config: &GenerationConfig,
@@ -152,14 +169,21 @@ pub fn generate_tests(
             reason: "max_tests must be at least 1".to_string(),
         });
     }
-    let inputs: Vec<Tensor> = match method {
+    let (inputs, provenance): (Vec<Tensor>, Vec<TestSource>) = match method {
         GenerationMethod::TrainingSetSelection => {
             let result = select_from_training_set(evaluator, training_pool, config.max_tests)?;
-            result
-                .selected
-                .iter()
-                .map(|&i| training_pool[i].clone())
-                .collect()
+            (
+                result
+                    .selected
+                    .iter()
+                    .map(|&i| training_pool[i].clone())
+                    .collect(),
+                result
+                    .selected
+                    .iter()
+                    .map(|&i| TestSource::TrainingSample(i))
+                    .collect(),
+            )
         }
         GenerationMethod::GradientBased => {
             let mut generator = evaluator.gradient_generator(config.gradgen);
@@ -167,24 +191,32 @@ pub fn generate_tests(
                 .generate(config.max_tests)?
                 .into_iter()
                 .take(config.max_tests)
-                .map(|t| t.input)
-                .collect()
+                .map(|t| (t.input, TestSource::Synthetic(t.target_class)))
+                .unzip()
         }
         GenerationMethod::Combined => {
             let combined_config = CombinedConfig {
                 max_tests: config.max_tests,
                 gradgen: config.gradgen,
             };
-            generate_combined(evaluator, training_pool, &combined_config)?.tests
+            let result = generate_combined(evaluator, training_pool, &combined_config)?;
+            (result.tests, result.sources)
         }
         GenerationMethod::NeuronCoverageBaseline => {
             let neuron = NeuronCoverageAnalyzer::new(evaluator.network(), config.neuron);
             let result = neuron.select_by_neuron_coverage(training_pool, config.max_tests)?;
-            result
-                .selected
-                .iter()
-                .map(|&i| training_pool[i].clone())
-                .collect()
+            (
+                result
+                    .selected
+                    .iter()
+                    .map(|&i| training_pool[i].clone())
+                    .collect(),
+                result
+                    .selected
+                    .iter()
+                    .map(|&i| TestSource::TrainingSample(i))
+                    .collect(),
+            )
         }
         GenerationMethod::RandomSelection => {
             if training_pool.is_empty() {
@@ -196,8 +228,8 @@ pub fn generate_tests(
             indices
                 .into_iter()
                 .take(config.max_tests)
-                .map(|i| training_pool[i].clone())
-                .collect()
+                .map(|i| (training_pool[i].clone(), TestSource::TrainingSample(i)))
+                .unzip()
         }
     };
     let coverage_curve = coverage_curve(evaluator, &inputs)?;
@@ -205,6 +237,7 @@ pub fn generate_tests(
         inputs,
         coverage_curve,
         method,
+        provenance,
     })
 }
 

@@ -74,7 +74,9 @@ pub mod generator;
 pub mod gradgen;
 pub mod neuron;
 pub mod par;
+pub mod persist;
 pub mod protocol;
 pub mod select;
+pub mod workspace;
 
 pub use error::{CoreError, Result};

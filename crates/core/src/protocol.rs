@@ -88,7 +88,7 @@ impl FunctionalTestSuite {
     /// Returns [`CoreError::InvalidSuite`] for an empty test list and propagates
     /// inference errors for incompatible shapes.
     pub fn from_evaluator(
-        evaluator: &Evaluator<'_>,
+        evaluator: &Evaluator,
         inputs: Vec<Tensor>,
         policy: MatchPolicy,
     ) -> Result<Self> {

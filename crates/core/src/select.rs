@@ -126,7 +126,7 @@ pub fn greedy_select(
 ///
 /// Propagates coverage-analysis and selection errors.
 pub fn select_from_training_set(
-    evaluator: &Evaluator<'_>,
+    evaluator: &Evaluator,
     candidates: &[Tensor],
     max_tests: usize,
 ) -> Result<SelectionResult> {

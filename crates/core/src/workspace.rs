@@ -1,0 +1,811 @@
+//! The [`Workspace`] front-door: an owned, multi-model evaluator registry
+//! with one shared cache budget, a persistent disk tier and a single
+//! declarative request API.
+//!
+//! The paper's vendor flow runs the *same* trusted model through many
+//! experiment binaries (the Fig. 3 sweep, Table II, Table III) and whole
+//! architecture families (Table I). A `Workspace` is the session object that
+//! serves all of that from one place:
+//!
+//! * **Registry** — models are registered once ([`Workspace::register`]) and
+//!   addressed by their content [`NetworkFingerprint`]; evaluators are minted
+//!   per `(model, criterion digest)` pair and reused across requests.
+//! * **One budget** — every evaluator of a workspace shares **one**
+//!   LRU byte budget ([`WorkspaceConfig::cache_bytes`]): eviction is global
+//!   across models and criteria, with per-model and per-criterion stats
+//!   ([`Workspace::cache_stats_by_model`] /
+//!   [`Workspace::cache_stats_by_criterion`]).
+//! * **Persistent tier** — with [`DiskCacheConfig`] enabled, covered-set
+//!   entries spill to `<dir>/<fingerprint>/<criterion-digest>/` and are
+//!   reloaded on later misses, so a second *process* over the same model
+//!   starts warm ([`crate::persist`]).
+//! * **One entry point** — [`Workspace::run`] takes a declarative
+//!   [`TestGenRequest`] (strategy + budget + seed + criterion spec) and
+//!   returns a [`TestGenReport`]; it subsumes the older
+//!   `select_from_training_set` / `gradient_generator` / `generate_combined`
+//!   / `generate_tests` call patterns and is bit-identical to them (pinned by
+//!   `tests/workspace_equivalence.rs`).
+//!
+//! ```
+//! use dnnip_core::coverage::CoverageConfig;
+//! use dnnip_core::generator::GenerationMethod;
+//! use dnnip_core::workspace::{TestGenRequest, Workspace};
+//! use dnnip_nn::{layers::Activation, zoo};
+//! use dnnip_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), dnnip_core::CoreError> {
+//! let ws = Workspace::new();
+//! let model = ws.register(
+//!     "tiny",
+//!     zoo::tiny_mlp(4, 8, 3, Activation::Relu, 1)?,
+//!     CoverageConfig::default(),
+//! );
+//! let pool: Vec<Tensor> = (0..12)
+//!     .map(|i| Tensor::from_fn(&[4], |j| ((i * 4 + j) as f32 * 0.31).sin()))
+//!     .collect();
+//! let report = ws.run(
+//!     &TestGenRequest::new(model, GenerationMethod::TrainingSetSelection, 4)
+//!         .with_candidates(pool),
+//! )?;
+//! assert!(report.final_coverage() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use dnnip_nn::fingerprint::NetworkFingerprint;
+use dnnip_nn::Network;
+use dnnip_tensor::Tensor;
+
+use crate::coverage::{CoverageAnalyzer, CoverageConfig};
+use crate::criterion::{criterion_digest, criterion_from_spec, CoverageCriterion, ParamGradient};
+use crate::eval::{
+    CacheStats, ContentCache, CoveredSetCache, Evaluator, DEFAULT_CACHE_BYTES,
+    DEFAULT_OUTPUT_CACHE_BYTES,
+};
+use crate::generator::{GeneratedTests, GenerationConfig, GenerationMethod};
+use crate::gradgen::GradGenConfig;
+use crate::neuron::NeuronCoverageConfig;
+use crate::persist::{DiskStats, DiskTier};
+use crate::{CoreError, Result};
+
+/// Environment variable overriding the persistent-cache directory.
+pub const CACHE_DIR_ENV: &str = "DNNIP_CACHE_DIR";
+/// Environment variable gating the persistent tier (`0`/`false`/`off`
+/// disable it; anything else, or absence, leaves it on).
+pub const CACHE_PERSIST_ENV: &str = "DNNIP_CACHE_PERSIST";
+/// Default persistent-cache directory (relative to the working directory).
+pub const DEFAULT_CACHE_DIR: &str = "target/dnnip-cache";
+
+/// Configuration of a workspace's persistent cache tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskCacheConfig {
+    /// Whether covered-set entries spill to / reload from disk.
+    pub enabled: bool,
+    /// Root directory of the tier.
+    pub dir: PathBuf,
+}
+
+impl DiskCacheConfig {
+    /// The tier switched off (the [`Workspace::new`] default).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            dir: PathBuf::from(DEFAULT_CACHE_DIR),
+        }
+    }
+
+    /// The tier enabled at an explicit directory.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            enabled: true,
+            dir: dir.into(),
+        }
+    }
+
+    /// Resolve from the environment: [`CACHE_DIR_ENV`] overrides the
+    /// directory (default [`DEFAULT_CACHE_DIR`]); [`CACHE_PERSIST_ENV`] set
+    /// to `0`, `false` or `off` disables the tier, which is otherwise **on**.
+    pub fn from_env() -> Self {
+        let dir = std::env::var_os(CACHE_DIR_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(DEFAULT_CACHE_DIR));
+        let enabled = match std::env::var(CACHE_PERSIST_ENV) {
+            Ok(v) => !matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "0" | "false" | "off"
+            ),
+            Err(_) => true,
+        };
+        Self { enabled, dir }
+    }
+}
+
+/// Configuration of a [`Workspace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkspaceConfig {
+    /// The **single** LRU byte budget shared by every model and criterion
+    /// registered in the workspace (0 disables covered-set caching).
+    pub cache_bytes: usize,
+    /// Byte budget of the shared golden forward-output cache.
+    pub output_cache_bytes: usize,
+    /// Persistent tier configuration.
+    pub disk: DiskCacheConfig,
+}
+
+impl Default for WorkspaceConfig {
+    fn default() -> Self {
+        Self {
+            cache_bytes: DEFAULT_CACHE_BYTES,
+            output_cache_bytes: DEFAULT_OUTPUT_CACHE_BYTES,
+            disk: DiskCacheConfig::disabled(),
+        }
+    }
+}
+
+/// One registered model: the shared network handle, its base coverage
+/// configuration and the evaluators minted for it so far.
+#[derive(Debug)]
+struct ModelEntry {
+    name: String,
+    network: Arc<Network>,
+    coverage: CoverageConfig,
+    /// Evaluators by criterion digest ([`criterion_digest`]).
+    evaluators: HashMap<u64, Evaluator>,
+}
+
+/// Summary of one registered model ([`Workspace::models`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// The model's content fingerprint (its registry key).
+    pub fingerprint: NetworkFingerprint,
+    /// The name it was registered under.
+    pub name: String,
+    /// Total parameter count.
+    pub num_parameters: usize,
+    /// Number of evaluators (distinct criteria) minted so far.
+    pub num_evaluators: usize,
+}
+
+/// Which coverage criterion a [`TestGenRequest`] runs under.
+#[derive(Debug, Clone, Default)]
+pub enum CriterionSpec {
+    /// The paper's parameter-gradient criterion, configured from the model's
+    /// registered [`CoverageConfig`] (the default everywhere).
+    #[default]
+    ModelDefault,
+    /// A `DNNIP_CRITERION`-style spec string parsed by
+    /// [`criterion_from_spec`] against the model's coverage configuration.
+    Spec(String),
+    /// An explicit criterion instance.
+    Instance(Arc<dyn CoverageCriterion>),
+}
+
+/// A declarative test-generation request: *what* to run, not *how*.
+///
+/// One request addresses one registered model, names a strategy
+/// ([`GenerationMethod`]), a test budget, a seed and a criterion, and
+/// carries the candidate pool for selection-based strategies. Build with
+/// [`TestGenRequest::new`] and the `with_*` chainers.
+#[derive(Debug, Clone)]
+pub struct TestGenRequest {
+    /// Fingerprint of the registered model to run against.
+    pub model: NetworkFingerprint,
+    /// The generation strategy.
+    pub strategy: GenerationMethod,
+    /// Maximum number of functional tests to produce.
+    pub budget: usize,
+    /// Seed for the strategies that draw randomness (random selection; the
+    /// gradient generator keeps its own seed in [`TestGenRequest::gradgen`]).
+    pub seed: u64,
+    /// Coverage criterion selector.
+    pub criterion: CriterionSpec,
+    /// Gradient-generator configuration (used by `GradientBased` and
+    /// `Combined`).
+    pub gradgen: GradGenConfig,
+    /// Neuron-coverage configuration (used by the baseline strategy).
+    pub neuron: NeuronCoverageConfig,
+    /// Candidate training pool for selection-based strategies (may stay empty
+    /// for pure synthesis).
+    pub candidates: Vec<Tensor>,
+}
+
+impl TestGenRequest {
+    /// A request with the default seed (0), criterion (model default),
+    /// gradgen/neuron configurations and an empty candidate pool.
+    pub fn new(model: NetworkFingerprint, strategy: GenerationMethod, budget: usize) -> Self {
+        Self {
+            model,
+            strategy,
+            budget,
+            seed: 0,
+            criterion: CriterionSpec::default(),
+            gradgen: GradGenConfig::default(),
+            neuron: NeuronCoverageConfig::default(),
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Set the seed for randomness-drawing strategies.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Select the criterion by spec string (`DNNIP_CRITERION` syntax).
+    pub fn with_criterion_spec(mut self, spec: impl Into<String>) -> Self {
+        self.criterion = CriterionSpec::Spec(spec.into());
+        self
+    }
+
+    /// Select an explicit criterion instance.
+    pub fn with_criterion(mut self, criterion: Arc<dyn CoverageCriterion>) -> Self {
+        self.criterion = CriterionSpec::Instance(criterion);
+        self
+    }
+
+    /// Set the criterion selector wholesale (e.g. one resolved from the
+    /// environment once and reused across requests).
+    pub fn with_criterion_selector(mut self, criterion: CriterionSpec) -> Self {
+        self.criterion = criterion;
+        self
+    }
+
+    /// Set the gradient-generator configuration.
+    pub fn with_gradgen(mut self, gradgen: GradGenConfig) -> Self {
+        self.gradgen = gradgen;
+        self
+    }
+
+    /// Set the neuron-coverage baseline configuration.
+    pub fn with_neuron(mut self, neuron: NeuronCoverageConfig) -> Self {
+        self.neuron = neuron;
+        self
+    }
+
+    /// Provide the candidate training pool.
+    pub fn with_candidates(mut self, candidates: Vec<Tensor>) -> Self {
+        self.candidates = candidates;
+        self
+    }
+}
+
+/// The result of one [`Workspace::run`]: the generated tests plus the
+/// context they were generated in and cache-activity snapshots.
+#[derive(Debug, Clone)]
+pub struct TestGenReport {
+    /// The model the request ran against.
+    pub model: NetworkFingerprint,
+    /// The model's registered name.
+    pub model_name: String,
+    /// The strategy that ran.
+    pub strategy: GenerationMethod,
+    /// Id of the criterion the tests were generated (and scored) under.
+    pub criterion_id: &'static str,
+    /// Number of coverable units under that criterion.
+    pub num_units: usize,
+    /// The generated tests with coverage curve and provenance.
+    pub tests: GeneratedTests,
+    /// Wall-clock duration of the generation, in milliseconds.
+    pub wall_ms: f64,
+    /// Workspace-wide covered-set cache counters after the run.
+    pub cache: CacheStats,
+    /// Persistent-tier counters after the run, when the tier is enabled.
+    pub disk: Option<DiskStats>,
+}
+
+impl TestGenReport {
+    /// Final coverage reached by the generated suite.
+    pub fn final_coverage(&self) -> f32 {
+        self.tests.final_coverage()
+    }
+
+    /// Candidate-pool indices of the selected tests, in generation order
+    /// (empty for pure synthesis).
+    pub fn selected_indices(&self) -> Vec<usize> {
+        self.tests.pool_indices()
+    }
+}
+
+/// The owned multi-model evaluator registry (see the module docs).
+///
+/// A `Workspace` is `Send + Sync`: the registry is mutex-guarded and the
+/// caches are internally synchronized, so one workspace can serve requests
+/// from many threads.
+#[derive(Debug)]
+pub struct Workspace {
+    set_cache: Arc<CoveredSetCache>,
+    output_cache: Arc<ContentCache<Tensor>>,
+    disk: Option<Arc<DiskTier>>,
+    models: Mutex<HashMap<NetworkFingerprint, ModelEntry>>,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workspace {
+    /// An in-memory workspace with the default shared budget and no
+    /// persistent tier.
+    pub fn new() -> Self {
+        Self::with_config(WorkspaceConfig::default())
+    }
+
+    /// A workspace with an explicit configuration.
+    pub fn with_config(config: WorkspaceConfig) -> Self {
+        let disk = if config.disk.enabled && config.cache_bytes > 0 {
+            Some(Arc::new(DiskTier::new(config.disk.dir)))
+        } else {
+            None
+        };
+        Self {
+            set_cache: Arc::new(CoveredSetCache::with_disk(config.cache_bytes, disk.clone())),
+            output_cache: Arc::new(ContentCache::new(config.output_cache_bytes)),
+            disk,
+            models: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A workspace whose persistent tier is resolved from the environment
+    /// ([`DiskCacheConfig::from_env`]): the experiment binaries' default.
+    pub fn from_env() -> Self {
+        Self::with_config(WorkspaceConfig {
+            disk: DiskCacheConfig::from_env(),
+            ..WorkspaceConfig::default()
+        })
+    }
+
+    /// The persistent tier's root directory, when the tier is enabled.
+    pub fn cache_dir(&self) -> Option<&Path> {
+        self.disk.as_ref().map(|d| d.root())
+    }
+
+    /// Register a model under `name` with its base coverage configuration and
+    /// return its fingerprint (the registry key).
+    ///
+    /// Registering a byte-identical network with the **same** coverage
+    /// configuration is a no-op returning the same key. Re-registering it
+    /// with a **different** configuration updates the entry (latest wins):
+    /// the name and config are replaced and the model's minted evaluators are
+    /// dropped from the registry, so later requests resolve against the new
+    /// config — a conflicting registration is never silently discarded.
+    /// Evaluator handles minted earlier keep the configuration they were
+    /// built with.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        network: impl Into<Arc<Network>>,
+        coverage: CoverageConfig,
+    ) -> NetworkFingerprint {
+        let network = network.into();
+        let fingerprint = NetworkFingerprint::of(&network);
+        let mut models = self.models.lock().expect("workspace registry lock");
+        match models.entry(fingerprint) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                let entry = occupied.get_mut();
+                if entry.coverage != coverage {
+                    entry.name = name.into();
+                    entry.coverage = coverage;
+                    entry.evaluators.clear();
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                vacant.insert(ModelEntry {
+                    name: name.into(),
+                    network,
+                    coverage,
+                    evaluators: HashMap::new(),
+                });
+            }
+        }
+        fingerprint
+    }
+
+    /// Summaries of every registered model, sorted by name.
+    pub fn models(&self) -> Vec<ModelInfo> {
+        let models = self.models.lock().expect("workspace registry lock");
+        let mut out: Vec<ModelInfo> = models
+            .iter()
+            .map(|(&fingerprint, entry)| ModelInfo {
+                fingerprint,
+                name: entry.name.clone(),
+                num_parameters: entry.network.num_parameters(),
+                num_evaluators: entry.evaluators.len(),
+            })
+            .collect();
+        out.sort_unstable_by(|a, b| a.name.cmp(&b.name).then(a.fingerprint.cmp(&b.fingerprint)));
+        out
+    }
+
+    /// The shared network handle of a registered model.
+    pub fn network(&self, model: NetworkFingerprint) -> Option<Arc<Network>> {
+        self.models
+            .lock()
+            .expect("workspace registry lock")
+            .get(&model)
+            .map(|entry| Arc::clone(&entry.network))
+    }
+
+    /// The registered base [`CoverageConfig`] of a model.
+    pub fn coverage_config(&self, model: NetworkFingerprint) -> Option<CoverageConfig> {
+        self.models
+            .lock()
+            .expect("workspace registry lock")
+            .get(&model)
+            .map(|entry| entry.coverage)
+    }
+
+    fn resolve_criterion(
+        entry: &ModelEntry,
+        spec: &CriterionSpec,
+    ) -> Result<Arc<dyn CoverageCriterion>> {
+        Ok(match spec {
+            CriterionSpec::ModelDefault => Arc::new(ParamGradient::from_config(&entry.coverage)),
+            CriterionSpec::Spec(s) => criterion_from_spec(s, &entry.coverage)?,
+            CriterionSpec::Instance(c) => Arc::clone(c),
+        })
+    }
+
+    /// The evaluator handle for `(model, criterion)` — minted on first use,
+    /// then reused (and shared with every clone handed out before). All
+    /// evaluators of the workspace share its caches and budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unregistered model or a
+    /// malformed criterion spec.
+    pub fn evaluator(
+        &self,
+        model: NetworkFingerprint,
+        criterion: &CriterionSpec,
+    ) -> Result<Evaluator> {
+        loop {
+            // Snapshot what construction needs under the lock, then build the
+            // analyzer (and its engine, which transposes every weight matrix)
+            // OUTSIDE it so a first-use mint never stalls other threads.
+            let (network, coverage, resolved, digest) = {
+                let models = self.models.lock().expect("workspace registry lock");
+                let entry = models.get(&model).ok_or_else(|| CoreError::InvalidConfig {
+                    reason: format!("model {model} is not registered in this workspace"),
+                })?;
+                let resolved = Self::resolve_criterion(entry, criterion)?;
+                let digest = criterion_digest(resolved.as_ref());
+                if let Some(existing) = entry.evaluators.get(&digest) {
+                    return Ok(existing.clone());
+                }
+                (Arc::clone(&entry.network), entry.coverage, resolved, digest)
+            };
+            let analyzer = CoverageAnalyzer::with_criterion(network, coverage, resolved);
+            let evaluator = Evaluator::with_shared_caches(
+                analyzer,
+                Arc::clone(&self.set_cache),
+                Arc::clone(&self.output_cache),
+            );
+            let mut models = self.models.lock().expect("workspace registry lock");
+            let Some(entry) = models.get_mut(&model) else {
+                return Err(CoreError::InvalidConfig {
+                    reason: format!("model {model} is not registered in this workspace"),
+                });
+            };
+            if entry.coverage != coverage {
+                // A concurrent `register` replaced the config while we were
+                // building; retry against the new registration.
+                continue;
+            }
+            // A concurrent mint may have won the race; first insert wins so
+            // every caller shares one handle.
+            return Ok(entry.evaluators.entry(digest).or_insert(evaluator).clone());
+        }
+    }
+
+    /// The evaluator under the model's default (parameter-gradient)
+    /// criterion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unregistered model.
+    pub fn default_evaluator(&self, model: NetworkFingerprint) -> Result<Evaluator> {
+        self.evaluator(model, &CriterionSpec::ModelDefault)
+    }
+
+    /// Run one declarative [`TestGenRequest`] end to end and report.
+    ///
+    /// Dispatches to the same generation code every pre-workspace call site
+    /// used ([`crate::generator::generate_tests`] through the shared
+    /// evaluator), so results are bit-identical to the legacy
+    /// `Evaluator`-method spellings for equal inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for an unregistered model, a bad
+    /// criterion spec or a zero budget, [`CoreError::EmptyCandidatePool`]
+    /// when a selection strategy receives no candidates, and propagates
+    /// coverage/gradient errors.
+    pub fn run(&self, request: &TestGenRequest) -> Result<TestGenReport> {
+        let evaluator = self.evaluator(request.model, &request.criterion)?;
+        let (model_name, coverage) = {
+            let models = self.models.lock().expect("workspace registry lock");
+            let entry = models
+                .get(&request.model)
+                .expect("model present: evaluator() just resolved it");
+            (entry.name.clone(), entry.coverage)
+        };
+        let config = GenerationConfig {
+            max_tests: request.budget,
+            coverage,
+            gradgen: request.gradgen,
+            neuron: request.neuron,
+            seed: request.seed,
+        };
+        let start = Instant::now();
+        let tests = crate::generator::generate_tests(
+            &evaluator,
+            &request.candidates,
+            request.strategy,
+            &config,
+        )?;
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        Ok(TestGenReport {
+            model: request.model,
+            model_name,
+            strategy: request.strategy,
+            criterion_id: evaluator.criterion().id(),
+            num_units: evaluator.num_units(),
+            tests,
+            wall_ms,
+            cache: self.set_cache.stats(),
+            disk: self.disk_stats(),
+        })
+    }
+
+    /// Workspace-wide covered-set cache counters (all models, all criteria).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.set_cache.stats()
+    }
+
+    /// Covered-set cache counters split by registered model.
+    pub fn cache_stats_by_model(&self) -> Vec<(NetworkFingerprint, CacheStats)> {
+        self.set_cache.stats_by_model()
+    }
+
+    /// Covered-set cache counters split by criterion id.
+    pub fn cache_stats_by_criterion(&self) -> Vec<(&'static str, CacheStats)> {
+        self.set_cache.stats_by_criterion()
+    }
+
+    /// Golden forward-output cache counters.
+    pub fn output_cache_stats(&self) -> CacheStats {
+        self.output_cache.stats()
+    }
+
+    /// Persistent-tier counters, when the tier is enabled.
+    pub fn disk_stats(&self) -> Option<DiskStats> {
+        self.disk.as_ref().map(|d| d.stats())
+    }
+
+    /// Drop every **in-memory** cached entry (disk entries survive; event
+    /// counters survive). This is how the `workspace_sweep` bench isolates
+    /// the disk-warm path inside one process.
+    pub fn clear_memory_cache(&self) {
+        self.set_cache.clear();
+        self.output_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::criterion::NeuronActivation;
+    use dnnip_nn::layers::Activation;
+    use dnnip_nn::zoo;
+
+    fn net(seed: u64) -> Network {
+        zoo::tiny_mlp(6, 12, 4, Activation::Relu, seed).unwrap()
+    }
+
+    fn pool(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|i| Tensor::from_fn(&[6], |j| ((i * 6 + j) as f32 * 0.37).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn registry_mints_and_reuses_evaluators() {
+        let ws = Workspace::new();
+        let a = ws.register("a", net(3), CoverageConfig::default());
+        let b = ws.register("b", net(4), CoverageConfig::default());
+        assert_ne!(a, b);
+        // Re-registering the same bytes is a no-op.
+        assert_eq!(ws.register("a-again", net(3), CoverageConfig::default()), a);
+        let e1 = ws.default_evaluator(a).unwrap();
+        let e2 = ws.default_evaluator(a).unwrap();
+        assert_eq!(e1.fingerprint(), e2.fingerprint());
+        let infos = ws.models();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].name, "a");
+        assert_eq!(infos[0].num_evaluators, 1);
+        assert!(ws.network(a).is_some());
+        assert!(ws.coverage_config(b).is_some());
+        assert!(ws
+            .default_evaluator(NetworkFingerprint { lo: 1, hi: 2 })
+            .is_err());
+    }
+
+    #[test]
+    fn re_registering_with_a_different_config_updates_the_entry() {
+        use crate::coverage::EpsilonPolicy;
+        let ws = Workspace::new();
+        let key = ws.register("m", net(3), CoverageConfig::default());
+        ws.default_evaluator(key).unwrap();
+        assert_eq!(ws.models()[0].num_evaluators, 1);
+        // Latest registration wins: config + name replaced, evaluators reset.
+        let strict = CoverageConfig {
+            epsilon: EpsilonPolicy::Absolute(0.1),
+            ..CoverageConfig::default()
+        };
+        assert_eq!(ws.register("m-strict", net(3), strict), key);
+        assert_eq!(ws.coverage_config(key), Some(strict));
+        let info = &ws.models()[0];
+        assert_eq!(info.name, "m-strict");
+        assert_eq!(info.num_evaluators, 0);
+        // New default evaluators resolve against the NEW config.
+        let evaluator = ws.default_evaluator(key).unwrap();
+        assert_eq!(
+            criterion_digest(evaluator.criterion().as_ref()),
+            criterion_digest(&ParamGradient::from_config(&strict))
+        );
+        // Same-config re-registration stays a pure no-op.
+        assert_eq!(ws.register("renamed", net(3), strict), key);
+        assert_eq!(ws.models()[0].name, "m-strict");
+        assert_eq!(ws.models()[0].num_evaluators, 1);
+    }
+
+    #[test]
+    fn one_budget_is_shared_across_models_and_criteria() {
+        let ws = Workspace::new();
+        let a = ws.register("a", net(3), CoverageConfig::default());
+        let b = ws.register("b", net(4), CoverageConfig::default());
+        let ea = ws.default_evaluator(a).unwrap();
+        let eb = ws.default_evaluator(b).unwrap();
+        let en = ws
+            .evaluator(a, &CriterionSpec::Spec("neuron-activation".into()))
+            .unwrap();
+        let samples = pool(6);
+        ea.activation_sets(&samples).unwrap();
+        eb.activation_sets(&samples).unwrap();
+        en.activation_sets(&samples).unwrap();
+        // All traffic lands in ONE cache...
+        let total = ws.cache_stats();
+        assert_eq!(total.misses, 18);
+        assert_eq!(total.entries, 18);
+        // ...with per-model and per-criterion splits.
+        let by_model = ws.cache_stats_by_model();
+        assert_eq!(by_model.len(), 2);
+        assert_eq!(by_model.iter().map(|(_, s)| s.entries).sum::<usize>(), 18);
+        assert_eq!(ws.set_cache.stats_for_model(a).entries, 12);
+        assert_eq!(ws.set_cache.stats_for_model(b).entries, 6);
+        let by_criterion = ws.cache_stats_by_criterion();
+        assert_eq!(by_criterion.len(), 2);
+        // Each evaluator's own view is the same shared cache.
+        assert_eq!(ea.cache_stats(), total);
+        assert_eq!(eb.cache_stats(), total);
+    }
+
+    #[test]
+    fn run_selection_matches_the_evaluator_path() {
+        let ws = Workspace::new();
+        let model = ws.register("m", net(7), CoverageConfig::default());
+        let candidates = pool(16);
+        let report = ws
+            .run(
+                &TestGenRequest::new(model, GenerationMethod::TrainingSetSelection, 5)
+                    .with_candidates(candidates.clone()),
+            )
+            .unwrap();
+        assert_eq!(report.model_name, "m");
+        assert_eq!(report.criterion_id, "param-gradient");
+        assert_eq!(report.tests.len(), report.tests.provenance.len());
+        let direct = Evaluator::new(net(7), CoverageConfig::default())
+            .select_from_training_set(&candidates, 5)
+            .unwrap();
+        assert_eq!(report.selected_indices(), direct.selected);
+        assert_eq!(
+            report.final_coverage().to_bits(),
+            direct.final_coverage().to_bits()
+        );
+        assert!(report.wall_ms >= 0.0);
+        assert!(report.disk.is_none(), "no tier configured");
+    }
+
+    #[test]
+    fn run_honors_criterion_specs_and_instances() {
+        let ws = Workspace::new();
+        let model = ws.register("m", net(9), CoverageConfig::default());
+        let candidates = pool(10);
+        let by_spec = ws
+            .run(
+                &TestGenRequest::new(model, GenerationMethod::TrainingSetSelection, 3)
+                    .with_criterion_spec("neuron-activation:0.25")
+                    .with_candidates(candidates.clone()),
+            )
+            .unwrap();
+        assert_eq!(by_spec.criterion_id, "neuron-activation");
+        assert_eq!(by_spec.num_units, 12);
+        let by_instance = ws
+            .run(
+                &TestGenRequest::new(model, GenerationMethod::TrainingSetSelection, 3)
+                    .with_criterion(Arc::new(NeuronActivation { threshold: 0.25 }))
+                    .with_candidates(candidates),
+            )
+            .unwrap();
+        // Same digest → same evaluator → warm second run, identical output.
+        assert_eq!(by_spec.selected_indices(), by_instance.selected_indices());
+        assert!(by_instance.cache.hits > 0);
+        assert!(ws
+            .run(&TestGenRequest::new(
+                model,
+                GenerationMethod::TrainingSetSelection,
+                0
+            ))
+            .is_err());
+        assert!(ws
+            .run(
+                &TestGenRequest::new(model, GenerationMethod::TrainingSetSelection, 3)
+                    .with_criterion_spec("bogus")
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn synthesis_strategies_run_through_requests() {
+        let ws = Workspace::new();
+        let model = ws.register("m", net(5), CoverageConfig::default());
+        let report = ws
+            .run(
+                &TestGenRequest::new(model, GenerationMethod::GradientBased, 4).with_gradgen(
+                    GradGenConfig {
+                        steps: 4,
+                        ..GradGenConfig::default()
+                    },
+                ),
+            )
+            .unwrap();
+        assert_eq!(report.tests.len(), 4);
+        assert!(report.selected_indices().is_empty(), "pure synthesis");
+        let combined = ws
+            .run(
+                &TestGenRequest::new(model, GenerationMethod::Combined, 6)
+                    .with_gradgen(GradGenConfig {
+                        steps: 4,
+                        ..GradGenConfig::default()
+                    })
+                    .with_seed(3)
+                    .with_neuron(NeuronCoverageConfig::default())
+                    .with_candidates(pool(8)),
+            )
+            .unwrap();
+        assert_eq!(combined.tests.len(), 6);
+    }
+
+    #[test]
+    fn disk_config_resolution_rules() {
+        assert!(!DiskCacheConfig::disabled().enabled);
+        let at = DiskCacheConfig::at("/tmp/x");
+        assert!(at.enabled);
+        assert_eq!(at.dir, PathBuf::from("/tmp/x"));
+        // A zero cache budget disables the tier too (raw compute path).
+        let ws = Workspace::with_config(WorkspaceConfig {
+            cache_bytes: 0,
+            disk: DiskCacheConfig::at(std::env::temp_dir().join("dnnip-never-used")),
+            ..WorkspaceConfig::default()
+        });
+        assert!(ws.cache_dir().is_none());
+        assert!(ws.disk_stats().is_none());
+    }
+}

@@ -1,0 +1,252 @@
+//! Tests of the persistent cache tier through the public `Workspace` API:
+//! disk round trips are bit-exact, corruption degrades to silent misses, and
+//! a second workspace over the same directory starts warm.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig};
+use dnnip_core::workspace::{DiskCacheConfig, Workspace, WorkspaceConfig};
+use dnnip_nn::layers::Activation;
+use dnnip_nn::zoo;
+use dnnip_tensor::Tensor;
+use proptest::prelude::*;
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique throwaway cache directory per test invocation (proptest runs the
+/// body many times; each case must see a fresh tier).
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "dnnip-persistent-cache-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn workspace_at(dir: &Path) -> Workspace {
+    Workspace::with_config(WorkspaceConfig {
+        disk: DiskCacheConfig::at(dir),
+        ..WorkspaceConfig::default()
+    })
+}
+
+fn samples(seeds: &[u64]) -> Vec<Tensor> {
+    seeds
+        .iter()
+        .map(|&s| Tensor::from_fn(&[6], |j| ((s as usize * 6 + j) as f32 * 0.37).sin()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn disk_round_tripped_sets_equal_fresh_computation(
+        net_seed in 0u64..6,
+        sample_seeds in prop::collection::vec(0u64..64, 1..10),
+    ) {
+        let dir = temp_dir("roundtrip");
+        let net = zoo::tiny_mlp(6, 12, 4, Activation::Relu, net_seed).unwrap();
+        let pool = samples(&sample_seeds);
+
+        // Process 1: compute (and spill).
+        let first = workspace_at(&dir);
+        let key = first.register("m", net.clone(), CoverageConfig::default());
+        let spilled = first
+            .default_evaluator(key)
+            .unwrap()
+            .activation_sets(&pool)
+            .unwrap();
+        prop_assert!(first.disk_stats().unwrap().writes > 0);
+
+        // Process 2 (fresh workspace, same directory): every set loads from
+        // disk and must equal both the spilled copy and a cache-free
+        // analyzer's fresh computation, bit for bit.
+        let second = workspace_at(&dir);
+        let key2 = second.register("m", net.clone(), CoverageConfig::default());
+        prop_assert_eq!(key, key2);
+        let loaded = second
+            .default_evaluator(key2)
+            .unwrap()
+            .activation_sets(&pool)
+            .unwrap();
+        let fresh = CoverageAnalyzer::new(&net, CoverageConfig::default())
+            .activation_sets(&pool)
+            .unwrap();
+        prop_assert_eq!(&loaded, &spilled);
+        prop_assert_eq!(&loaded, &fresh);
+        let disk = second.disk_stats().unwrap();
+        prop_assert!(disk.hits > 0, "second workspace never touched the tier");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn two_sequential_workspaces_share_work_through_disk() {
+    let dir = temp_dir("sequential");
+    let net = zoo::tiny_mlp(6, 12, 4, Activation::Tanh, 3).unwrap();
+    let pool = samples(&[1, 2, 3, 4, 5, 6, 7, 8]);
+
+    let first = workspace_at(&dir);
+    let key = first.register("m", net.clone(), CoverageConfig::default());
+    let e1 = first.default_evaluator(key).unwrap();
+    e1.activation_sets(&pool).unwrap();
+    let d1 = first.disk_stats().unwrap();
+    assert_eq!(d1.hits, 0, "first run over an empty directory cannot hit");
+    assert_eq!(d1.writes as usize, pool.len());
+
+    let second = workspace_at(&dir);
+    let key2 = second.register("m", net, CoverageConfig::default());
+    let e2 = second.default_evaluator(key2).unwrap();
+    e2.activation_sets(&pool).unwrap();
+    let d2 = second.disk_stats().unwrap();
+    assert_eq!(
+        d2.hits as usize,
+        pool.len(),
+        "every in-memory miss of the second workspace must be served from disk"
+    );
+    assert_eq!(d2.writes, 0, "disk-served entries are not rewritten");
+    // In-memory promotion: an immediate replay is a pure memory hit.
+    e2.activation_sets(&pool).unwrap();
+    assert_eq!(second.disk_stats().unwrap().hits as usize, pool.len());
+    assert_eq!(second.cache_stats().hits as usize, pool.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_and_truncated_entries_degrade_to_misses() {
+    let dir = temp_dir("corrupt");
+    let net = zoo::tiny_mlp(6, 12, 4, Activation::Relu, 5).unwrap();
+    let pool = samples(&[10, 11, 12, 13]);
+
+    let first = workspace_at(&dir);
+    let key = first.register("m", net.clone(), CoverageConfig::default());
+    let expected = first
+        .default_evaluator(key)
+        .unwrap()
+        .activation_sets(&pool)
+        .unwrap();
+
+    // Vandalize every spilled entry: truncate half, bit-flip the rest.
+    let mut entries = Vec::new();
+    fn collect(dir: &PathBuf, out: &mut Vec<PathBuf>) {
+        for e in std::fs::read_dir(dir).unwrap() {
+            let p = e.unwrap().path();
+            if p.is_dir() {
+                collect(&p, out);
+            } else {
+                out.push(p);
+            }
+        }
+    }
+    collect(&dir, &mut entries);
+    assert_eq!(entries.len(), pool.len(), "one file per covered set");
+    for (i, path) in entries.iter().enumerate() {
+        let bytes = std::fs::read(path).unwrap();
+        let vandalized = if i % 2 == 0 {
+            bytes[..bytes.len() / 3].to_vec()
+        } else {
+            let mut b = bytes.clone();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x55;
+            b
+        };
+        std::fs::write(path, vandalized).unwrap();
+    }
+
+    // A fresh workspace sees only corruption: zero disk hits, correct
+    // results anyway (recomputed), no errors surfaced.
+    let second = workspace_at(&dir);
+    let key2 = second.register("m", net, CoverageConfig::default());
+    let recomputed = second
+        .default_evaluator(key2)
+        .unwrap()
+        .activation_sets(&pool)
+        .unwrap();
+    assert_eq!(recomputed, expected);
+    let disk = second.disk_stats().unwrap();
+    assert_eq!(disk.hits, 0, "a corrupt entry must read as a miss");
+    assert_eq!(disk.misses as usize, pool.len());
+    assert_eq!(
+        disk.writes as usize,
+        pool.len(),
+        "recomputed entries heal the tier"
+    );
+
+    // And the healed tier serves a third workspace normally again.
+    let third = workspace_at(&dir);
+    let key3 = third.register(
+        "m",
+        second.network(key2).map(|n| (*n).clone()).unwrap(),
+        CoverageConfig::default(),
+    );
+    third
+        .default_evaluator(key3)
+        .unwrap()
+        .activation_sets(&pool)
+        .unwrap();
+    assert_eq!(third.disk_stats().unwrap().hits as usize, pool.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn criterion_and_model_digests_partition_the_tier() {
+    use dnnip_core::workspace::CriterionSpec;
+    let dir = temp_dir("partition");
+    let pool = samples(&[20, 21, 22]);
+    let a = zoo::tiny_mlp(6, 12, 4, Activation::Relu, 7).unwrap();
+    let b = zoo::tiny_mlp(6, 12, 4, Activation::Relu, 8).unwrap();
+
+    let ws = workspace_at(&dir);
+    let ka = ws.register("a", a, CoverageConfig::default());
+    let kb = ws.register("b", b, CoverageConfig::default());
+    ws.default_evaluator(ka)
+        .unwrap()
+        .activation_sets(&pool)
+        .unwrap();
+    ws.default_evaluator(kb)
+        .unwrap()
+        .activation_sets(&pool)
+        .unwrap();
+    ws.evaluator(ka, &CriterionSpec::Spec("neuron-activation".into()))
+        .unwrap()
+        .activation_sets(&pool)
+        .unwrap();
+    // Three (model, criterion) pairs × three samples, no aliasing: the second
+    // workspace loads each of the nine entries exactly once.
+    let second = workspace_at(&dir);
+    let ka2 = second.register(
+        "a",
+        (*ws.network(ka).unwrap()).clone(),
+        CoverageConfig::default(),
+    );
+    let kb2 = second.register(
+        "b",
+        (*ws.network(kb).unwrap()).clone(),
+        CoverageConfig::default(),
+    );
+    second
+        .default_evaluator(ka2)
+        .unwrap()
+        .activation_sets(&pool)
+        .unwrap();
+    second
+        .default_evaluator(kb2)
+        .unwrap()
+        .activation_sets(&pool)
+        .unwrap();
+    second
+        .evaluator(ka2, &CriterionSpec::Spec("neuron-activation".into()))
+        .unwrap()
+        .activation_sets(&pool)
+        .unwrap();
+    let disk = second.disk_stats().unwrap();
+    assert_eq!(disk.hits, 9);
+    assert_eq!(disk.misses, 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -23,6 +23,8 @@
 //! callers may freely share one engine across worker threads; results do not
 //! depend on how samples are distributed over engines or threads.
 
+use std::sync::Arc;
+
 use dnnip_tensor::conv::{col2im, conv2d_sample_forward_cols};
 use dnnip_tensor::{ops, Tensor};
 
@@ -149,18 +151,27 @@ impl ActivationCapture {
 /// descent) reuse one transpose instead of re-transposing per class. The
 /// engine itself is read-only and `Sync`, so one instance can serve many
 /// threads.
+///
+/// The engine **owns** its network as an `Arc<Network>` (and keeps the
+/// precomputed matrices behind `Arc`s too), so engines are `'static`, cheaply
+/// clonable handles: cloning bumps three reference counts and re-derives
+/// nothing. This is what lets evaluators live in long-lived multi-model
+/// registries (the `Workspace` front-door in `dnnip-core`) instead of
+/// borrowing from a caller's stack frame.
 #[derive(Debug, Clone)]
-pub struct BatchGradientEngine<'a> {
-    network: &'a Network,
+pub struct BatchGradientEngine {
+    network: Arc<Network>,
     /// Per layer: `Some((wmat, wmat_t))` for convolution layers, `None` otherwise.
-    conv_mats: Vec<Option<(Tensor, Tensor)>>,
+    conv_mats: Arc<[Option<(Tensor, Tensor)>]>,
     /// Per layer: `Some(weightᵀ)` for Dense layers, `None` otherwise.
-    dense_t: Vec<Option<Tensor>>,
+    dense_t: Arc<[Option<Tensor>]>,
 }
 
-impl<'a> BatchGradientEngine<'a> {
-    /// Create an engine for `network`.
-    pub fn new(network: &'a Network) -> Self {
+impl BatchGradientEngine {
+    /// Create an engine for `network` (`&Network` clones into the `Arc`; an
+    /// `Arc<Network>` is shared without copying).
+    pub fn new(network: impl Into<Arc<Network>>) -> Self {
+        let network = network.into();
         let conv_mats = network
             .layers()
             .iter()
@@ -177,7 +188,8 @@ impl<'a> BatchGradientEngine<'a> {
                 }
                 _ => None,
             })
-            .collect();
+            .collect::<Vec<_>>()
+            .into();
         let dense_t = network
             .layers()
             .iter()
@@ -188,7 +200,8 @@ impl<'a> BatchGradientEngine<'a> {
                 }
                 _ => None,
             })
-            .collect();
+            .collect::<Vec<_>>()
+            .into();
         Self {
             network,
             conv_mats,
@@ -197,8 +210,13 @@ impl<'a> BatchGradientEngine<'a> {
     }
 
     /// The wrapped network.
-    pub fn network(&self) -> &'a Network {
-        self.network
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The shared handle to the wrapped network (reference-count bump only).
+    pub fn network_arc(&self) -> Arc<Network> {
+        Arc::clone(&self.network)
     }
 
     /// Visit the flat parameter-gradient vector of every `(sample, projection)`

@@ -26,6 +26,21 @@ pub struct Network {
     layout: ParamLayout,
 }
 
+/// Clone a borrowed network into a shared handle.
+///
+/// The evaluation stack ([`crate::batch::BatchGradientEngine`] and everything
+/// above it) owns its network as an `Arc<Network>` so engines and evaluators
+/// are `'static` handles that can live in long-lived registries. This
+/// conversion lets call sites that only hold a `&Network` keep their spelling
+/// (`Evaluator::new(&net, ..)`): the network is cloned once into the `Arc` at
+/// construction time. Callers that already hold an `Arc<Network>` pass it
+/// through without any copy.
+impl From<&Network> for std::sync::Arc<Network> {
+    fn from(network: &Network) -> Self {
+        std::sync::Arc::new(network.clone())
+    }
+}
+
 /// Everything captured by a cached forward pass.
 ///
 /// Holds the final output, the per-layer caches needed by the backward pass and

@@ -31,16 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
-    let evaluator = Evaluator::new(&model, CoverageConfig::default());
-    let tests = generate_tests(
-        &evaluator,
-        &data.inputs,
-        GenerationMethod::Combined,
-        &GenerationConfig {
-            max_tests: 20,
-            ..GenerationConfig::default()
-        },
-    )?;
+    let ws = Workspace::new();
+    let key = ws.register("mnist-scaled", model.clone(), CoverageConfig::default());
+    let tests = ws
+        .run(
+            &TestGenRequest::new(key, GenerationMethod::Combined, 20)
+                .with_candidates(data.inputs.clone()),
+        )?
+        .tests;
     let suite =
         FunctionalTestSuite::from_network(&model, tests.inputs.clone(), MatchPolicy::ArgMax)?;
     println!(

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // --- Fig. 2 style comparison: mean per-image validation coverage. ---
-    let evaluator = Evaluator::new(&model, CoverageConfig::default());
+    // One Workspace serves every criterion below from one shared cache budget.
+    let ws = Workspace::new();
+    let key = ws.register("mnist-scaled", model.clone(), CoverageConfig::default());
+    let evaluator = ws.default_evaluator(key)?;
     let n_images = 50;
     let training_images = &data.inputs[..n_images];
     let ood_images = ood::ood_images(1, 16, n_images, &ood::OodConfig::default(), 4);
@@ -53,15 +56,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Same budget, two selection metrics. ---
     let budget = 15usize;
-    let param_tests = generate_tests(
-        &evaluator,
-        &data.inputs,
-        GenerationMethod::Combined,
-        &GenerationConfig {
-            max_tests: budget,
-            ..GenerationConfig::default()
-        },
-    )?;
+    let param_tests = ws
+        .run(
+            &TestGenRequest::new(key, GenerationMethod::Combined, budget)
+                .with_candidates(data.inputs.clone()),
+        )?
+        .tests;
     let neuron_analyzer = NeuronCoverageAnalyzer::new(&model, NeuronCoverageConfig::default());
     let neuron_selection = neuron_analyzer.select_by_neuron_coverage(&data.inputs, budget)?;
     let neuron_tests: Vec<Tensor> = neuron_selection
@@ -86,14 +86,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // each, all served by criterion-keyed evaluator caches. ---
     println!("\nPer-criterion greedy selection (budget {budget}):");
     for criterion in builtin_criteria(&CoverageConfig::default()) {
-        let crit_eval = Evaluator::with_criterion(&model, CoverageConfig::default(), criterion);
-        let selection = crit_eval.select_from_training_set(&data.inputs[..100], budget)?;
+        let selection = ws.run(
+            &TestGenRequest::new(key, GenerationMethod::TrainingSetSelection, budget)
+                .with_criterion(criterion)
+                .with_candidates(data.inputs[..100].to_vec()),
+        )?;
         println!(
             "  {:<18}: {:>6} units, final coverage {:.1}% with {} tests",
-            crit_eval.criterion().id(),
-            crit_eval.num_units(),
+            selection.criterion_id,
+            selection.num_units,
             selection.final_coverage() * 100.0,
-            selection.selected.len()
+            selection.tests.len()
         );
     }
 

@@ -39,19 +39,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ------------------------------------------------------------------
-    // 2. Vendor side: generate functional tests with the combined method.
+    // 2. Vendor side: generate functional tests with the combined method,
+    //    through the Workspace front-door (the session object that owns the
+    //    evaluator registry and one shared cache budget).
     // ------------------------------------------------------------------
-    let evaluator = Evaluator::new(&model, CoverageConfig::default());
-    let generation = GenerationConfig {
-        max_tests: 20,
-        ..GenerationConfig::default()
-    };
-    let tests = generate_tests(
-        &evaluator,
-        &train_set.inputs,
-        GenerationMethod::Combined,
-        &generation,
-    )?;
+    let ws = Workspace::new();
+    let key = ws.register("mnist-scaled", model.clone(), CoverageConfig::default());
+    let tests = ws
+        .run(
+            &TestGenRequest::new(key, GenerationMethod::Combined, 20)
+                .with_candidates(train_set.inputs.clone()),
+        )?
+        .tests;
     println!(
         "Generated {} functional tests, validation coverage {:.1}%",
         tests.len(),

@@ -20,8 +20,8 @@
 //!
 //! ```
 //! use dnnip::core::coverage::CoverageConfig;
-//! use dnnip::core::eval::Evaluator;
-//! use dnnip::core::generator::{generate_tests, GenerationConfig, GenerationMethod};
+//! use dnnip::core::generator::GenerationMethod;
+//! use dnnip::core::workspace::{TestGenRequest, Workspace};
 //! use dnnip::nn::{layers::Activation, zoo};
 //! use dnnip::tensor::Tensor;
 //!
@@ -32,12 +32,15 @@
 //!     .map(|i| Tensor::from_fn(&[8], |j| ((i * 8 + j) as f32 * 0.17).sin().abs()))
 //!     .collect();
 //!
-//! // Generate functional tests with the paper's combined method; the
-//! // evaluator caches every activation set it computes along the way.
-//! let evaluator = Evaluator::new(&model, CoverageConfig::default());
-//! let config = GenerationConfig { max_tests: 10, ..GenerationConfig::default() };
-//! let tests = generate_tests(&evaluator, &training, GenerationMethod::Combined, &config)?;
-//! assert!(tests.final_coverage() > 0.5);
+//! // Register the model in a Workspace (the session front-door: one shared
+//! // cache budget, optional cross-process persistence) and run the paper's
+//! // combined method through one declarative request.
+//! let ws = Workspace::new();
+//! let key = ws.register("toy", model, CoverageConfig::default());
+//! let report = ws.run(
+//!     &TestGenRequest::new(key, GenerationMethod::Combined, 10).with_candidates(training),
+//! )?;
+//! assert!(report.final_coverage() > 0.5);
 //! # Ok(())
 //! # }
 //! ```
@@ -66,7 +69,11 @@ pub mod prelude {
     };
     pub use dnnip_core::eval::{CacheStats, CoveredSetCache, Evaluator};
     pub use dnnip_core::generator::{generate_tests, GenerationConfig, GenerationMethod};
+    pub use dnnip_core::persist::DiskStats;
     pub use dnnip_core::protocol::FunctionalTestSuite;
+    pub use dnnip_core::workspace::{
+        CriterionSpec, DiskCacheConfig, TestGenReport, TestGenRequest, Workspace, WorkspaceConfig,
+    };
     pub use dnnip_faults::attacks::{
         Attack, GradientDescentAttack, RandomPerturbation, SingleBiasAttack,
     };

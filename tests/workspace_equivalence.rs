@@ -1,0 +1,193 @@
+//! Differential pinning of the `Workspace` front-door against the
+//! pre-redesign `Evaluator` call patterns, under the paper's default
+//! `ParamGradient` criterion and a fixed (or `DNNIP_SEED`-overridden) seed:
+//!
+//! * greedy-selection **indices** and coverage fractions,
+//! * gradient-based and combined generation outputs (exact `f32` bits),
+//! * the detection table built from both suites.
+//!
+//! Any drift between `Workspace::run(TestGenRequest)` and the legacy
+//! spellings is a correctness regression, not a tolerance question — every
+//! comparison below is exact.
+
+use dnnip::core::coverage::CoverageConfig;
+use dnnip::core::eval::Evaluator;
+use dnnip::core::generator::{generate_tests, GenerationConfig, GenerationMethod};
+use dnnip::core::gradgen::GradGenConfig;
+use dnnip::core::workspace::{TestGenRequest, Workspace};
+use dnnip::prelude::*;
+
+/// Pin against `DNNIP_SEED` when set (so the whole differential suite can be
+/// replayed under another stream), defaulting like the experiment binaries.
+fn seed() -> u64 {
+    std::env::var("DNNIP_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(41)
+}
+
+fn model() -> Network {
+    zoo::tiny_cnn(2, 3, Activation::Relu, seed()).unwrap()
+}
+
+fn pool(n: usize) -> Vec<Tensor> {
+    let network = model();
+    let shape = network.input_shape().to_vec();
+    (0..n)
+        .map(|i| Tensor::from_fn(&shape, |j| ((i * 97 + j) as f32 * 0.13).sin().abs()))
+        .collect()
+}
+
+fn workspace() -> (Workspace, dnnip::nn::fingerprint::NetworkFingerprint) {
+    let ws = Workspace::new();
+    let key = ws.register("cnn", model(), CoverageConfig::default());
+    (ws, key)
+}
+
+#[test]
+fn selection_indices_and_coverage_fractions_are_bit_identical() {
+    let (ws, key) = workspace();
+    let candidates = pool(18);
+    let budget = 6;
+
+    let report = ws
+        .run(
+            &TestGenRequest::new(key, GenerationMethod::TrainingSetSelection, budget)
+                .with_candidates(candidates.clone()),
+        )
+        .unwrap();
+
+    // Legacy path: a standalone evaluator with private caches.
+    let evaluator = Evaluator::new(model(), CoverageConfig::default());
+    let legacy = evaluator
+        .select_from_training_set(&candidates, budget)
+        .unwrap();
+
+    assert_eq!(report.selected_indices(), legacy.selected);
+    assert_eq!(
+        report.tests.coverage_curve.len(),
+        legacy.coverage_curve.len()
+    );
+    for (a, b) in report
+        .tests
+        .coverage_curve
+        .iter()
+        .zip(&legacy.coverage_curve)
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "coverage fraction drifted");
+    }
+    assert_eq!(
+        report.final_coverage().to_bits(),
+        legacy.final_coverage().to_bits()
+    );
+}
+
+#[test]
+fn every_strategy_matches_the_legacy_generate_tests_path() {
+    let (ws, key) = workspace();
+    let candidates = pool(14);
+    let gradgen = GradGenConfig {
+        steps: 5,
+        ..GradGenConfig::default()
+    };
+    let evaluator = Evaluator::new(model(), CoverageConfig::default());
+    for method in GenerationMethod::all() {
+        let report = ws
+            .run(
+                &TestGenRequest::new(key, method, 6)
+                    .with_seed(seed())
+                    .with_gradgen(gradgen)
+                    .with_candidates(candidates.clone()),
+            )
+            .unwrap();
+        let legacy = generate_tests(
+            &evaluator,
+            &candidates,
+            method,
+            &GenerationConfig {
+                max_tests: 6,
+                coverage: CoverageConfig::default(),
+                gradgen,
+                seed: seed(),
+                ..GenerationConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            report.tests.inputs.len(),
+            legacy.inputs.len(),
+            "{} count",
+            method.name()
+        );
+        for (i, (a, b)) in report.tests.inputs.iter().zip(&legacy.inputs).enumerate() {
+            assert_eq!(a, b, "{} input {i} drifted", method.name());
+        }
+        for (a, b) in report
+            .tests
+            .coverage_curve
+            .iter()
+            .zip(&legacy.coverage_curve)
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "{} curve drifted", method.name());
+        }
+        assert_eq!(report.tests.provenance, legacy.provenance);
+    }
+}
+
+#[test]
+fn detection_tables_from_both_paths_are_identical() {
+    let (ws, key) = workspace();
+    let candidates = pool(16);
+    let gradgen = GradGenConfig {
+        steps: 5,
+        ..GradGenConfig::default()
+    };
+
+    let via_workspace = ws
+        .run(
+            &TestGenRequest::new(key, GenerationMethod::Combined, 8)
+                .with_gradgen(gradgen)
+                .with_candidates(candidates.clone()),
+        )
+        .unwrap()
+        .tests
+        .inputs;
+    let evaluator = Evaluator::new(model(), CoverageConfig::default());
+    let legacy = generate_tests(
+        &evaluator,
+        &candidates,
+        GenerationMethod::Combined,
+        &GenerationConfig {
+            max_tests: 8,
+            gradgen,
+            ..GenerationConfig::default()
+        },
+    )
+    .unwrap()
+    .inputs;
+
+    let network = model();
+    let probes = &candidates[..6];
+    let config = DetectionConfig {
+        trials: 12,
+        seed: seed().wrapping_add(100),
+        policy: MatchPolicy::ArgMax,
+        exec: dnnip::core::par::ExecPolicy::auto(),
+    };
+    let attacks: [Box<dyn Attack>; 2] = [
+        Box::new(SingleBiasAttack::default()),
+        Box::new(RandomPerturbation {
+            num_params: 8,
+            std: 0.5,
+        }),
+    ];
+    for (n, attack) in attacks.iter().enumerate() {
+        for tests in [&via_workspace[..4], &via_workspace[..]] {
+            let m = tests.len();
+            let a = detection_rate(&network, attack.as_ref(), probes, tests, &config).unwrap();
+            let b =
+                detection_rate(&network, attack.as_ref(), probes, &legacy[..m], &config).unwrap();
+            assert_eq!(a, b, "attack {n} at budget {m}: detection table drifted");
+        }
+    }
+}
