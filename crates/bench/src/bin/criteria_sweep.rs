@@ -151,6 +151,12 @@ fn main() {
             d.hits, d.misses, d.writes, d.write_errors
         );
     }
+    // Machine-readable counter for CI's cross-process cache check: a literal
+    // `disk_hits=<n>` line is far more robust to grep than sed over JSON.
+    println!(
+        "disk_hits={}",
+        disk.as_ref().map(|d| d.hits).unwrap_or_default()
+    );
 
     // Hand-rolled JSON (the workspace has no serde): flat and diff-friendly.
     let mut json = String::new();

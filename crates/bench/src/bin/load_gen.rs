@@ -1,0 +1,174 @@
+//! Load harness for the `dnnip-serve` engine: replays hundreds of mixed
+//! model/criterion/strategy requests through the bounded worker pool and
+//! reports throughput plus per-request latency percentiles.
+//!
+//! The request mix cycles deterministically (seeded) over the builtin model
+//! zoo, the three coverage criteria and three selection strategies, with
+//! varying seeds and pool sizes — the traffic shape a validation lab's queue
+//! has, where cache reuse across requests is partial, not total. Latency is
+//! measured per request from submission to response; throughput over the
+//! whole replay wall time.
+//!
+//! ```text
+//! cargo run --release -p dnnip-bench --bin load_gen [smoke|default|paper]
+//! ```
+//!
+//! Results are printed and written to `crates/bench/results/serve_load.json`
+//! (smoke keeps the committed default-profile file: CI runs smoke on every
+//! push and must not churn the tracked results).
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use dnnip_bench::{seed_from_env_or, ExperimentProfile};
+use dnnip_serve::json::Json;
+use dnnip_serve::protocol::BUILTIN_MODELS;
+use dnnip_serve::{Engine, EngineConfig, Handled};
+
+const CRITERIA: &[&str] = &["param-gradient", "neuron-activation:0.25", "topk-neuron:2"];
+const STRATEGIES: &[&str] = &["training-set-selection", "random-selection", "combined"];
+
+/// One replayed request: the NDJSON line plus its measured latency.
+struct Sample {
+    id: usize,
+    latency_ms: f64,
+    ok: bool,
+    timeout: bool,
+}
+
+fn request_line(i: usize, seed: u64) -> String {
+    // Deterministic mixed traffic: models cycle slowest so consecutive
+    // requests hit different engines (the worst case for cache locality).
+    let model = BUILTIN_MODELS[i % BUILTIN_MODELS.len()];
+    let criterion = CRITERIA[(i / BUILTIN_MODELS.len()) % CRITERIA.len()];
+    let strategy = STRATEGIES[(i / (BUILTIN_MODELS.len() * CRITERIA.len())) % STRATEGIES.len()];
+    let pool = 8 + (i % 3) * 4; // 8 / 12 / 16-sample pools
+    let budget = 2 + i % 3;
+    // A handful of distinct pool seeds per model keeps the cache hit rate
+    // partial: some requests recompute, some reuse.
+    let pool_seed = seed + (i % 5) as u64;
+    format!(
+        r#"{{"id":"q{i}","model":"{model}","strategy":"{strategy}","budget":{budget},"seed":{},"criterion":"{criterion}","gradgen_steps":2,"pool":{{"synthetic":{pool},"seed":{pool_seed}}}}}"#,
+        seed + i as u64
+    )
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    // Nearest-rank on a sorted slice.
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+fn main() {
+    let profile = ExperimentProfile::from_env_or_args();
+    let seed = seed_from_env_or(1);
+    let requests = match profile {
+        ExperimentProfile::Smoke => 60,
+        ExperimentProfile::Default => 240,
+        ExperimentProfile::Paper => 960,
+    };
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get().min(4))
+        .unwrap_or(2);
+    println!("== serve load harness: {requests} mixed requests over {workers} workers ==");
+    println!("profile: {}, seed: {seed}", profile.name());
+
+    let engine = Engine::in_memory(EngineConfig {
+        workers,
+        queue_depth: 64,
+        default_deadline_ms: None,
+    });
+    let (out_tx, out_rx) = mpsc::channel::<String>();
+
+    // Submission stamps; the collector thread matches responses by id and
+    // computes per-request latency.
+    let submitted: Arc<Mutex<Vec<Option<Instant>>>> = Arc::new(Mutex::new(vec![None; requests]));
+    let collector_submitted = Arc::clone(&submitted);
+    let collector = std::thread::spawn(move || -> Vec<Sample> {
+        out_rx
+            .into_iter()
+            .map(|line| {
+                let done = Instant::now();
+                let response = Json::parse(&line).expect("service responses are valid JSON");
+                let id: usize = response
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .and_then(|s| s.strip_prefix('q'))
+                    .and_then(|s| s.parse().ok())
+                    .expect("response ids echo the request ids");
+                let start = collector_submitted.lock().unwrap()[id].expect("id was submitted");
+                let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
+                let timeout = response
+                    .get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str)
+                    == Some("timeout");
+                Sample {
+                    id,
+                    latency_ms: done.duration_since(start).as_secs_f64() * 1e3,
+                    ok,
+                    timeout,
+                }
+            })
+            .collect()
+    });
+
+    let replay_start = Instant::now();
+    for i in 0..requests {
+        let line = request_line(i, seed);
+        submitted.lock().unwrap()[i] = Some(Instant::now());
+        // A full queue blocks here: submission rate adapts to service rate.
+        assert_eq!(engine.handle(&line, &out_tx), Handled::Continue);
+    }
+    engine.drain();
+    let wall_s = replay_start.elapsed().as_secs_f64();
+    drop(out_tx);
+    let samples = collector.join().expect("collector thread");
+
+    assert_eq!(samples.len(), requests, "every request must be answered");
+    let mut seen = vec![false; requests];
+    for s in &samples {
+        assert!(!seen[s.id], "duplicate response for q{}", s.id);
+        seen[s.id] = true;
+    }
+    let errors = samples.iter().filter(|s| !s.ok).count();
+    let timeouts = samples.iter().filter(|s| s.timeout).count();
+    assert_eq!(errors, 0, "the mixed replay contains no invalid requests");
+
+    let mut latencies: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    latencies.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let throughput = requests as f64 / wall_s;
+    let (p50, p95, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+    );
+    println!("\n  wall time:  {:.2} s", wall_s);
+    println!("  throughput: {throughput:.1} req/s");
+    println!("  latency:    p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms");
+    println!("  errors:     {errors} ({timeouts} timeouts)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"dnnip-serve mixed-traffic load replay\",\n  \
+         \"profile\": \"{}\",\n  \"requests\": {requests},\n  \"workers\": {workers},\n  \
+         \"seed\": {seed},\n  \"wall_s\": {wall_s:.3},\n  \
+         \"throughput_rps\": {throughput:.2},\n  \"p50_ms\": {p50:.3},\n  \
+         \"p95_ms\": {p95:.3},\n  \"p99_ms\": {p99:.3},\n  \"errors\": {errors},\n  \
+         \"timeouts\": {timeouts}\n}}\n",
+        profile.name()
+    );
+    if profile == ExperimentProfile::Smoke {
+        // CI smoke must not rewrite the committed default-profile results.
+        println!("\nsmoke profile: leaving results/serve_load.json untouched");
+        return;
+    }
+    let out_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/results");
+    let out_path = format!("{out_dir}/serve_load.json");
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    std::fs::write(&out_path, &json).expect("write results json");
+    println!("\nwrote {out_path}");
+}

@@ -1,0 +1,198 @@
+//! Schema gate for the committed benchmark artifacts.
+//!
+//! Default mode walks every `crates/bench/results/*.json`, requires each to
+//! parse as a JSON object, and checks the known files for their expected
+//! top-level keys — so a refactor that silently changes an artifact's shape
+//! (or a bench that starts writing truncated output) fails CI instead of
+//! producing a plot-breaking file months later. Unknown files only need to
+//! parse: adding a new bench doesn't require touching this gate.
+//!
+//! ```text
+//! cargo run --release -p dnnip-bench --bin validate_results
+//! cargo run --release -p dnnip-bench --bin validate_results -- --ndjson out.ndjson --expect 3
+//! ```
+//!
+//! The `--ndjson` mode validates a `dnnip-serve` transcript instead: `FILE`
+//! must hold exactly `--expect N` lines, each a JSON object carrying `id`
+//! and `ok` — CI's serve smoke pipes a session through the binary and gates
+//! on this.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use dnnip_serve::json::Json;
+
+/// Required top-level keys per known artifact.
+const EXPECTED: &[(&str, &[&str])] = &[
+    (
+        "criteria_sweep.json",
+        &[
+            "bench",
+            "pool_size",
+            "budget",
+            "seed",
+            "cache_dir",
+            "disk_hits",
+            "disk_misses",
+            "disk_writes",
+            "disk_write_errors",
+            "results",
+        ],
+    ),
+    (
+        "eval_cache.json",
+        &[
+            "bench",
+            "budgets",
+            "sweep_rounds",
+            "seed",
+            "uncached_best_ms",
+            "cached_best_ms",
+            "speedup_cached_vs_uncached",
+            "cache",
+        ],
+    ),
+    (
+        "parallel_coverage.json",
+        &[
+            "bench",
+            "batch_size",
+            "seed",
+            "available_parallelism",
+            "results",
+        ],
+    ),
+    (
+        "workspace_cache.json",
+        &[
+            "bench",
+            "cache_dir",
+            "pool_size",
+            "budget",
+            "seed",
+            "shared_budget",
+            "disk",
+            "results",
+        ],
+    ),
+    (
+        "serve_load.json",
+        &[
+            "bench",
+            "profile",
+            "requests",
+            "workers",
+            "seed",
+            "wall_s",
+            "throughput_rps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "errors",
+            "timeouts",
+        ],
+    ),
+];
+
+fn check_artifact(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+    let value = Json::parse(&text).map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    if value.as_object().is_none() {
+        return Err(format!("{}: top level is not an object", path.display()));
+    }
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or_default();
+    if let Some((_, keys)) = EXPECTED.iter().find(|(known, _)| *known == name) {
+        for key in *keys {
+            if value.get(key).is_none() {
+                return Err(format!("{}: missing top-level key {key:?}", path.display()));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_results_dir() -> Result<usize, String> {
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/results"));
+    let mut checked = 0;
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("{}: unreadable: {e}", dir.display()))?;
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        check_artifact(&path)?;
+        println!("ok: {}", path.display());
+        checked += 1;
+    }
+    // Every known artifact must actually exist: a bench that stopped writing
+    // its file is as broken as one writing a malformed one.
+    for (name, _) in EXPECTED {
+        let path = dir.join(name);
+        if !path.exists() {
+            return Err(format!("{}: expected artifact is missing", path.display()));
+        }
+    }
+    Ok(checked)
+}
+
+fn check_ndjson(path: &Path, expect: usize) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.len() != expect {
+        return Err(format!(
+            "{}: expected {expect} response lines, found {}",
+            path.display(),
+            lines.len()
+        ));
+    }
+    for (i, line) in lines.iter().enumerate() {
+        let value = Json::parse(line)
+            .map_err(|e| format!("{}: line {}: invalid JSON: {e}", path.display(), i + 1))?;
+        for key in ["id", "ok"] {
+            if value.get(key).is_none() {
+                return Err(format!(
+                    "{}: line {}: response lacks {key:?}",
+                    path.display(),
+                    i + 1
+                ));
+            }
+        }
+    }
+    println!("ok: {} ({expect} responses)", path.display());
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            let checked = check_results_dir()?;
+            println!("validated {checked} artifacts");
+            Ok(())
+        }
+        [ndjson_flag, file, expect_flag, n]
+            if ndjson_flag == "--ndjson" && expect_flag == "--expect" =>
+        {
+            let expect: usize = n.parse().map_err(|e| format!("--expect: {e}"))?;
+            check_ndjson(Path::new(file), expect)
+        }
+        _ => Err("usage: validate_results [--ndjson FILE --expect N]".to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("validate_results: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -523,14 +523,19 @@ impl<V: CacheValue> ContentCache<V> {
             // the distinct-miss count is attributed to `miss_keys[0].net`.
             self.note_misses(miss_samples.len() as u64, label, miss_keys[0].net);
             let computed = compute(&miss_samples)?;
-            for ((indices, key), value) in miss_indices.iter().zip(&miss_keys).zip(computed) {
-                self.insert(*key, &value, label);
-                if let Some(disk) = &self.disk {
-                    disk.store(key, &value);
-                }
+            for ((indices, key), value) in miss_indices.iter().zip(&miss_keys).zip(&computed) {
+                self.insert(*key, value, label);
                 for &i in indices {
                     out[i] = Some(value.clone());
                 }
+            }
+            if let Some(disk) = &self.disk {
+                // One segment-packed write for the whole request's misses
+                // (they all share this evaluator's fingerprint and criterion,
+                // so the tier emits exactly one file).
+                let batch: Vec<(CacheKey, &V)> =
+                    miss_keys.iter().copied().zip(computed.iter()).collect();
+                disk.store_batch(&batch);
             }
         }
         Ok(out

@@ -3,56 +3,86 @@
 //! The in-memory [`crate::eval::ContentCache`] makes repeats *within* one
 //! process near-free, but the paper's vendor flow runs the same trusted model
 //! through many **separate binaries** (the Fig. 3 sweep, then Table II, then
-//! Table III). [`DiskTier`] spills every freshly computed covered-set entry to
-//! a content-addressed file and reloads it on a later in-memory miss, so a
-//! second process over the same model and criterion starts warm.
+//! Table III), and the serving layer (`dnnip-serve`) keeps one process alive
+//! across an unbounded request stream. [`DiskTier`] spills freshly computed
+//! covered-set entries to content-addressed **segment files** and reloads them
+//! on later in-memory misses, so a second process over the same model starts
+//! warm — and stays within a configurable disk byte budget while doing so.
 //!
-//! Layout (one file per entry):
+//! Layout (one *segment* file per batch of misses — typically one per
+//! request — instead of one file per entry):
 //!
 //! ```text
-//! <root>/<network-fingerprint>/<criterion-digest>/<sample-hash>.dnnipc
+//! <root>/<network-fingerprint>/<criterion-digest>/seg-<pid>-<n>.dnnipseg
 //! ```
 //!
-//! Every path component is a content digest, so entries can never alias
-//! across models, criteria or samples, and a stale directory is simply never
-//! read again once the model changes. The file format is a versioned header
-//! (magic, version, payload kind, payload length, FNV-1a checksum) followed by
-//! the value's own encoding; **any** structural violation — short file, bad
-//! magic, wrong version, checksum mismatch, undecodable payload — degrades to
-//! a silent cache miss, never an error. A corrupted or concurrently truncated
-//! file costs one recomputation, nothing more.
+//! Both directory components are content digests, so entries can never alias
+//! across models or criteria, and a stale directory is simply never read again
+//! once the model changes. Each segment is a versioned file header followed by
+//! framed records (`sample hash`, payload kind, length, FNV-1a checksum,
+//! payload); the sample hash lives *inside* the segment, so a whole request's
+//! misses cost **one** `create`+`rename` instead of one per covered set — the
+//! syscall traffic that used to dominate the disk-warm path.
+//!
+//! Reads go through an in-memory index: the first probe of a
+//! `(model, criterion)` directory scans its segments once (a sequential read
+//! per file), after which every lookup is an offset into a cached segment
+//! buffer. **Any** structural violation — short file, bad magic, wrong
+//! version, checksum mismatch, undecodable payload — degrades to a silent
+//! cache miss, never an error. A corrupted or concurrently deleted segment
+//! costs recomputation, nothing more.
+//!
+//! Long-running hygiene:
+//!
+//! * **Byte budget** — with [`DiskTier::with_max_bytes`], the tier walks the
+//!   root once, then evicts least-recently-*accessed* segment files whenever
+//!   the resident total exceeds the budget (access = any read hit or write;
+//!   pre-existing files are ordered by modification time).
+//! * **Vacuum** — [`DiskTier::vacuum`] removes per-model directories whose
+//!   fingerprint is not in the caller's keep-set (the
+//!   [`crate::workspace::Workspace`] registry), reclaiming space left behind
+//!   by retired models without touching files the tier does not own.
 
+use std::collections::{HashMap, HashSet};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::SystemTime;
 
-use dnnip_nn::fingerprint::Fnv1a;
+use dnnip_nn::fingerprint::{Fnv1a, NetworkFingerprint};
 
 use crate::eval::{CacheKey, CacheValue};
 
-/// File magic: identifies a dnnip persistent-cache entry.
-const MAGIC: u64 = u64::from_le_bytes(*b"DNIPCACH");
+/// Segment-file magic: identifies a dnnip persistent-cache segment.
+const SEG_MAGIC: u64 = u64::from_le_bytes(*b"DNIPSEG2");
 /// On-disk format version; bump on any layout change — **or** on any change
 /// to what a criterion computes (its covered-unit semantics): the cache key
 /// digests a criterion's id and configuration, not its implementation, so a
 /// semantic change without a version bump would serve stale entries.
-const FORMAT_VERSION: u64 = 1;
+const FORMAT_VERSION: u64 = 2;
 
 /// The version field actually written: the format version mixed with the
 /// crate version, so entries written by a different release are never read
-/// (they decode as misses and are rewritten).
+/// (they decode as misses and are eventually rewritten or vacuumed).
 fn version_tag() -> u64 {
     let mut h = Fnv1a::new();
     h.write_u64(FORMAT_VERSION);
     h.write(env!("CARGO_PKG_VERSION").as_bytes());
     h.finish()
 }
-/// Header length in bytes: magic, version, kind, payload length, checksum.
-const HEADER_BYTES: usize = 5 * 8;
 
-/// Counters of the disk tier (all monotone; a snapshot, like
-/// [`crate::eval::CacheStats`]).
+/// Segment file header length: magic + version.
+const SEG_HEADER_BYTES: usize = 2 * 8;
+/// Per-record header length: sample lo/hi, kind, payload length, checksum.
+const RECORD_HEADER_BYTES: usize = 5 * 8;
+/// File extension of segment files (with the leading dot).
+const SEG_EXT: &str = "dnnipseg";
+/// Most segment buffers kept resident for reads at any time.
+const MAX_RESIDENT_BUFFERS: usize = 8;
+
+/// Counters of the disk tier (monotone event counts plus two gauges; a
+/// snapshot, like [`crate::eval::CacheStats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DiskStats {
     /// In-memory misses answered from disk.
@@ -60,11 +90,19 @@ pub struct DiskStats {
     /// In-memory misses that probed the disk and found nothing usable
     /// (absent, corrupt, or version-mismatched entries all land here).
     pub misses: u64,
-    /// Entries spilled to disk.
+    /// Entries spilled to disk (records, not files — one segment file packs a
+    /// whole batch of them).
     pub writes: u64,
-    /// Failed writes (I/O errors are absorbed: the cache stays correct, the
-    /// entry is simply not persisted).
+    /// Entries whose spill failed (I/O errors are absorbed: the cache stays
+    /// correct, the entries are simply not persisted).
     pub write_errors: u64,
+    /// Segment files deleted to stay under the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident under the tier's root, as last observed.
+    /// Maintained only once the root has been walked — which happens on the
+    /// first write when a byte budget is configured — and best-effort across
+    /// processes (another process's writes are not observed until a rescan).
+    pub resident_bytes: u64,
 }
 
 impl DiskStats {
@@ -79,7 +117,63 @@ impl DiskStats {
     }
 }
 
-/// The persistent tier: a root directory plus counters.
+/// What [`DiskTier::vacuum`] removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VacuumStats {
+    /// Per-model cache directories removed (unknown fingerprints).
+    pub removed_models: usize,
+    /// Files removed with them.
+    pub removed_files: usize,
+    /// Total bytes reclaimed.
+    pub removed_bytes: u64,
+}
+
+/// Location of one record inside a segment file.
+#[derive(Debug, Clone)]
+struct EntryLoc {
+    path: PathBuf,
+    /// Byte offset of the payload within the segment file.
+    offset: usize,
+    /// Payload length in bytes.
+    len: usize,
+    kind: u8,
+    checksum: u64,
+}
+
+/// Index of one `(model, criterion)` directory.
+#[derive(Debug, Default)]
+struct DirIndex {
+    scanned: bool,
+    entries: HashMap<(u64, u64), EntryLoc>,
+}
+
+/// Budget bookkeeping for one resident file.
+#[derive(Debug, Clone, Copy)]
+struct FileMeta {
+    bytes: u64,
+    /// Last-access tick (reads and writes both bump it; seeded from the
+    /// modification time order for files that predate this process).
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct TierInner {
+    stats: DiskStats,
+    tick: u64,
+    /// Whether the root has been walked for budget accounting.
+    walked: bool,
+    /// Every resident file under the root (budget accounting; only maintained
+    /// once walked).
+    files: HashMap<PathBuf, FileMeta>,
+    total_bytes: u64,
+    dirs: HashMap<(NetworkFingerprint, u64), DirIndex>,
+    /// Recently read segment buffers (a request's misses usually live in a
+    /// handful of segments; serving them from memory makes the disk-warm path
+    /// one sequential read per segment instead of one open+seek per entry).
+    buffers: HashMap<PathBuf, (Arc<Vec<u8>>, u64)>,
+}
+
+/// The persistent tier: a root directory plus the in-memory segment index.
 ///
 /// Thread-safe; one tier is shared by every evaluator of a
 /// [`crate::workspace::Workspace`]. All I/O failures are absorbed as misses
@@ -87,20 +181,32 @@ impl DiskStats {
 #[derive(Debug)]
 pub struct DiskTier {
     root: PathBuf,
-    stats: Mutex<DiskStats>,
-    /// Per-process unique suffix source for temp files (writes go to a temp
-    /// name and rename into place, so readers never observe a partial entry).
-    temp_counter: AtomicU64,
+    max_bytes: Option<u64>,
+    inner: Mutex<TierInner>,
+    /// Per-process unique suffix source for temp files and segment names
+    /// (writes go to a temp name and rename into place, so readers never
+    /// observe a partial segment).
+    counter: AtomicU64,
 }
 
 impl DiskTier {
-    /// Create a tier rooted at `root` (created lazily on first write).
+    /// Create a tier rooted at `root` (created lazily on first write), with
+    /// no byte budget.
     pub fn new(root: impl Into<PathBuf>) -> Self {
         Self {
             root: root.into(),
-            stats: Mutex::new(DiskStats::default()),
-            temp_counter: AtomicU64::new(0),
+            max_bytes: None,
+            inner: Mutex::new(TierInner::default()),
+            counter: AtomicU64::new(0),
         }
+    }
+
+    /// Set (or clear) the disk byte budget. With a budget, every write walks
+    /// the accounting and evicts least-recently-accessed segment files until
+    /// the resident total fits again.
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> Self {
+        self.max_bytes = max_bytes;
+        self
     }
 
     /// The tier's root directory.
@@ -108,56 +214,243 @@ impl DiskTier {
         &self.root
     }
 
+    /// The configured disk byte budget, when one is set.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
     /// Snapshot of the tier's counters.
     pub fn stats(&self) -> DiskStats {
-        *self.stats.lock().expect("disk tier stats lock")
+        let inner = self.lock();
+        DiskStats {
+            resident_bytes: if inner.walked { inner.total_bytes } else { 0 },
+            ..inner.stats
+        }
     }
 
-    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+    fn lock(&self) -> MutexGuard<'_, TierInner> {
+        self.inner.lock().expect("disk tier lock")
+    }
+
+    fn dir_path(&self, net: NetworkFingerprint, criterion: u64) -> PathBuf {
         self.root
-            .join(format!("{}", key.net))
-            .join(format!("{:016x}", key.criterion))
-            .join(format!("{:016x}{:016x}.dnnipc", key.sample.0, key.sample.1))
+            .join(format!("{net}"))
+            .join(format!("{criterion:016x}"))
     }
 
-    /// Load and decode one entry; `None` on anything short of a pristine file.
+    /// Load and decode one entry; `None` on anything short of a pristine
+    /// record.
     pub(crate) fn load<V: CacheValue>(&self, key: &CacheKey) -> Option<V> {
-        let decoded = std::fs::read(self.entry_path(key))
-            .ok()
-            .and_then(|bytes| decode_entry::<V>(&bytes));
-        let mut stats = self.stats.lock().expect("disk tier stats lock");
+        let mut inner = self.lock();
+        self.ensure_dir_scanned(&mut inner, key.net, key.criterion);
+        let decoded = self.lookup::<V>(&mut inner, key);
         if decoded.is_some() {
-            stats.hits += 1;
+            inner.stats.hits += 1;
         } else {
-            stats.misses += 1;
+            inner.stats.misses += 1;
         }
         decoded
     }
 
-    /// Encode and persist one entry (atomic via temp file + rename). Errors
-    /// are counted, never surfaced.
-    pub(crate) fn store<V: CacheValue>(&self, key: &CacheKey, value: &V) {
-        let path = self.entry_path(key);
-        let ok = self.try_store(&path, encode_entry(value));
-        let mut stats = self.stats.lock().expect("disk tier stats lock");
-        if ok {
-            stats.writes += 1;
-        } else {
-            stats.write_errors += 1;
+    fn lookup<V: CacheValue>(&self, inner: &mut TierInner, key: &CacheKey) -> Option<V> {
+        let loc = inner
+            .dirs
+            .get(&(key.net, key.criterion))?
+            .entries
+            .get(&key.sample)?
+            .clone();
+        if loc.kind != V::KIND {
+            return None;
+        }
+        let Some(bytes) = self.segment_bytes(inner, &loc.path) else {
+            // The segment vanished (evicted by another process, or removed by
+            // hand): drop every index entry that pointed into it.
+            Self::purge_path(inner, &loc.path);
+            return None;
+        };
+        let payload = bytes.get(loc.offset..loc.offset + loc.len)?;
+        let mut checksum = Fnv1a::new();
+        checksum.write(payload);
+        if checksum.finish() != loc.checksum {
+            return None;
+        }
+        let value = V::decode(payload);
+        if value.is_some() {
+            // A genuine hit refreshes the segment's last-access tick.
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(meta) = inner.files.get_mut(&loc.path) {
+                meta.tick = tick;
+            }
+        }
+        value
+    }
+
+    /// The full contents of a segment file, from the buffer pool or one
+    /// sequential read.
+    fn segment_bytes(&self, inner: &mut TierInner, path: &Path) -> Option<Arc<Vec<u8>>> {
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((bytes, buffer_tick)) = inner.buffers.get_mut(path) {
+            *buffer_tick = tick;
+            return Some(Arc::clone(bytes));
+        }
+        let bytes = Arc::new(std::fs::read(path).ok()?);
+        inner
+            .buffers
+            .insert(path.to_path_buf(), (Arc::clone(&bytes), tick));
+        if inner.buffers.len() > MAX_RESIDENT_BUFFERS {
+            if let Some(oldest) = inner
+                .buffers
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(p, _)| p.clone())
+            {
+                inner.buffers.remove(&oldest);
+            }
+        }
+        Some(bytes)
+    }
+
+    /// Drop every index entry, buffer and accounting row for `path`.
+    fn purge_path(inner: &mut TierInner, path: &Path) {
+        for dir in inner.dirs.values_mut() {
+            dir.entries.retain(|_, loc| loc.path != path);
+        }
+        inner.buffers.remove(path);
+        if let Some(meta) = inner.files.remove(path) {
+            inner.total_bytes = inner.total_bytes.saturating_sub(meta.bytes);
         }
     }
 
-    fn try_store(&self, path: &Path, bytes: Vec<u8>) -> bool {
-        let Some(dir) = path.parent() else {
-            return false;
-        };
+    /// Scan a `(model, criterion)` directory's segments into the index (once
+    /// per directory per process; segments written by this process are added
+    /// incrementally as they are stored).
+    fn ensure_dir_scanned(&self, inner: &mut TierInner, net: NetworkFingerprint, criterion: u64) {
+        if inner.dirs.get(&(net, criterion)).is_some_and(|d| d.scanned) {
+            return;
+        }
+        let dir = self.dir_path(net, criterion);
+        let mut paths: Vec<PathBuf> = Vec::new();
+        if let Ok(read) = std::fs::read_dir(&dir) {
+            for entry in read.flatten() {
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) == Some(SEG_EXT) {
+                    paths.push(path);
+                }
+            }
+        }
+        // Deterministic scan order, so when two segments both carry a sample
+        // (a corrupt entry that was recomputed and re-spilled), the surviving
+        // index entry does not depend on readdir order.
+        paths.sort();
+        for path in paths {
+            if let Some(bytes) = self.segment_bytes(inner, &path) {
+                let index = inner.dirs.entry((net, criterion)).or_default();
+                for record in parse_segment(&bytes) {
+                    index.entries.insert(
+                        record.sample,
+                        EntryLoc {
+                            path: path.clone(),
+                            offset: record.offset,
+                            len: record.len,
+                            kind: record.kind,
+                            checksum: record.checksum,
+                        },
+                    );
+                }
+            }
+        }
+        inner.dirs.entry((net, criterion)).or_default().scanned = true;
+    }
+
+    /// Encode and persist a batch of entries — **one segment file per
+    /// `(model, criterion)` group** (a request's misses always share both, so
+    /// the common case is exactly one file). Atomic via temp file + rename;
+    /// errors are counted, never surfaced.
+    pub(crate) fn store_batch<V: CacheValue>(&self, entries: &[(CacheKey, &V)]) {
+        if entries.is_empty() {
+            return;
+        }
+        let mut groups: HashMap<(NetworkFingerprint, u64), Vec<usize>> = HashMap::new();
+        for (i, (key, _)) in entries.iter().enumerate() {
+            groups.entry((key.net, key.criterion)).or_default().push(i);
+        }
+        let mut inner = self.lock();
+        if self.max_bytes.is_some() {
+            self.ensure_walked(&mut inner);
+        }
+        for ((net, criterion), indices) in groups {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&SEG_MAGIC.to_le_bytes());
+            bytes.extend_from_slice(&version_tag().to_le_bytes());
+            let mut locs: Vec<((u64, u64), EntryLoc)> = Vec::with_capacity(indices.len());
+            for &i in &indices {
+                let (key, value) = &entries[i];
+                let mut payload = Vec::new();
+                value.encode(&mut payload);
+                let mut checksum = Fnv1a::new();
+                checksum.write(&payload);
+                let checksum = checksum.finish();
+                bytes.extend_from_slice(&key.sample.0.to_le_bytes());
+                bytes.extend_from_slice(&key.sample.1.to_le_bytes());
+                bytes.extend_from_slice(&(V::KIND as u64).to_le_bytes());
+                bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+                bytes.extend_from_slice(&checksum.to_le_bytes());
+                let offset = bytes.len();
+                bytes.extend_from_slice(&payload);
+                locs.push((
+                    key.sample,
+                    EntryLoc {
+                        path: PathBuf::new(),
+                        offset,
+                        len: payload.len(),
+                        kind: V::KIND,
+                        checksum,
+                    },
+                ));
+            }
+            let dir = self.dir_path(net, criterion);
+            let path = dir.join(format!(
+                "seg-{}-{}.{SEG_EXT}",
+                std::process::id(),
+                self.counter.fetch_add(1, Ordering::Relaxed)
+            ));
+            let total = bytes.len() as u64;
+            if !self.try_store(&dir, &path, bytes) {
+                inner.stats.write_errors += indices.len() as u64;
+                continue;
+            }
+            inner.stats.writes += indices.len() as u64;
+            inner.tick += 1;
+            let tick = inner.tick;
+            if inner.walked {
+                inner
+                    .files
+                    .insert(path.clone(), FileMeta { bytes: total, tick });
+                inner.total_bytes += total;
+            }
+            // Keep an already-scanned directory's index current; an unscanned
+            // one picks the segment up on its first probe.
+            let index = inner.dirs.entry((net, criterion)).or_default();
+            if index.scanned {
+                for (sample, mut loc) in locs {
+                    loc.path = path.clone();
+                    index.entries.insert(sample, loc);
+                }
+            }
+        }
+        self.evict_to_budget(&mut inner);
+    }
+
+    fn try_store(&self, dir: &Path, path: &Path, bytes: Vec<u8>) -> bool {
         if std::fs::create_dir_all(dir).is_err() {
             return false;
         }
         let temp = dir.join(format!(
             ".tmp-{}-{}",
             std::process::id(),
-            self.temp_counter.fetch_add(1, Ordering::Relaxed)
+            self.counter.fetch_add(1, Ordering::Relaxed)
         ));
         let written = std::fs::File::create(&temp)
             .and_then(|mut f| f.write_all(&bytes))
@@ -168,57 +461,174 @@ impl DiskTier {
         let _ = std::fs::remove_file(&temp);
         false
     }
-}
 
-/// Serialize one value with the versioned header.
-fn encode_entry<V: CacheValue>(value: &V) -> Vec<u8> {
-    let mut payload = Vec::new();
-    value.encode(&mut payload);
-    let mut checksum = Fnv1a::new();
-    checksum.write(&payload);
-    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
-    out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.extend_from_slice(&version_tag().to_le_bytes());
-    out.extend_from_slice(&(V::KIND as u64).to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(&checksum.finish().to_le_bytes());
-    out.extend_from_slice(&payload);
-    out
-}
-
-/// Validate the header and decode the payload; `None` on any mismatch.
-fn decode_entry<V: CacheValue>(bytes: &[u8]) -> Option<V> {
-    if bytes.len() < HEADER_BYTES {
-        return None;
+    /// Delete least-recently-accessed files until the resident total fits the
+    /// budget again (strict: even a freshly written segment is evicted when
+    /// it alone exceeds the budget).
+    fn evict_to_budget(&self, inner: &mut TierInner) {
+        let Some(max) = self.max_bytes else { return };
+        while inner.total_bytes > max {
+            let Some(oldest) = inner
+                .files
+                .iter()
+                .min_by_key(|(_, meta)| meta.tick)
+                .map(|(path, _)| path.clone())
+            else {
+                break;
+            };
+            let _ = std::fs::remove_file(&oldest);
+            Self::purge_path(inner, &oldest);
+            inner.stats.evictions += 1;
+        }
     }
-    let field = |i: usize| {
+
+    /// Walk the root once, seeding budget accounting for files that predate
+    /// this process (ordered by modification time, oldest first, so they are
+    /// evicted before anything this process touched).
+    fn ensure_walked(&self, inner: &mut TierInner) {
+        if inner.walked {
+            return;
+        }
+        let mut found: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
+        collect_files(&self.root, &mut |path, meta| {
+            found.push((
+                path,
+                meta.len(),
+                meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            ));
+        });
+        found.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        for (path, bytes, _) in found {
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.files.insert(path, FileMeta { bytes, tick });
+            inner.total_bytes += bytes;
+        }
+        inner.walked = true;
+    }
+
+    /// Remove every per-model directory whose fingerprint is **not** in
+    /// `keep`. Only directories whose name parses as a fingerprint are
+    /// touched: the tier never deletes files it cannot have written.
+    pub fn vacuum(&self, keep: &HashSet<NetworkFingerprint>) -> VacuumStats {
+        let mut out = VacuumStats::default();
+        let mut inner = self.lock();
+        let Ok(read) = std::fs::read_dir(&self.root) else {
+            return out;
+        };
+        for entry in read.flatten() {
+            let path = entry.path();
+            if !path.is_dir() {
+                continue;
+            }
+            let Some(fingerprint) = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.parse::<NetworkFingerprint>().ok())
+            else {
+                continue;
+            };
+            if keep.contains(&fingerprint) {
+                continue;
+            }
+            let mut files = 0usize;
+            let mut bytes = 0u64;
+            collect_files(&path, &mut |_file, meta| {
+                files += 1;
+                bytes += meta.len();
+            });
+            if std::fs::remove_dir_all(&path).is_ok() {
+                out.removed_models += 1;
+                out.removed_files += files;
+                out.removed_bytes += bytes;
+                inner.dirs.retain(|(net, _), _| *net != fingerprint);
+                let removed: Vec<PathBuf> = inner
+                    .files
+                    .keys()
+                    .filter(|p| p.starts_with(&path))
+                    .cloned()
+                    .collect();
+                for p in removed {
+                    Self::purge_path(&mut inner, &p);
+                }
+                inner.buffers.retain(|p, _| !p.starts_with(&path));
+            }
+        }
+        out
+    }
+}
+
+/// Depth-first walk over every regular file under `root` (missing or
+/// unreadable directories are silently skipped).
+fn collect_files(root: &Path, f: &mut impl FnMut(PathBuf, std::fs::Metadata)) {
+    let Ok(read) = std::fs::read_dir(root) else {
+        return;
+    };
+    for entry in read.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_files(&path, f);
+        } else if let Ok(meta) = entry.metadata() {
+            f(path, meta);
+        }
+    }
+}
+
+/// One parsed record header inside a segment buffer.
+struct SegRecord {
+    sample: (u64, u64),
+    kind: u8,
+    offset: usize,
+    len: usize,
+    checksum: u64,
+}
+
+/// Parse a segment buffer's record headers. Stops at the first structural
+/// violation (short header, oversized payload length, out-of-range kind):
+/// everything before it is usable, everything after is unreachable —
+/// corruption can only ever shrink the index, never corrupt a value (payload
+/// checksums are verified at load time).
+fn parse_segment(bytes: &[u8]) -> Vec<SegRecord> {
+    let mut out = Vec::new();
+    if bytes.len() < SEG_HEADER_BYTES {
+        return out;
+    }
+    let field = |offset: usize| {
         u64::from_le_bytes(
-            bytes[i * 8..(i + 1) * 8]
+            bytes[offset..offset + 8]
                 .try_into()
-                .expect("8-byte header field"),
+                .expect("8-byte field within bounds"),
         )
     };
-    if field(0) != MAGIC || field(1) != version_tag() || field(2) != V::KIND as u64 {
-        return None;
+    if field(0) != SEG_MAGIC || field(8) != version_tag() {
+        return out;
     }
-    let payload_len = field(3) as usize;
-    let payload = bytes.get(HEADER_BYTES..)?;
-    if payload.len() != payload_len {
-        return None;
+    let mut offset = SEG_HEADER_BYTES;
+    while offset + RECORD_HEADER_BYTES <= bytes.len() {
+        let sample = (field(offset), field(offset + 8));
+        let kind = field(offset + 16);
+        let len = field(offset + 24) as usize;
+        let checksum = field(offset + 32);
+        let payload_offset = offset + RECORD_HEADER_BYTES;
+        if kind > u8::MAX as u64 || len > bytes.len() - payload_offset {
+            break;
+        }
+        out.push(SegRecord {
+            sample,
+            kind: kind as u8,
+            offset: payload_offset,
+            len,
+            checksum,
+        });
+        offset = payload_offset + len;
     }
-    let mut checksum = Fnv1a::new();
-    checksum.write(payload);
-    if checksum.finish() != field(4) {
-        return None;
-    }
-    V::decode(payload)
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::bitset::Bitset;
-    use dnnip_nn::fingerprint::NetworkFingerprint;
 
     fn key(seed: u64) -> CacheKey {
         CacheKey {
@@ -240,64 +650,183 @@ mod tests {
     }
 
     fn temp_root(tag: &str) -> PathBuf {
-        std::env::temp_dir().join(format!("dnnip-persist-test-{tag}-{}", std::process::id()))
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "dnnip-persist-test-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    /// The single segment file under `root` (panics unless exactly one).
+    fn only_segment(root: &Path) -> PathBuf {
+        let mut found = Vec::new();
+        collect_files(root, &mut |p, _| {
+            if p.extension().and_then(|e| e.to_str()) == Some(SEG_EXT) {
+                found.push(p);
+            }
+        });
+        assert_eq!(found.len(), 1, "expected exactly one segment: {found:?}");
+        found.pop().unwrap()
     }
 
     #[test]
-    fn round_trips_bitsets_through_disk() {
+    fn round_trips_batches_through_one_segment() {
         let root = temp_root("roundtrip");
-        let _ = std::fs::remove_dir_all(&root);
         let tier = DiskTier::new(&root);
-        let value = set(&[0, 63, 64, 100], 130);
+        let values: Vec<Bitset> = (0..5).map(|i| set(&[i, i + 64], 130)).collect();
         assert!(tier.load::<Bitset>(&key(1)).is_none(), "empty tier hit");
-        tier.store(&key(1), &value);
-        assert_eq!(tier.load::<Bitset>(&key(1)), Some(value.clone()));
+        // Five entries sharing one (model, criterion) → ONE segment file.
+        let batch: Vec<(CacheKey, &Bitset)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let mut k = key(1);
+                k.sample = (i as u64, 1000 + i as u64);
+                (k, v)
+            })
+            .collect();
+        tier.store_batch(&batch);
+        only_segment(&root);
+        // A fresh tier over the same directory (a "second process") serves
+        // every entry from the scanned segment.
+        let second = DiskTier::new(&root);
+        for (k, v) in &batch {
+            assert_eq!(second.load::<Bitset>(k).as_ref(), Some(*v));
+        }
         // A different key component misses even with the same sample hash.
-        assert!(tier.load::<Bitset>(&key(2)).is_none());
-        let stats = tier.stats();
-        assert_eq!(stats.writes, 1);
-        assert_eq!(stats.hits, 1);
-        assert_eq!(stats.misses, 2);
-        assert_eq!(stats.write_errors, 0);
+        assert!(second.load::<Bitset>(&key(2)).is_none());
+        let stats = second.stats();
+        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.misses, 1);
         assert!(stats.hit_rate() > 0.0);
+        let writer_stats = tier.stats();
+        assert_eq!(writer_stats.writes, 5);
+        assert_eq!(writer_stats.write_errors, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn wrong_kind_reads_as_a_miss() {
+        let root = temp_root("kind");
+        let tier = DiskTier::new(&root);
+        let value = set(&[2], 64);
+        tier.store_batch(&[(key(4), &value)]);
+        assert_eq!(tier.load::<Bitset>(&key(4)), Some(value));
+        // The same bytes must not decode as a tensor payload.
+        assert!(tier.load::<dnnip_tensor::Tensor>(&key(4)).is_none());
         let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]
     fn corruption_degrades_to_a_miss() {
         let root = temp_root("corrupt");
-        let _ = std::fs::remove_dir_all(&root);
         let tier = DiskTier::new(&root);
         let value = set(&[3, 77], 200);
-        tier.store(&key(9), &value);
-        let path = tier.entry_path(&key(9));
+        tier.store_batch(&[(key(9), &value)]);
+        let path = only_segment(&root);
         let pristine = std::fs::read(&path).unwrap();
 
-        // Truncated file.
-        std::fs::write(&path, &pristine[..pristine.len() / 2]).unwrap();
-        assert!(tier.load::<Bitset>(&key(9)).is_none(), "truncated file hit");
-        // Flipped payload byte (checksum catches it).
+        // Truncated below the first record: a fresh tier sees nothing.
+        std::fs::write(&path, &pristine[..SEG_HEADER_BYTES + 4]).unwrap();
+        assert!(
+            DiskTier::new(&root).load::<Bitset>(&key(9)).is_none(),
+            "truncated segment hit"
+        );
+        // Flipped payload byte (record checksum catches it).
         let mut flipped = pristine.clone();
         let last = flipped.len() - 1;
         flipped[last] ^= 0x40;
         std::fs::write(&path, &flipped).unwrap();
-        assert!(tier.load::<Bitset>(&key(9)).is_none(), "bad checksum hit");
-        // Wrong version.
+        assert!(
+            DiskTier::new(&root).load::<Bitset>(&key(9)).is_none(),
+            "bad checksum hit"
+        );
+        // Wrong version: the whole segment is ignored.
         let mut versioned = pristine.clone();
         versioned[8] ^= 0xFF;
         std::fs::write(&path, &versioned).unwrap();
-        assert!(tier.load::<Bitset>(&key(9)).is_none(), "bad version hit");
+        assert!(
+            DiskTier::new(&root).load::<Bitset>(&key(9)).is_none(),
+            "bad version hit"
+        );
         // Restoring the pristine bytes restores the hit.
         std::fs::write(&path, &pristine).unwrap();
-        assert_eq!(tier.load::<Bitset>(&key(9)), Some(value));
+        assert_eq!(DiskTier::new(&root).load::<Bitset>(&key(9)), Some(value));
         let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]
-    fn header_encoding_is_stable() {
-        let bytes = encode_entry(&set(&[1], 64));
-        assert_eq!(&bytes[..8], b"DNIPCACH");
-        assert_eq!(decode_entry::<Bitset>(&bytes), Some(set(&[1], 64)));
-        assert!(decode_entry::<Bitset>(&bytes[..4]).is_none());
+    fn byte_budget_evicts_least_recently_accessed_segments() {
+        let root = temp_root("budget");
+        let value = set(&[1, 2, 3], 256);
+        let mut payload = Vec::new();
+        value.encode(&mut payload);
+        let segment_bytes = (SEG_HEADER_BYTES + RECORD_HEADER_BYTES + payload.len()) as u64;
+        // Budget for two single-entry segments.
+        let tier = DiskTier::new(&root).with_max_bytes(Some(2 * segment_bytes));
+        tier.store_batch(&[(key(1), &value)]);
+        tier.store_batch(&[(key(2), &value)]);
+        assert_eq!(tier.stats().evictions, 0);
+        assert_eq!(tier.stats().resident_bytes, 2 * segment_bytes);
+        // Touch key 1 so key 2 becomes the eviction victim.
+        assert!(tier.load::<Bitset>(&key(1)).is_some());
+        tier.store_batch(&[(key(3), &value)]);
+        let stats = tier.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.resident_bytes <= 2 * segment_bytes);
+        assert!(tier.load::<Bitset>(&key(1)).is_some(), "recently used");
+        assert!(tier.load::<Bitset>(&key(3)).is_some(), "just written");
+        assert!(tier.load::<Bitset>(&key(2)).is_none(), "evicted");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn budget_walk_accounts_for_preexisting_files() {
+        let root = temp_root("prewalk");
+        // Process 1 (no budget) writes two segments.
+        let writer = DiskTier::new(&root);
+        let value = set(&[0, 100], 128);
+        writer.store_batch(&[(key(1), &value)]);
+        writer.store_batch(&[(key(2), &value)]);
+        // Process 2 arrives with a budget of ~one segment: its first write
+        // must evict pre-existing files it never wrote itself.
+        let mut payload = Vec::new();
+        value.encode(&mut payload);
+        let segment_bytes = (SEG_HEADER_BYTES + RECORD_HEADER_BYTES + payload.len()) as u64;
+        let tier = DiskTier::new(&root).with_max_bytes(Some(segment_bytes + 8));
+        tier.store_batch(&[(key(3), &value)]);
+        let stats = tier.stats();
+        assert!(stats.evictions >= 2, "evictions: {}", stats.evictions);
+        assert!(stats.resident_bytes <= segment_bytes + 8);
+        assert!(tier.load::<Bitset>(&key(3)).is_some(), "newest survives");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn vacuum_removes_only_unknown_fingerprint_directories() {
+        let root = temp_root("vacuum");
+        let tier = DiskTier::new(&root);
+        let value = set(&[5], 64);
+        let known = key(7);
+        let unknown = key(8);
+        tier.store_batch(&[(known, &value)]);
+        tier.store_batch(&[(unknown, &value)]);
+        // A directory that is not a fingerprint at all must never be touched.
+        let foreign = root.join("not-a-fingerprint");
+        std::fs::create_dir_all(&foreign).unwrap();
+        std::fs::write(foreign.join("keep.txt"), b"hands off").unwrap();
+
+        let keep: HashSet<NetworkFingerprint> = [known.net].into_iter().collect();
+        let report = tier.vacuum(&keep);
+        assert_eq!(report.removed_models, 1);
+        assert_eq!(report.removed_files, 1);
+        assert!(report.removed_bytes > 0);
+        assert!(tier.load::<Bitset>(&known).is_some(), "kept model intact");
+        assert!(tier.load::<Bitset>(&unknown).is_none(), "unknown removed");
+        assert!(foreign.join("keep.txt").exists(), "foreign files survive");
+        // Idempotent: nothing left to remove.
+        assert_eq!(tier.vacuum(&keep), VacuumStats::default());
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

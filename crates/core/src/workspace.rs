@@ -52,7 +52,7 @@
 //! # }
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -70,7 +70,8 @@ use crate::eval::{
 use crate::generator::{GeneratedTests, GenerationConfig, GenerationMethod};
 use crate::gradgen::GradGenConfig;
 use crate::neuron::NeuronCoverageConfig;
-use crate::persist::{DiskStats, DiskTier};
+use crate::par::ExecPolicy;
+use crate::persist::{DiskStats, DiskTier, VacuumStats};
 use crate::{CoreError, Result};
 
 /// Environment variable overriding the persistent-cache directory.
@@ -78,6 +79,9 @@ pub const CACHE_DIR_ENV: &str = "DNNIP_CACHE_DIR";
 /// Environment variable gating the persistent tier (`0`/`false`/`off`
 /// disable it; anything else, or absence, leaves it on).
 pub const CACHE_PERSIST_ENV: &str = "DNNIP_CACHE_PERSIST";
+/// Environment variable capping the persistent tier's disk usage, in bytes
+/// (unset, empty or unparsable means unbounded).
+pub const CACHE_MAX_BYTES_ENV: &str = "DNNIP_CACHE_MAX_BYTES";
 /// Default persistent-cache directory (relative to the working directory).
 pub const DEFAULT_CACHE_DIR: &str = "target/dnnip-cache";
 
@@ -88,6 +92,9 @@ pub struct DiskCacheConfig {
     pub enabled: bool,
     /// Root directory of the tier.
     pub dir: PathBuf,
+    /// Disk byte budget of the tier: when set, least-recently-accessed
+    /// segment files are evicted to stay under it (`None` = unbounded).
+    pub max_bytes: Option<u64>,
 }
 
 impl DiskCacheConfig {
@@ -96,20 +103,29 @@ impl DiskCacheConfig {
         Self {
             enabled: false,
             dir: PathBuf::from(DEFAULT_CACHE_DIR),
+            max_bytes: None,
         }
     }
 
-    /// The tier enabled at an explicit directory.
+    /// The tier enabled at an explicit directory, unbounded.
     pub fn at(dir: impl Into<PathBuf>) -> Self {
         Self {
             enabled: true,
             dir: dir.into(),
+            max_bytes: None,
         }
+    }
+
+    /// Set (or clear) the disk byte budget.
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> Self {
+        self.max_bytes = max_bytes;
+        self
     }
 
     /// Resolve from the environment: [`CACHE_DIR_ENV`] overrides the
     /// directory (default [`DEFAULT_CACHE_DIR`]); [`CACHE_PERSIST_ENV`] set
-    /// to `0`, `false` or `off` disables the tier, which is otherwise **on**.
+    /// to `0`, `false` or `off` disables the tier, which is otherwise **on**;
+    /// [`CACHE_MAX_BYTES_ENV`] sets the disk byte budget.
     pub fn from_env() -> Self {
         let dir = std::env::var_os(CACHE_DIR_ENV)
             .map(PathBuf::from)
@@ -121,7 +137,14 @@ impl DiskCacheConfig {
             ),
             Err(_) => true,
         };
-        Self { enabled, dir }
+        let max_bytes = std::env::var(CACHE_MAX_BYTES_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok());
+        Self {
+            enabled,
+            dir,
+            max_bytes,
+        }
     }
 }
 
@@ -340,7 +363,9 @@ impl Workspace {
     /// A workspace with an explicit configuration.
     pub fn with_config(config: WorkspaceConfig) -> Self {
         let disk = if config.disk.enabled && config.cache_bytes > 0 {
-            Some(Arc::new(DiskTier::new(config.disk.dir)))
+            Some(Arc::new(
+                DiskTier::new(config.disk.dir).with_max_bytes(config.disk.max_bytes),
+            ))
         } else {
             None
         };
@@ -562,6 +587,64 @@ impl Workspace {
             cache: self.set_cache.stats(),
             disk: self.disk_stats(),
         })
+    }
+
+    /// Run many independent requests, fanned out over
+    /// [`ExecPolicy::auto`] (one worker per hardware thread).
+    ///
+    /// See [`Workspace::run_all_with`] for the full contract.
+    pub fn run_all(&self, requests: &[TestGenRequest]) -> Vec<Result<TestGenReport>> {
+        self.run_all_with(requests, ExecPolicy::auto())
+    }
+
+    /// Run many independent requests, fanned out over an explicit
+    /// [`ExecPolicy`], returning one result per request **in request order**.
+    ///
+    /// Each request runs exactly the sequential [`Workspace::run`] path, and
+    /// every strategy draws its randomness from the request's own seeds
+    /// (`seed`, `gradgen.seed`) — never from thread identity or schedule — so
+    /// each report's payload (tests, coverage curve, provenance, criterion)
+    /// is **bit-identical** to a sequential `run` of the same request (pinned
+    /// by `tests/run_all_equivalence.rs`). The snapshot fields
+    /// ([`TestGenReport::cache`], [`TestGenReport::disk`],
+    /// [`TestGenReport::wall_ms`]) observe whatever cache traffic happened to
+    /// precede them and are the one part of a report that is
+    /// schedule-dependent.
+    ///
+    /// A failing request yields its error in its own slot without affecting
+    /// the others (the serving layer reports per-request errors).
+    pub fn run_all_with(
+        &self,
+        requests: &[TestGenRequest],
+        policy: ExecPolicy,
+    ) -> Vec<Result<TestGenReport>> {
+        // Pre-mint each request's evaluator serially: concurrent first-use
+        // mints of the same (model, criterion digest) would each build a full
+        // gradient engine and throw all but one away. Resolution errors are
+        // ignored here — the failing request reports them from `run` below.
+        for request in requests {
+            let _ = self.evaluator(request.model, &request.criterion);
+        }
+        crate::par::map(policy, requests, |request| self.run(request))
+    }
+
+    /// Remove persistent-tier directories belonging to models that are
+    /// **not** registered in this workspace (`None` when no tier is
+    /// enabled). Only directories named by a parseable fingerprint are
+    /// considered — the tier never deletes files it cannot have written.
+    ///
+    /// This is the long-running service's disk hygiene hook: models retired
+    /// from the registry stop occupying cache space at the next vacuum.
+    pub fn vacuum(&self) -> Option<VacuumStats> {
+        let disk = self.disk.as_ref()?;
+        let keep: HashSet<NetworkFingerprint> = self
+            .models
+            .lock()
+            .expect("workspace registry lock")
+            .keys()
+            .copied()
+            .collect();
+        Some(disk.vacuum(&keep))
     }
 
     /// Workspace-wide covered-set cache counters (all models, all criteria).
@@ -794,11 +877,98 @@ mod tests {
     }
 
     #[test]
+    fn run_all_preserves_order_and_isolates_errors() {
+        let ws = Workspace::new();
+        let model = ws.register("m", net(11), CoverageConfig::default());
+        let candidates = pool(12);
+        let requests: Vec<TestGenRequest> = (0..5)
+            .map(|i| {
+                if i == 2 {
+                    // An unregistered model: this slot must fail alone.
+                    TestGenRequest::new(
+                        NetworkFingerprint { lo: 9, hi: 9 },
+                        GenerationMethod::TrainingSetSelection,
+                        3,
+                    )
+                } else {
+                    TestGenRequest::new(model, GenerationMethod::RandomSelection, 3)
+                        .with_seed(i as u64)
+                        .with_candidates(candidates.clone())
+                }
+            })
+            .collect();
+        let reports = ws.run_all_with(&requests, ExecPolicy::Threads(4));
+        assert_eq!(reports.len(), 5);
+        assert!(reports[2].is_err(), "bad request fails in its own slot");
+        for (i, report) in reports.iter().enumerate() {
+            if i == 2 {
+                continue;
+            }
+            let report = report.as_ref().unwrap();
+            // Slot order matches request order: the seed round-trips.
+            let sequential = ws.run(&requests[i]).unwrap();
+            assert_eq!(report.selected_indices(), sequential.selected_indices());
+        }
+    }
+
+    #[test]
+    fn vacuum_drops_only_unregistered_model_directories() {
+        let dir = std::env::temp_dir().join(format!(
+            "dnnip-ws-vacuum-{}-{:x}",
+            std::process::id(),
+            NetworkFingerprint::of_bytes(b"vacuum-test-salt").lo
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let candidates = pool(6);
+        let stale = {
+            // A first workspace caches entries for a model the second one
+            // never registers.
+            let ws = Workspace::with_config(WorkspaceConfig {
+                disk: DiskCacheConfig::at(&dir),
+                ..WorkspaceConfig::default()
+            });
+            let stale = ws.register("stale", net(21), CoverageConfig::default());
+            ws.run(
+                &TestGenRequest::new(stale, GenerationMethod::TrainingSetSelection, 2)
+                    .with_candidates(candidates.clone()),
+            )
+            .unwrap();
+            stale
+        };
+        let ws = Workspace::with_config(WorkspaceConfig {
+            disk: DiskCacheConfig::at(&dir),
+            ..WorkspaceConfig::default()
+        });
+        let kept = ws.register("kept", net(22), CoverageConfig::default());
+        ws.run(
+            &TestGenRequest::new(kept, GenerationMethod::TrainingSetSelection, 2)
+                .with_candidates(candidates),
+        )
+        .unwrap();
+        assert_ne!(stale, kept);
+        let report = ws.vacuum().expect("tier enabled");
+        assert_eq!(report.removed_models, 1);
+        assert!(report.removed_bytes > 0);
+        assert!(dir.join(format!("{kept}")).exists());
+        assert!(!dir.join(format!("{stale}")).exists());
+        // Without a tier there is nothing to vacuum.
+        assert!(Workspace::new().vacuum().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn disk_config_resolution_rules() {
         assert!(!DiskCacheConfig::disabled().enabled);
         let at = DiskCacheConfig::at("/tmp/x");
         assert!(at.enabled);
         assert_eq!(at.dir, PathBuf::from("/tmp/x"));
+        assert_eq!(at.max_bytes, None);
+        assert_eq!(
+            DiskCacheConfig::at("/tmp/x")
+                .with_max_bytes(Some(1 << 20))
+                .max_bytes,
+            Some(1 << 20)
+        );
         // A zero cache budget disables the tier too (raw compute path).
         let ws = Workspace::with_config(WorkspaceConfig {
             cache_bytes: 0,

@@ -83,6 +83,135 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Disk-tier hygiene property: an arbitrarily tiny byte budget may evict
+    /// any subset of the segment files, but whatever a later workspace finds
+    /// (or recomputes) is bit-identical to a cache-free computation, and the
+    /// tier never overshoots its budget.
+    #[test]
+    fn tiny_byte_budgets_evict_but_never_corrupt(
+        net_seed in 0u64..4,
+        sample_seeds in prop::collection::vec(0u64..64, 4..10),
+        max_bytes in 64u64..4096,
+    ) {
+        // Duplicate seeds collapse to one cache key; the lookup-count
+        // assertions below need distinct samples.
+        let mut sample_seeds = sample_seeds;
+        sample_seeds.sort_unstable();
+        sample_seeds.dedup();
+        let dir = temp_dir("evict");
+        let budgeted = |dir: &Path| {
+            Workspace::with_config(WorkspaceConfig {
+                disk: DiskCacheConfig::at(dir).with_max_bytes(Some(max_bytes)),
+                ..WorkspaceConfig::default()
+            })
+        };
+        let net = zoo::tiny_mlp(6, 12, 4, Activation::Relu, net_seed).unwrap();
+        let pool = samples(&sample_seeds);
+
+        let first = budgeted(&dir);
+        let key = first.register("m", net.clone(), CoverageConfig::default());
+        let evaluator = first.default_evaluator(key).unwrap();
+        // One request per sample: one segment file each, so the eviction
+        // pressure builds file by file like real mixed traffic.
+        for sample in &pool {
+            evaluator.activation_sets(std::slice::from_ref(sample)).unwrap();
+        }
+        let d1 = first.disk_stats().unwrap();
+        prop_assert!(
+            d1.resident_bytes <= max_bytes,
+            "tier overshot its budget: {} > {max_bytes}", d1.resident_bytes
+        );
+
+        // A fresh workspace over the (partially evicted) tier: surviving
+        // segments serve hits, evicted ones recompute — either way the
+        // results equal a cache-free analyzer's, bit for bit.
+        let second = budgeted(&dir);
+        let key2 = second.register("m", net.clone(), CoverageConfig::default());
+        let loaded = second
+            .default_evaluator(key2)
+            .unwrap()
+            .activation_sets(&pool)
+            .unwrap();
+        let fresh = CoverageAnalyzer::new(&net, CoverageConfig::default())
+            .activation_sets(&pool)
+            .unwrap();
+        prop_assert_eq!(&loaded, &fresh);
+        let d2 = second.disk_stats().unwrap();
+        prop_assert_eq!(
+            (d2.hits + d2.misses) as usize, pool.len(),
+            "every lookup must resolve to a clean hit or miss"
+        );
+        prop_assert!(d2.resident_bytes <= max_bytes);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `Workspace::vacuum` property: whatever the traffic looked like, only
+    /// the UNREGISTERED model's directory is reclaimed — the registered
+    /// model's entries keep serving hits afterwards.
+    #[test]
+    fn vacuum_reclaims_exactly_the_unregistered_models(
+        keep_seed in 0u64..16,
+        drop_seed in 16u64..32,
+        sample_seeds in prop::collection::vec(0u64..64, 1..6),
+    ) {
+        let mut sample_seeds = sample_seeds;
+        sample_seeds.sort_unstable();
+        sample_seeds.dedup();
+        let dir = temp_dir("vacuum");
+        let keep_net = zoo::tiny_mlp(6, 12, 4, Activation::Relu, keep_seed).unwrap();
+        let drop_net = zoo::tiny_mlp(6, 12, 4, Activation::Tanh, drop_seed).unwrap();
+        let pool = samples(&sample_seeds);
+
+        // Session 1 populates the tier for both models.
+        let first = workspace_at(&dir);
+        let keep_key = first.register("keep", keep_net.clone(), CoverageConfig::default());
+        let drop_key = first.register("drop", drop_net.clone(), CoverageConfig::default());
+        prop_assert_ne!(keep_key, drop_key);
+        first.default_evaluator(keep_key).unwrap().activation_sets(&pool).unwrap();
+        first.default_evaluator(drop_key).unwrap().activation_sets(&pool).unwrap();
+
+        // Session 2 only knows `keep`: vacuum reclaims `drop` and nothing
+        // else.
+        let second = workspace_at(&dir);
+        let keep2 = second.register("keep", keep_net, CoverageConfig::default());
+        let stats = second.vacuum().expect("tier enabled");
+        prop_assert_eq!(stats.removed_models, 1, "exactly the dropped model goes");
+        prop_assert!(stats.removed_files >= 1);
+        prop_assert!(stats.removed_bytes > 0);
+        let loaded = second
+            .default_evaluator(keep2)
+            .unwrap()
+            .activation_sets(&pool)
+            .unwrap();
+        let fresh = CoverageAnalyzer::new(
+            second.network(keep2).map(|n| (*n).clone()).unwrap(),
+            CoverageConfig::default(),
+        )
+        .activation_sets(&pool)
+        .unwrap();
+        prop_assert_eq!(&loaded, &fresh);
+        prop_assert_eq!(
+            second.disk_stats().unwrap().hits as usize, pool.len(),
+            "vacuum must not touch the registered model's entries"
+        );
+
+        // Session 3 re-registers the dropped model: its entries are gone, so
+        // everything recomputes (correctly) rather than loading.
+        let third = workspace_at(&dir);
+        let drop3 = third.register("drop", drop_net, CoverageConfig::default());
+        third.default_evaluator(drop3).unwrap().activation_sets(&pool).unwrap();
+        let d3 = third.disk_stats().unwrap();
+        prop_assert_eq!(d3.hits, 0, "vacuumed entries must not resurface");
+        prop_assert_eq!(d3.misses as usize, pool.len());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 #[test]
 fn two_sequential_workspaces_share_work_through_disk() {
     let dir = temp_dir("sequential");
@@ -116,9 +245,21 @@ fn two_sequential_workspaces_share_work_through_disk() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Every regular file under `dir`, depth first.
+fn collect_files(dir: &PathBuf, out: &mut Vec<PathBuf>) {
+    for e in std::fs::read_dir(dir).unwrap() {
+        let p = e.unwrap().path();
+        if p.is_dir() {
+            collect_files(&p, out);
+        } else {
+            out.push(p);
+        }
+    }
+}
+
 #[test]
-fn corrupted_and_truncated_entries_degrade_to_misses() {
-    let dir = temp_dir("corrupt");
+fn truncated_segments_degrade_to_misses_and_heal() {
+    let dir = temp_dir("truncate");
     let net = zoo::tiny_mlp(6, 12, 4, Activation::Relu, 5).unwrap();
     let pool = samples(&[10, 11, 12, 13]);
 
@@ -130,32 +271,14 @@ fn corrupted_and_truncated_entries_degrade_to_misses() {
         .activation_sets(&pool)
         .unwrap();
 
-    // Vandalize every spilled entry: truncate half, bit-flip the rest.
+    // Segment packing: ONE request's misses land in ONE file. Truncate it
+    // below its file header, wiping every record at once.
     let mut entries = Vec::new();
-    fn collect(dir: &PathBuf, out: &mut Vec<PathBuf>) {
-        for e in std::fs::read_dir(dir).unwrap() {
-            let p = e.unwrap().path();
-            if p.is_dir() {
-                collect(&p, out);
-            } else {
-                out.push(p);
-            }
-        }
-    }
-    collect(&dir, &mut entries);
-    assert_eq!(entries.len(), pool.len(), "one file per covered set");
-    for (i, path) in entries.iter().enumerate() {
-        let bytes = std::fs::read(path).unwrap();
-        let vandalized = if i % 2 == 0 {
-            bytes[..bytes.len() / 3].to_vec()
-        } else {
-            let mut b = bytes.clone();
-            let mid = b.len() / 2;
-            b[mid] ^= 0x55;
-            b
-        };
-        std::fs::write(path, vandalized).unwrap();
-    }
+    collect_files(&dir, &mut entries);
+    assert_eq!(entries.len(), 1, "one segment file per request");
+    let segment = entries.pop().unwrap();
+    let bytes = std::fs::read(&segment).unwrap();
+    std::fs::write(&segment, &bytes[..10]).unwrap();
 
     // A fresh workspace sees only corruption: zero disk hits, correct
     // results anyway (recomputed), no errors surfaced.
@@ -168,7 +291,7 @@ fn corrupted_and_truncated_entries_degrade_to_misses() {
         .unwrap();
     assert_eq!(recomputed, expected);
     let disk = second.disk_stats().unwrap();
-    assert_eq!(disk.hits, 0, "a corrupt entry must read as a miss");
+    assert_eq!(disk.hits, 0, "a truncated segment must read as misses");
     assert_eq!(disk.misses as usize, pool.len());
     assert_eq!(
         disk.writes as usize,
@@ -176,7 +299,8 @@ fn corrupted_and_truncated_entries_degrade_to_misses() {
         "recomputed entries heal the tier"
     );
 
-    // And the healed tier serves a third workspace normally again.
+    // And the healed tier serves a third workspace normally again (the
+    // truncated husk is still on disk; its scan simply yields no records).
     let third = workspace_at(&dir);
     let key3 = third.register(
         "m",
@@ -189,6 +313,51 @@ fn corrupted_and_truncated_entries_degrade_to_misses() {
         .activation_sets(&pool)
         .unwrap();
     assert_eq!(third.disk_stats().unwrap().hits as usize, pool.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_payload_bytes_miss_without_poisoning_the_segment() {
+    let dir = temp_dir("bitflip");
+    let net = zoo::tiny_mlp(6, 12, 4, Activation::Relu, 5).unwrap();
+    let pool = samples(&[20, 21, 22, 23]);
+
+    let first = workspace_at(&dir);
+    let key = first.register("m", net.clone(), CoverageConfig::default());
+    let expected = first
+        .default_evaluator(key)
+        .unwrap()
+        .activation_sets(&pool)
+        .unwrap();
+
+    // Flip the segment's final byte: the last byte of the LAST record's
+    // payload. Its checksum breaks; the earlier records stay pristine.
+    let mut entries = Vec::new();
+    collect_files(&dir, &mut entries);
+    assert_eq!(entries.len(), 1, "one segment file per request");
+    let segment = entries.pop().unwrap();
+    let mut bytes = std::fs::read(&segment).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x55;
+    std::fs::write(&segment, &bytes).unwrap();
+
+    let second = workspace_at(&dir);
+    let key2 = second.register("m", net, CoverageConfig::default());
+    let recomputed = second
+        .default_evaluator(key2)
+        .unwrap()
+        .activation_sets(&pool)
+        .unwrap();
+    assert_eq!(recomputed, expected, "corruption never changes results");
+    let disk = second.disk_stats().unwrap();
+    assert!(disk.misses >= 1, "the flipped record must miss");
+    assert_eq!(
+        (disk.hits + disk.misses) as usize,
+        pool.len(),
+        "every lookup resolves to a hit or a clean miss"
+    );
+    assert_eq!(disk.hits as usize, pool.len() - 1, "other records survive");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

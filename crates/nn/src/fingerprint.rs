@@ -108,6 +108,39 @@ impl std::fmt::Display for NetworkFingerprint {
     }
 }
 
+/// Error returned when parsing a [`NetworkFingerprint`] from its display form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseFingerprintError;
+
+impl std::fmt::Display for ParseFingerprintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected 32 lowercase hex characters")
+    }
+}
+
+impl std::error::Error for ParseFingerprintError {}
+
+impl std::str::FromStr for NetworkFingerprint {
+    type Err = ParseFingerprintError;
+
+    /// Parse the [`std::fmt::Display`] form back (32 lowercase hex digits,
+    /// `hi` then `lo`). The persistent cache tier names its per-model
+    /// directories this way, so `Workspace::vacuum` can tell cache
+    /// directories it owns apart from unrelated files.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32
+            || !s
+                .bytes()
+                .all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase())
+        {
+            return Err(ParseFingerprintError);
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).map_err(|_| ParseFingerprintError)?;
+        let lo = u64::from_str_radix(&s[16..], 16).map_err(|_| ParseFingerprintError)?;
+        Ok(Self { lo, hi })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +184,23 @@ mod tests {
                 NetworkFingerprint::of_bytes(&flipped),
                 "flip at byte {i} went unnoticed"
             );
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        let fp = NetworkFingerprint {
+            lo: 0x0123_4567_89ab_cdef,
+            hi: 0xfedc_ba98_7654_3210,
+        };
+        let text = fp.to_string();
+        assert_eq!(text.parse::<NetworkFingerprint>(), Ok(fp));
+        // Zero-padded components survive the round trip too.
+        let small = NetworkFingerprint { lo: 1, hi: 0 };
+        assert_eq!(small.to_string().parse::<NetworkFingerprint>(), Ok(small));
+        // Anything that is not exactly the display form is rejected.
+        for bad in ["", "xyz", "0123", &format!("{fp}0"), &text.to_uppercase()] {
+            assert!(bad.parse::<NetworkFingerprint>().is_err(), "{bad:?}");
         }
     }
 

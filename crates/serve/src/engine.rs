@@ -1,0 +1,685 @@
+//! The service engine: one shared [`Workspace`] behind a bounded worker
+//! pool, with per-request deadlines and a graceful drain.
+//!
+//! `generate` requests flow through a bounded `sync_channel` — a full queue
+//! blocks the submitter, which is the service's backpressure — and are
+//! picked up by a fixed set of worker threads sharing one workspace, so
+//! concurrent requests against the same model reuse each other's cached
+//! activation sets. Control operations (`models`/`stats`/`vacuum`) are
+//! answered inline by the submitting thread: they only read counters and
+//! must not queue behind minute-long generations.
+//!
+//! Deadlines have two trip points. A request whose deadline expired while it
+//! sat in the queue is failed **without computing anything**; a live request
+//! runs on a helper thread the worker waits on for the remaining time, and
+//! is abandoned (the helper finishes in the background, warming caches; its
+//! result is discarded) when the deadline fires first. Either way the client
+//! gets a structured `"kind":"timeout"` error, never a hung connection.
+
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dnnip_core::workspace::{TestGenReport, TestGenRequest, Workspace, WorkspaceConfig};
+use dnnip_nn::fingerprint::NetworkFingerprint;
+
+use crate::json::{obj, Json};
+use crate::protocol::{
+    build_model, parse_request, GenerateSpec, RequestOp, ServeRequest, BUILTIN_MODELS,
+};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads executing `generate` requests.
+    pub workers: usize,
+    /// Queue slots between submitter and workers; a full queue blocks the
+    /// submitter (backpressure, not unbounded buffering).
+    pub queue_depth: usize,
+    /// Deadline applied to requests that do not carry their own
+    /// `deadline_ms` (`None` = no default deadline).
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 64,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// One registered model, as the engine needs it at request time.
+#[derive(Debug)]
+struct RegisteredModel {
+    name: String,
+    key: NetworkFingerprint,
+    input_shape: Vec<usize>,
+    num_parameters: usize,
+}
+
+/// State shared between submitters, workers and abandoned helper threads.
+#[derive(Debug)]
+struct ServiceState {
+    workspace: Workspace,
+    models: Vec<RegisteredModel>,
+}
+
+impl ServiceState {
+    fn model(&self, name: &str) -> Option<&RegisteredModel> {
+        self.models.iter().find(|m| m.name == name)
+    }
+}
+
+/// A queued `generate` request.
+struct Job {
+    id: String,
+    spec: GenerateSpec,
+    enqueued: Instant,
+    deadline: Option<Duration>,
+    out: mpsc::Sender<String>,
+}
+
+/// What [`Engine::handle`] tells the serving loop to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Handled {
+    /// Keep reading requests.
+    Continue,
+    /// A `shutdown` request arrived: stop reading, drain, then send the
+    /// shutdown response (carrying this id) as the final line.
+    Shutdown {
+        /// The shutdown request's correlation id.
+        id: String,
+    },
+}
+
+/// The long-lived service engine. See the module docs for the concurrency
+/// and deadline model.
+#[derive(Debug)]
+pub struct Engine {
+    state: Arc<ServiceState>,
+    default_deadline_ms: Option<u64>,
+    jobs: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Build an engine over `workspace` (the builtin model zoo is registered
+    /// into it) and start the worker pool.
+    pub fn new(workspace: Workspace, config: EngineConfig) -> Self {
+        let mut models = Vec::with_capacity(BUILTIN_MODELS.len());
+        for &name in BUILTIN_MODELS {
+            let (network, coverage) = build_model(name).expect("builtin model");
+            let input_shape = network.input_shape().to_vec();
+            let num_parameters = network.num_parameters();
+            let key = workspace.register(name, network, coverage);
+            models.push(RegisteredModel {
+                name: name.to_string(),
+                key,
+                input_shape,
+                num_parameters,
+            });
+        }
+        let state = Arc::new(ServiceState { workspace, models });
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("dnnip-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            state,
+            default_deadline_ms: config.default_deadline_ms,
+            jobs: Some(tx),
+            workers,
+        }
+    }
+
+    /// An engine over a fresh environment-configured workspace
+    /// ([`Workspace::from_env`]) — what the binary runs.
+    pub fn from_env(config: EngineConfig) -> Self {
+        Self::new(Workspace::from_env(), config)
+    }
+
+    /// An engine over a fresh in-memory workspace (no persistent tier).
+    pub fn in_memory(config: EngineConfig) -> Self {
+        Self::new(Workspace::with_config(WorkspaceConfig::default()), config)
+    }
+
+    /// Handle one request line: control operations are answered inline
+    /// through `out`; `generate` is enqueued (blocking when the queue is
+    /// full) and answered later through the same channel; `shutdown` sends
+    /// nothing and returns [`Handled::Shutdown`] so the caller can drain
+    /// first and acknowledge last.
+    pub fn handle(&self, line: &str, out: &mpsc::Sender<String>) -> Handled {
+        let request = match parse_request(line) {
+            Ok(request) => request,
+            Err(e) => {
+                let _ = out.send(error_response(&e.id, "bad_request", &e.message).to_string());
+                return Handled::Continue;
+            }
+        };
+        let ServeRequest { id, op } = request;
+        match op {
+            RequestOp::Shutdown => return Handled::Shutdown { id },
+            RequestOp::Models => {
+                let _ = out.send(self.models_response(&id).to_string());
+            }
+            RequestOp::Stats => {
+                let _ = out.send(self.stats_response(&id).to_string());
+            }
+            RequestOp::Vacuum => {
+                let _ = out.send(self.vacuum_response(&id).to_string());
+            }
+            RequestOp::Generate(spec) => {
+                let deadline = spec
+                    .deadline_ms
+                    .or(self.default_deadline_ms)
+                    .map(Duration::from_millis);
+                let job = Job {
+                    id,
+                    spec: *spec,
+                    enqueued: Instant::now(),
+                    deadline,
+                    out: out.clone(),
+                };
+                if let Some(jobs) = &self.jobs {
+                    if let Err(
+                        mpsc::TrySendError::Full(job) | mpsc::TrySendError::Disconnected(job),
+                    ) = jobs.try_send(job)
+                    {
+                        // Queue full: block — backpressure is the contract.
+                        if let Err(e) = jobs.send(job) {
+                            let job = e.0;
+                            let _ = job.out.send(
+                                error_response(&job.id, "internal", "worker pool is gone")
+                                    .to_string(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Handled::Continue
+    }
+
+    /// Stop accepting work, wait for every queued and in-flight request to
+    /// finish and deliver its response, then return. Abandoned (timed-out)
+    /// helper threads are NOT waited for; they die with the process.
+    pub fn drain(mut self) {
+        self.jobs.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+
+    fn models_response(&self, id: &str) -> Json {
+        let models = self
+            .state
+            .models
+            .iter()
+            .map(|m| {
+                obj(vec![
+                    ("name", Json::Str(m.name.clone())),
+                    ("fingerprint", Json::Str(m.key.to_string())),
+                    (
+                        "input_shape",
+                        Json::Arr(m.input_shape.iter().map(|&d| Json::Num(d as f64)).collect()),
+                    ),
+                    ("num_parameters", Json::Num(m.num_parameters as f64)),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("id", Json::Str(id.to_string())),
+            ("ok", Json::Bool(true)),
+            ("models", Json::Arr(models)),
+        ])
+    }
+
+    fn stats_response(&self, id: &str) -> Json {
+        let cache = self.state.workspace.cache_stats();
+        let disk = match self.state.workspace.disk_stats() {
+            Some(d) => obj(vec![
+                ("hits", Json::Num(d.hits as f64)),
+                ("misses", Json::Num(d.misses as f64)),
+                ("writes", Json::Num(d.writes as f64)),
+                ("write_errors", Json::Num(d.write_errors as f64)),
+                ("evictions", Json::Num(d.evictions as f64)),
+                ("resident_bytes", Json::Num(d.resident_bytes as f64)),
+            ]),
+            None => Json::Null,
+        };
+        obj(vec![
+            ("id", Json::Str(id.to_string())),
+            ("ok", Json::Bool(true)),
+            (
+                "cache",
+                obj(vec![
+                    ("hits", Json::Num(cache.hits as f64)),
+                    ("misses", Json::Num(cache.misses as f64)),
+                    ("insertions", Json::Num(cache.insertions as f64)),
+                    ("evictions", Json::Num(cache.evictions as f64)),
+                    ("entries", Json::Num(cache.entries as f64)),
+                    ("bytes", Json::Num(cache.bytes as f64)),
+                ]),
+            ),
+            ("disk", disk),
+        ])
+    }
+
+    fn vacuum_response(&self, id: &str) -> Json {
+        let vacuum = match self.state.workspace.vacuum() {
+            Some(v) => obj(vec![
+                ("removed_models", Json::Num(v.removed_models as f64)),
+                ("removed_files", Json::Num(v.removed_files as f64)),
+                ("removed_bytes", Json::Num(v.removed_bytes as f64)),
+            ]),
+            None => Json::Null,
+        };
+        obj(vec![
+            ("id", Json::Str(id.to_string())),
+            ("ok", Json::Bool(true)),
+            ("vacuum", vacuum),
+        ])
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // A dropped (not drained) engine still stops its workers; queued
+        // jobs run to completion first because the channel drains on close.
+        self.jobs.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The acknowledgement sent after a drain completes.
+pub fn shutdown_response(id: &str) -> String {
+    obj(vec![
+        ("id", Json::Str(id.to_string())),
+        ("ok", Json::Bool(true)),
+        ("shutdown", Json::Bool(true)),
+    ])
+    .to_string()
+}
+
+/// A structured error response line.
+pub fn error_response(id: &str, kind: &str, message: &str) -> Json {
+    obj(vec![
+        ("id", Json::Str(id.to_string())),
+        ("ok", Json::Bool(false)),
+        (
+            "error",
+            obj(vec![
+                ("kind", Json::Str(kind.to_string())),
+                ("message", Json::Str(message.to_string())),
+            ]),
+        ),
+    ])
+}
+
+fn worker_loop(state: &Arc<ServiceState>, rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the lock only for the recv: a worker must not serialize the
+        // others for the duration of its compute.
+        let job = match rx.lock().expect("job queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // channel closed: drain complete
+        };
+        let response = process(state, job.id.clone(), job.spec, job.enqueued, job.deadline);
+        let _ = job.out.send(response.to_string());
+    }
+}
+
+fn process(
+    state: &Arc<ServiceState>,
+    id: String,
+    spec: GenerateSpec,
+    enqueued: Instant,
+    deadline: Option<Duration>,
+) -> Json {
+    let Some(deadline) = deadline else {
+        return execute(state, &id, &spec);
+    };
+    let elapsed = enqueued.elapsed();
+    if elapsed >= deadline {
+        // Expired while queued: fail before spending any compute on it.
+        return error_response(
+            &id,
+            "timeout",
+            &format!("deadline of {} ms expired in queue", deadline.as_millis()),
+        );
+    }
+    let remaining = deadline - elapsed;
+    let (tx, rx) = mpsc::channel();
+    let helper_state = Arc::clone(state);
+    let helper_id = id.clone();
+    let helper_spec = spec;
+    std::thread::spawn(move || {
+        let _ = tx.send(execute(&helper_state, &helper_id, &helper_spec));
+    });
+    match rx.recv_timeout(remaining) {
+        Ok(response) => response,
+        Err(_) => error_response(
+            &id,
+            "timeout",
+            &format!("deadline of {} ms exceeded", deadline.as_millis()),
+        ),
+    }
+}
+
+/// Run one generate spec to a response object. Infallible at the signature:
+/// every failure becomes a structured error response.
+fn execute(state: &Arc<ServiceState>, id: &str, spec: &GenerateSpec) -> Json {
+    let Some(model) = state.model(&spec.model) else {
+        return error_response(
+            id,
+            "bad_request",
+            &format!("unknown model {:?}", spec.model),
+        );
+    };
+    let candidates = match spec.pool.materialize(&model.input_shape) {
+        Ok(candidates) => candidates,
+        Err(message) => return error_response(id, "bad_request", &message),
+    };
+    let mut request = TestGenRequest::new(model.key, spec.strategy, spec.budget)
+        .with_seed(spec.seed)
+        .with_gradgen(spec.gradgen())
+        .with_candidates(candidates);
+    if let Some(criterion) = &spec.criterion {
+        request = request.with_criterion_spec(criterion.clone());
+    }
+    match state.workspace.run(&request) {
+        Ok(report) => ok_response(id, &report),
+        Err(e) => error_response(id, "generation", &e.to_string()),
+    }
+}
+
+fn ok_response(id: &str, report: &TestGenReport) -> Json {
+    obj(vec![
+        ("id", Json::Str(id.to_string())),
+        ("ok", Json::Bool(true)),
+        ("model", Json::Str(report.model_name.clone())),
+        ("strategy", Json::Str(report.strategy.name().to_string())),
+        ("criterion", Json::Str(report.criterion_id.to_string())),
+        ("num_units", Json::Num(report.num_units as f64)),
+        ("num_tests", Json::Num(report.tests.len() as f64)),
+        (
+            "final_coverage",
+            Json::Num(f64::from(report.final_coverage())),
+        ),
+        (
+            "coverage_curve",
+            Json::Arr(
+                report
+                    .tests
+                    .coverage_curve
+                    .iter()
+                    .map(|&c| Json::Num(f64::from(c)))
+                    .collect(),
+            ),
+        ),
+        (
+            "selected_indices",
+            Json::Arr(
+                report
+                    .selected_indices()
+                    .iter()
+                    .map(|&i| Json::Num(i as f64))
+                    .collect(),
+            ),
+        ),
+        ("wall_ms", Json::Num(report.wall_ms)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::in_memory(EngineConfig {
+            workers: 2,
+            queue_depth: 8,
+            default_deadline_ms: None,
+        })
+    }
+
+    /// Submit `lines` and gather one response per line (shutdown excluded),
+    /// then drain.
+    fn roundtrip(engine: Engine, lines: &[&str]) -> Vec<Json> {
+        let (tx, rx) = mpsc::channel();
+        let mut expected = 0;
+        for line in lines {
+            match engine.handle(line, &tx) {
+                Handled::Continue => expected += 1,
+                Handled::Shutdown { .. } => {}
+            }
+        }
+        engine.drain();
+        drop(tx);
+        let out: Vec<Json> = rx
+            .into_iter()
+            .map(|line| Json::parse(&line).expect("responses are valid JSON"))
+            .collect();
+        assert_eq!(out.len(), expected, "one response per non-shutdown line");
+        out
+    }
+
+    fn by_id<'a>(responses: &'a [Json], id: &str) -> &'a Json {
+        responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("no response with id {id:?}"))
+    }
+
+    #[test]
+    fn generate_requests_come_back_with_their_ids() {
+        let responses = roundtrip(
+            engine(),
+            &[
+                r#"{"id":"a","model":"tiny-relu","budget":3,"pool":{"synthetic":10,"seed":1}}"#,
+                r#"{"id":"b","model":"tiny-tanh","strategy":"random-selection","budget":2,"seed":5,"pool":{"synthetic":8,"seed":2}}"#,
+            ],
+        );
+        for id in ["a", "b"] {
+            let r = by_id(&responses, id);
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{id}");
+            assert!(r.get("num_tests").and_then(Json::as_u64).unwrap() >= 1);
+            let curve = r.get("coverage_curve").and_then(Json::as_array).unwrap();
+            assert_eq!(
+                curve.len() as u64,
+                r.get("num_tests").and_then(Json::as_u64).unwrap()
+            );
+            let coverage = r.get("final_coverage").and_then(Json::as_f64).unwrap();
+            assert!((0.0..=1.0).contains(&coverage));
+        }
+        assert_eq!(
+            by_id(&responses, "a").get("model").and_then(Json::as_str),
+            Some("tiny-relu")
+        );
+    }
+
+    #[test]
+    fn same_spec_twice_is_deterministic() {
+        let line = r#"{"id":"x","model":"mlp-wide","strategy":"combined","budget":4,"seed":7,"criterion":"topk-neuron:2","gradgen_steps":3,"pool":{"synthetic":12,"seed":9}}"#;
+        let a = roundtrip(engine(), &[line]);
+        let b = roundtrip(engine(), &[line]);
+        // Everything except wall time must match bit-for-bit.
+        for key in [
+            "model",
+            "strategy",
+            "criterion",
+            "num_units",
+            "num_tests",
+            "final_coverage",
+            "coverage_curve",
+            "selected_indices",
+        ] {
+            assert_eq!(
+                a[0].get(key).unwrap().to_string(),
+                b[0].get(key).unwrap().to_string(),
+                "{key} drifted between identical requests"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_requests_get_structured_errors_not_dropped_lines() {
+        let responses = roundtrip(
+            engine(),
+            &[
+                "not json at all",
+                r#"{"id":"m","model":"no-such-model"}"#,
+                r#"{"id":"c","model":"tiny-relu","criterion":"no-such-criterion"}"#,
+                r#"{"id":"p","model":"tiny-relu","pool":{"inline":[[1.0,2.0]]}}"#,
+            ],
+        );
+        assert_eq!(responses.len(), 4);
+        for r in &responses {
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        }
+        let kind = |id: &str| {
+            by_id(&responses, id)
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(kind("m"), "bad_request");
+        assert_eq!(kind("c"), "generation");
+        assert_eq!(kind("p"), "bad_request");
+    }
+
+    #[test]
+    fn zero_deadline_times_out_in_queue_without_computing() {
+        let responses = roundtrip(
+            engine(),
+            &[
+                r#"{"id":"t","model":"mnist-scaled","budget":4,"deadline_ms":0,"pool":{"synthetic":16,"seed":1}}"#,
+            ],
+        );
+        let r = by_id(&responses, "t");
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        let error = r.get("error").unwrap();
+        assert_eq!(error.get("kind").and_then(Json::as_str), Some("timeout"));
+        assert!(error
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("queue"));
+    }
+
+    #[test]
+    fn engine_default_deadline_applies_when_request_has_none() {
+        let engine = Engine::in_memory(EngineConfig {
+            workers: 1,
+            queue_depth: 4,
+            default_deadline_ms: Some(0),
+        });
+        let (tx, rx) = mpsc::channel();
+        engine.handle(
+            r#"{"id":"d","model":"mnist-scaled","budget":4,"pool":{"synthetic":16,"seed":1}}"#,
+            &tx,
+        );
+        engine.drain();
+        drop(tx);
+        let r = Json::parse(&rx.recv().unwrap()).unwrap();
+        assert_eq!(
+            r.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("timeout")
+        );
+    }
+
+    #[test]
+    fn control_ops_answer_inline() {
+        let responses = roundtrip(
+            engine(),
+            &[
+                r#"{"id":"m","op":"models"}"#,
+                r#"{"id":"s","op":"stats"}"#,
+                r#"{"id":"v","op":"vacuum"}"#,
+            ],
+        );
+        let models = by_id(&responses, "m")
+            .get("models")
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(models.len(), BUILTIN_MODELS.len());
+        let names: Vec<&str> = models
+            .iter()
+            .map(|m| m.get("name").and_then(Json::as_str).unwrap())
+            .collect();
+        for &name in BUILTIN_MODELS {
+            assert!(names.contains(&name), "{name} missing from models op");
+        }
+        let stats = by_id(&responses, "s");
+        assert!(stats.get("cache").is_some());
+        // No persistent tier in an in-memory engine.
+        assert_eq!(stats.get("disk"), Some(&Json::Null));
+        assert_eq!(by_id(&responses, "v").get("vacuum"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn shutdown_is_reported_to_the_caller_not_answered_inline() {
+        let engine = engine();
+        let (tx, rx) = mpsc::channel();
+        let handled = engine.handle(r#"{"id":"bye","op":"shutdown"}"#, &tx);
+        assert_eq!(
+            handled,
+            Handled::Shutdown {
+                id: "bye".to_string()
+            }
+        );
+        engine.drain();
+        drop(tx);
+        assert!(rx.recv().is_err(), "shutdown must not answer inline");
+        let ack = Json::parse(&shutdown_response("bye")).unwrap();
+        assert_eq!(ack.get("id").and_then(Json::as_str), Some("bye"));
+        assert_eq!(ack.get("shutdown").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn drain_delivers_every_queued_response() {
+        let engine = Engine::in_memory(EngineConfig {
+            workers: 3,
+            queue_depth: 4, // smaller than the burst: submitters block, nothing is lost
+            default_deadline_ms: None,
+        });
+        let (tx, rx) = mpsc::channel();
+        let n = 12;
+        for i in 0..n {
+            let line = format!(
+                r#"{{"id":"r{i}","model":"tiny-relu","budget":2,"seed":{i},"pool":{{"synthetic":6,"seed":{i}}}}}"#
+            );
+            engine.handle(&line, &tx);
+        }
+        engine.drain();
+        drop(tx);
+        let responses: Vec<Json> = rx.into_iter().map(|l| Json::parse(&l).unwrap()).collect();
+        assert_eq!(responses.len(), n, "a drain must deliver every response");
+        for i in 0..n {
+            assert_eq!(
+                by_id(&responses, &format!("r{i}"))
+                    .get("ok")
+                    .and_then(Json::as_bool),
+                Some(true)
+            );
+        }
+    }
+}

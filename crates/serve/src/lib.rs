@@ -1,0 +1,78 @@
+//! # dnnip-serve — the long-lived test-generation service
+//!
+//! The DATE 2019 flow generates functional tests **per model, per
+//! criterion, per budget** — exactly the mixed traffic a silicon validation
+//! lab submits as a queue, not as one-shot CLI invocations. This crate
+//! wraps a [`dnnip_core::workspace::Workspace`] in a service loop:
+//!
+//! * **Protocol** ([`protocol`]): newline-delimited JSON. Each request line
+//!   names an operation (`generate`, `models`, `stats`, `vacuum`,
+//!   `shutdown`) and gets exactly one response line, correlated by `id`.
+//!   Responses may arrive out of submission order; errors are structured
+//!   (`"ok":false` with a machine-readable `kind`), never dropped lines.
+//! * **Engine** ([`engine`]): a bounded worker pool over one shared
+//!   workspace — concurrent requests reuse each other's cached activation
+//!   sets — with per-request deadlines (expired-in-queue requests fail
+//!   without compute; running ones are abandoned at the deadline) and a
+//!   graceful drain that answers everything already accepted.
+//! * **JSON** ([`json`]): a dependency-free parser/serializer covering the
+//!   protocol's needs; the build environment is offline, so no serde.
+//!
+//! The `dnnip-serve` binary speaks the protocol on stdin/stdout by default
+//! and on a Unix domain socket with `--socket PATH`.
+
+pub mod engine;
+pub mod json;
+pub mod protocol;
+
+pub use engine::{shutdown_response, Engine, EngineConfig, Handled};
+
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+
+/// Serve the NDJSON protocol over an arbitrary reader/writer pair until
+/// EOF or a `shutdown` request, then drain the engine (every accepted
+/// request is answered) and — when shutdown was requested — acknowledge it
+/// as the final line.
+///
+/// Responses are written as they complete, so they may interleave out of
+/// submission order; clients correlate by `id`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the reader and writer.
+pub fn run_stdio<R, W>(engine: Engine, input: R, output: &mut W) -> std::io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let (out_tx, out_rx) = mpsc::channel::<String>();
+    std::thread::scope(|s| -> std::io::Result<()> {
+        // The writer owns the output for the whole session: workers finish
+        // at arbitrary times and must never interleave partial lines.
+        let writer = s.spawn(move || -> std::io::Result<()> {
+            for line in out_rx {
+                writeln!(output, "{line}")?;
+                output.flush()?;
+            }
+            Ok(())
+        });
+        let mut shutdown_id = None;
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Handled::Shutdown { id } = engine.handle(&line, &out_tx) {
+                shutdown_id = Some(id);
+                break;
+            }
+        }
+        engine.drain();
+        if let Some(id) = shutdown_id {
+            let _ = out_tx.send(shutdown_response(&id));
+        }
+        drop(out_tx);
+        writer.join().expect("writer thread panicked")
+    })
+}
