@@ -6,6 +6,8 @@
 //! `bits` width with scale `s = m / (2^(bits-1) - 1)`, so value `v` becomes
 //! `round(v / s)` and is reconstructed as `q * s`.
 
+use dnnip_nn::Network;
+
 use crate::{AccelError, Result};
 
 /// Quantization bit-width supported by the simulated accelerator.
@@ -138,6 +140,35 @@ impl QuantScale {
     }
 }
 
+/// Round-trip every parameter of `network` through the symmetric fixed-point
+/// format, returning the network the accelerator effectively runs.
+///
+/// Scales are fitted per parameter segment (each layer's weight and bias
+/// separately) — exactly the fitting [`crate::memory::WeightMemory`] applies
+/// when building a memory image, so this network matches
+/// [`crate::ip::AcceleratorIp`]'s inference behaviour without materializing the
+/// byte image. It is the model the quantized forward path of the coverage
+/// engine evaluates against.
+///
+/// # Errors
+///
+/// Never fails through the public API (the round-tripped vector always matches
+/// the network's own layout); the `Result` only forwards the impossible
+/// length-mismatch arm of `set_parameters_flat`.
+pub fn round_trip_network(network: &Network, width: BitWidth) -> Result<Network> {
+    let mut params = network.parameters_flat();
+    for seg in network.param_layout().segments() {
+        let values = &mut params[seg.offset..seg.offset + seg.len];
+        let scale = QuantScale::fit(values, width);
+        for v in values.iter_mut() {
+            *v = scale.dequantize(scale.quantize(*v));
+        }
+    }
+    let mut net = network.clone();
+    net.set_parameters_flat(&params)?;
+    Ok(net)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,6 +228,24 @@ mod tests {
         };
         assert_eq!(scale.quantize(1e9), 127);
         assert_eq!(scale.quantize(-1e9), -127);
+    }
+
+    #[test]
+    fn network_round_trip_matches_the_accelerator_memory_image() {
+        use dnnip_nn::layers::Activation;
+        use dnnip_nn::zoo;
+        let net = zoo::tiny_cnn(4, 3, Activation::Relu, 11).unwrap();
+        for width in [BitWidth::Int8, BitWidth::Int16] {
+            let rt = round_trip_network(&net, width).unwrap();
+            // Same per-segment fitting as WeightMemory: dequantizing the memory
+            // image must reproduce the round-tripped parameters bit-for-bit.
+            let mem = crate::memory::WeightMemory::from_network(&net, width);
+            assert_eq!(rt.parameters_flat(), mem.to_flat_parameters());
+            // Quantization is lossy at 8 bits on a real network.
+            if width == BitWidth::Int8 {
+                assert_ne!(rt.parameters_flat(), net.parameters_flat());
+            }
+        }
     }
 
     #[test]

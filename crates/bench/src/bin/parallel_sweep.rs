@@ -8,9 +8,14 @@
 //! * the batched engine with `ExecPolicy::Serial`,
 //! * the batched engine with `ExecPolicy::Threads(n)` for n ∈ {2, 4, 8}.
 //!
-//! Results (wall time, throughput, speedup vs. the reference) are printed and
+//! Each threaded row records the **effective** worker count — `min(requested,
+//! hardware threads)` — alongside the requested one, and rows requesting more
+//! workers than the machine has are flagged as oversubscribed (their numbers
+//! measure scheduler churn, not scaling). Results (wall time, throughput,
+//! speedup vs. the reference, worker accounting, warnings) are printed and
 //! written to `crates/bench/results/parallel_coverage.json` so before/after
-//! numbers ride with the repository.
+//! numbers ride with the repository. The line `batched_serial_speedup=<x>` on
+//! stdout is machine-readable; CI gates on it staying ≥ 5.
 //!
 //! ```text
 //! cargo run --release -p dnnip-bench --bin parallel_sweep [smoke|default|paper]
@@ -25,12 +30,16 @@ use dnnip_core::workspace::DiskCacheConfig;
 use dnnip_nn::zoo;
 use dnnip_tensor::Tensor;
 use std::hint::black_box;
+use std::num::NonZeroUsize;
 use std::time::Instant;
 
 /// One measured configuration.
 struct Row {
     engine: &'static str,
     exec: String,
+    threads_requested: usize,
+    effective_workers: usize,
+    oversubscribed: bool,
     time_ms: f64,
     throughput: f64,
 }
@@ -57,15 +66,20 @@ fn main() {
     } else {
         5
     };
+    // Hardware thread count straight from the OS — deliberately NOT
+    // `ExecPolicy::auto()`, which the DNNIP_THREADS override may redirect;
+    // oversubscription is a statement about the hardware.
+    let hardware = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
     println!("== Parallel coverage sweep (batch = {batch_size}, scaled MNIST model) ==");
     // This sweep measures the raw engine and the in-memory tier, so its
     // evaluators stay standalone; the resolved persistent-cache settings are
     // still echoed (and recorded in the JSON) like every experiment binary.
     let cache = DiskCacheConfig::from_env();
     println!(
-        "profile: {}, seed: {seed}, available parallelism: {}",
-        profile.name(),
-        ExecPolicy::auto().threads()
+        "profile: {}, seed: {seed}, available parallelism: {hardware}",
+        profile.name()
     );
     println!(
         "cache dir: {} (persist {})\n",
@@ -92,6 +106,9 @@ fn main() {
     rows.push(Row {
         engine: "per-sample-reference",
         exec: "serial".to_string(),
+        threads_requested: 1,
+        effective_workers: 1,
+        oversubscribed: false,
         time_ms: t,
         throughput: batch_size as f64 / (t / 1e3),
     });
@@ -117,27 +134,64 @@ fn main() {
                     .expect("batched sets"),
             );
         });
+        let requested = exec.threads();
         rows.push(Row {
             engine: "batched",
             exec: name.to_string(),
+            threads_requested: requested,
+            effective_workers: requested.min(hardware),
+            oversubscribed: requested > hardware,
             time_ms: t,
             throughput: batch_size as f64 / (t / 1e3),
         });
     }
 
+    let warnings: Vec<String> = rows
+        .iter()
+        .filter(|r| r.oversubscribed)
+        .map(|r| {
+            format!(
+                "{} requests {} workers but only {hardware} hardware thread{} available; \
+                 its timing measures oversubscription, not scaling",
+                r.exec,
+                r.threads_requested,
+                if hardware == 1 { " is" } else { "s are" }
+            )
+        })
+        .collect();
+
     let baseline = rows[0].time_ms;
-    println!("  engine                 exec        best ms   samples/s   speedup");
-    println!("  ---------------------- ----------- --------- ----------- -------");
+    println!("  engine                 exec        workers   best ms   samples/s   speedup");
+    println!("  ---------------------- ----------- --------- --------- ----------- -------");
     for row in &rows {
         println!(
-            "  {:<22} {:<11} {:>9.2} {:>11.1} {:>6.2}x",
+            "  {:<22} {:<11} {:>4}/{:<4} {:>9.2} {:>11.1} {:>6.2}x{}",
             row.engine,
             row.exec,
+            row.effective_workers,
+            row.threads_requested,
             row.time_ms,
             row.throughput,
-            baseline / row.time_ms
+            baseline / row.time_ms,
+            if row.oversubscribed {
+                "  [oversub]"
+            } else {
+                ""
+            }
         );
     }
+    for w in &warnings {
+        println!("  warning: {w}");
+    }
+    let batched_serial = rows
+        .iter()
+        .find(|r| r.engine == "batched" && r.exec == "serial")
+        .expect("batched serial row");
+    // Machine-readable acceptance line: CI greps this and gates on >= 5.
+    println!(
+        "batched_serial_speedup={:.3}",
+        baseline / batched_serial.time_ms
+    );
 
     // Hand-rolled JSON (the workspace has no serde): flat and diff-friendly.
     let mut json = String::new();
@@ -149,17 +203,23 @@ fn main() {
     ));
     json.push_str(&format!("  \"batch_size\": {batch_size},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
-    json.push_str(&format!(
-        "  \"available_parallelism\": {},\n",
-        ExecPolicy::auto().threads()
-    ));
+    json.push_str(&format!("  \"available_parallelism\": {hardware},\n"));
+    json.push_str("  \"warnings\": [");
+    for (i, w) in warnings.iter().enumerate() {
+        json.push_str(&format!("{}{w:?}", if i == 0 { "" } else { ", " }));
+    }
+    json.push_str("],\n");
     json.push_str("  \"results\": [\n");
     for (i, row) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"engine\": \"{}\", \"exec\": \"{}\", \"best_ms\": {:.3}, \
+            "    {{\"engine\": \"{}\", \"exec\": \"{}\", \"threads_requested\": {}, \
+             \"effective_workers\": {}, \"oversubscribed\": {}, \"best_ms\": {:.3}, \
              \"samples_per_sec\": {:.1}, \"speedup_vs_reference\": {:.3}}}{}\n",
             row.engine,
             row.exec,
+            row.threads_requested,
+            row.effective_workers,
+            row.oversubscribed,
             row.time_ms,
             row.throughput,
             baseline / row.time_ms,

@@ -56,9 +56,11 @@ const EXPECTED: &[(&str, &[&str])] = &[
         "parallel_coverage.json",
         &[
             "bench",
+            "cache_dir",
             "batch_size",
             "seed",
             "available_parallelism",
+            "warnings",
             "results",
         ],
     ),
@@ -94,6 +96,47 @@ const EXPECTED: &[(&str, &[&str])] = &[
     ),
 ];
 
+/// Per-row keys of `parallel_coverage.json`'s `results` array — the fields the
+/// CI speedup gate greps for and the oversubscription warnings derive from.
+const PARALLEL_ROW_KEYS: &[&str] = &[
+    "engine",
+    "exec",
+    "threads_requested",
+    "effective_workers",
+    "oversubscribed",
+    "best_ms",
+    "samples_per_sec",
+    "speedup_vs_reference",
+];
+
+/// Deep checks for `parallel_coverage.json`: every result row carries the
+/// effective-worker fields, and `warnings` is an array of strings (empty on
+/// hosts with enough hardware threads for every requested configuration).
+fn check_parallel_coverage(value: &Json) -> Result<(), String> {
+    let rows = value
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "\"results\" is not an array".to_string())?;
+    if rows.is_empty() {
+        return Err("\"results\" is empty".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for key in PARALLEL_ROW_KEYS {
+            if row.get(key).is_none() {
+                return Err(format!("results[{i}]: missing key {key:?}"));
+            }
+        }
+    }
+    let warnings = value
+        .get("warnings")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "\"warnings\" is not an array".to_string())?;
+    if warnings.iter().any(|w| w.as_str().is_none()) {
+        return Err("\"warnings\" contains a non-string entry".to_string());
+    }
+    Ok(())
+}
+
 fn check_artifact(path: &Path) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
@@ -111,6 +154,9 @@ fn check_artifact(path: &Path) -> Result<(), String> {
                 return Err(format!("{}: missing top-level key {key:?}", path.display()));
             }
         }
+    }
+    if name == "parallel_coverage.json" {
+        check_parallel_coverage(&value).map_err(|e| format!("{}: {e}", path.display()))?;
     }
     Ok(())
 }

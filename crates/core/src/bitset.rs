@@ -55,6 +55,35 @@ impl Bitset {
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
+    /// OR a whole word of positions into the set: bit `b` of `bits` targets
+    /// position `wi * 64 + b`. This is the bulk entry point the gradient
+    /// extraction loops use — building a `u64` mask 64 comparisons at a time
+    /// and committing it in one store is markedly faster than 64 bounds-checked
+    /// [`Bitset::set`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wi` is past the last word, or if `bits` has a bit set beyond
+    /// the bitset's length (which would corrupt the "no stray high bits"
+    /// invariant that [`Bitset::from_words`] validates).
+    pub fn or_word(&mut self, wi: usize, bits: u64) {
+        assert!(
+            wi < self.words.len(),
+            "word index {wi} out of range for length {}",
+            self.len
+        );
+        let used = self.len - wi * 64;
+        if used < 64 {
+            assert_eq!(
+                bits >> used,
+                0,
+                "bits beyond length {} in word {wi}",
+                self.len
+            );
+        }
+        self.words[wi] |= bits;
+    }
+
     /// Whether position `i` is set (out-of-range queries return `false`).
     pub fn get(&self, i: usize) -> bool {
         if i >= self.len {
@@ -171,6 +200,36 @@ mod tests {
     fn set_out_of_range_panics() {
         let mut b = Bitset::new(10);
         b.set(10);
+    }
+
+    #[test]
+    fn or_word_matches_per_bit_sets() {
+        let mut words = Bitset::new(130);
+        words.or_word(0, 0x8000_0000_0000_0001);
+        words.or_word(1, 1);
+        words.or_word(2, 0b10);
+        let mut bits = Bitset::new(130);
+        for i in [0, 63, 64, 129] {
+            bits.set(i);
+        }
+        assert_eq!(words, bits);
+        // OR semantics: re-committing a word accumulates, never clears.
+        words.or_word(0, 0b100);
+        assert!(words.get(0) && words.get(2) && words.get(63));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond length")]
+    fn or_word_rejects_bits_past_len() {
+        let mut b = Bitset::new(70);
+        b.or_word(1, 1 << 6); // position 70 does not exist
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn or_word_rejects_word_index_past_end() {
+        let mut b = Bitset::new(64);
+        b.or_word(1, 1);
     }
 
     #[test]

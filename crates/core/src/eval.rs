@@ -688,7 +688,15 @@ impl Evaluator {
         output_cache: Arc<ContentCache<Tensor>>,
     ) -> Self {
         let fingerprint = NetworkFingerprint::of(analyzer.network());
-        let criterion_key = criterion_digest(analyzer.criterion().as_ref());
+        // Sets computed on the int8 round-tripped network must never alias
+        // cached full-precision sets: fold a fixed tag into the criterion key
+        // when (and only when) the analyzer takes the quantized path, so every
+        // full-precision key is exactly the plain criterion digest as before.
+        const QUANT_KEY_TAG: u64 = 0x71a0_17f8_5eed_c0de;
+        let mut criterion_key = criterion_digest(analyzer.criterion().as_ref());
+        if analyzer.quantized_forward() {
+            criterion_key ^= QUANT_KEY_TAG;
+        }
         Self {
             inner: Arc::new(EvalInner {
                 analyzer,
@@ -1070,6 +1078,38 @@ mod tests {
         );
         assert_ne!(a.inner.criterion_key, neuron.inner.criterion_key);
         assert_ne!(neuron.inner.criterion_key, topk.inner.criterion_key);
+    }
+
+    #[test]
+    fn quantized_forward_path_never_aliases_full_precision_cache_entries() {
+        use crate::coverage::ForwardPrecision;
+        let network = net();
+        let quant_cfg = CoverageConfig {
+            precision: ForwardPrecision::QuantizedInt8,
+            ..CoverageConfig::default()
+        };
+        // Same criterion, different effective model → different cache keys.
+        let full = Evaluator::with_criterion(
+            &network,
+            CoverageConfig::default(),
+            Arc::new(NeuronActivation::default()),
+        );
+        let quant =
+            Evaluator::with_criterion(&network, quant_cfg, Arc::new(NeuronActivation::default()));
+        assert_ne!(full.inner.criterion_key, quant.inner.criterion_key);
+        // A gradient criterion ignores the flag, so its key is unchanged and
+        // its cached sets remain shared between the two configurations.
+        let grad_full = Evaluator::new(&network, CoverageConfig::default());
+        let grad_quant = Evaluator::new(&network, quant_cfg);
+        assert_eq!(
+            grad_full.inner.criterion_key,
+            grad_quant.inner.criterion_key
+        );
+        // End to end: both evaluators produce their own (differing) sets.
+        let pool = samples(4);
+        let a = full.activation_sets(&pool).unwrap();
+        let b = quant.activation_sets(&pool).unwrap();
+        assert_eq!(a.len(), b.len());
     }
 
     #[test]

@@ -278,6 +278,43 @@ proptest! {
     }
 
     #[test]
+    fn quantized_round_trip_drift_is_bounded_by_half_step(seed in 0u64..300) {
+        // The int8 network behind ForwardPrecision::QuantizedInt8 may move
+        // each parameter by at most half a quantization step of its own
+        // segment (symmetric rounding), and must leave the layout intact.
+        use dnnip_accel::quant::{round_trip_network, BitWidth, QuantScale};
+        let net = zoo::tiny_mlp(4, 8, 3, Activation::Tanh, seed).unwrap();
+        let rt = round_trip_network(&net, BitWidth::Int8).unwrap();
+        let before = net.parameters_flat();
+        let after = rt.parameters_flat();
+        prop_assert_eq!(before.len(), after.len());
+        for seg in net.param_layout().segments() {
+            let orig = &before[seg.offset..seg.offset + seg.len];
+            let scale = QuantScale::fit(orig, BitWidth::Int8);
+            for (o, a) in orig.iter().zip(&after[seg.offset..seg.offset + seg.len]) {
+                prop_assert!(
+                    (o - a).abs() <= scale.scale * 0.5 + 1e-6,
+                    "parameter {} drifted to {} with step {}",
+                    o, a, scale.scale
+                );
+            }
+        }
+        // Quantized coverage under a forward-only criterion stays a valid
+        // fraction on the drifted model.
+        let analyzer = CoverageAnalyzer::with_criterion(
+            &net,
+            CoverageConfig {
+                precision: dnnip_core::coverage::ForwardPrecision::QuantizedInt8,
+                ..CoverageConfig::default()
+            },
+            std::sync::Arc::new(NeuronActivation::default()),
+        );
+        let sample = Tensor::from_fn(&[4], |i| ((i as u64 + seed) as f32 * 0.3).sin());
+        let cov = analyzer.coverage_of_sample(&sample).unwrap();
+        prop_assert!((0.0..=1.0).contains(&cov));
+    }
+
+    #[test]
     fn suite_serialization_round_trips(seed in 0u64..300, n in 1usize..6, tol in 1e-6f32..1e-2) {
         let net = zoo::tiny_mlp(4, 6, 3, Activation::Relu, seed).unwrap();
         let inputs: Vec<Tensor> = (0..n)

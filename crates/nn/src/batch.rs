@@ -25,19 +25,30 @@
 
 use std::sync::Arc;
 
-use dnnip_tensor::conv::{col2im, conv2d_sample_forward_cols};
-use dnnip_tensor::{ops, Tensor};
+use dnnip_tensor::conv::{col2im_slice_into, im2col_block_into};
+use dnnip_tensor::{kernels, ops, ScratchArena, Tensor};
 
-use crate::layers::{Conv2d, Layer, LayerCache};
+use crate::layers::{Activation, Conv2d, Layer, LayerCache};
 use crate::{Network, NnError, Result};
 
+/// A batch's flat im2col column blocks plus their `(ckk, per)` block
+/// dimensions — what [`BatchCache::Conv`] retains for the backward passes.
+type ColBlocks = (Vec<f32>, usize, usize);
+
 /// Per-layer state captured by the engine's batched forward pass.
+///
+/// Every variant stores **batch-level** data; the per-sample backward passes
+/// index straight into it with slice arithmetic instead of materializing
+/// batch-of-one tensors per sample.
 #[derive(Debug)]
 enum BatchCache {
-    /// Convolution: the per-sample im2col matrices (each `[C*KH*KW, OH*OW]`)
-    /// plus the spatial geometry of the layer input, for `col2im`.
+    /// Convolution: all samples' im2col matrices as one flat buffer (sample
+    /// `s` is the contiguous `[ckk, per]` block at `s*ckk*per`), plus the
+    /// spatial geometry of the layer input, for `col2im`.
     Conv {
-        cols: Vec<Tensor>,
+        cols: Vec<f32>,
+        ckk: usize,
+        per: usize,
         chw: (usize, usize, usize),
     },
     /// Dense: the stacked layer input `[B, in_features]`.
@@ -47,23 +58,14 @@ enum BatchCache {
         argmax: Vec<usize>,
         input_shape: Vec<usize>,
     },
-    /// Flatten: the batched input shape.
-    Flatten { input_shape: Vec<usize> },
-    /// Activation: the stacked pre-activation input.
-    Act { input: Tensor },
-}
-
-/// One sample's slice of a [`BatchCache`], ready for a per-sample backward pass.
-#[derive(Debug)]
-enum SampleCache<'c> {
-    /// Convolution: this sample's im2col matrix and the layer-input geometry.
-    Conv {
-        cols: &'c Tensor,
-        chw: (usize, usize, usize),
-    },
-    /// Any other layer: a regular batch-of-one [`LayerCache`] fed back through
-    /// the layer's own backward implementation.
-    Single(LayerCache),
+    /// Flatten: no state — a sample's flat storage is unchanged by flattening,
+    /// so its backward pass is the identity on the gradient buffer.
+    Flatten,
+    /// Activation: the stacked **post-activation** output. Derivatives are
+    /// recovered from the output (`tanh'` = `1 - y²`, `σ'` = `y·(1-y)`,
+    /// `relu'` = `[y > 0]`), which is bit-identical to re-deriving them from
+    /// the pre-activation input but skips the transcendental re-evaluation.
+    Act { output: Tensor },
 }
 
 /// A completed batched forward pass: the stacked logits plus the per-layer
@@ -252,13 +254,17 @@ impl BatchGradientEngine {
                 got: bad.len(),
             });
         }
-        let pass = self.forward_batch(samples)?;
+        // One arena for the whole call: the forward pass and every
+        // (sample, projection) backward reuse the same scratch buffers.
+        let mut arena = ScratchArena::new();
+        let pass = self.forward_batch_with(samples, &mut arena)?;
 
         let mut grads = vec![0.0f32; self.network.num_parameters()];
         for s in 0..samples.len() {
-            let sample_caches = self.slice_sample(&pass.caches, s)?;
             for (pi, proj) in projections.iter().enumerate() {
-                self.backward_sample(&sample_caches, proj, Some(&mut grads))?;
+                let g =
+                    self.backward_sample(&pass.caches, s, proj, Some(&mut grads), &mut arena)?;
+                arena.grad_a = g;
                 visit(s, pi, &grads);
             }
         }
@@ -274,9 +280,26 @@ impl BatchGradientEngine {
     /// Returns an error when any sample shape does not match the network input
     /// (or the slice is empty, which stacks to an invalid batch).
     pub fn forward_batch(&self, samples: &[Tensor]) -> Result<BatchForwardPass> {
+        self.forward_batch_with(samples, &mut ScratchArena::new())
+    }
+
+    /// [`BatchGradientEngine::forward_batch`] with a caller-owned
+    /// [`ScratchArena`], so a loop of passes (one per chunk of a coverage
+    /// sweep, one per step of a gradient-descent trajectory) reuses the same
+    /// scratch allocations instead of growing fresh ones every call. Results
+    /// are bit-identical to [`BatchGradientEngine::forward_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`BatchGradientEngine::forward_batch`].
+    pub fn forward_batch_with(
+        &self,
+        samples: &[Tensor],
+        arena: &mut ScratchArena,
+    ) -> Result<BatchForwardPass> {
         let batch = ops::stack(samples)?;
         self.network.check_batch_input(&batch)?;
-        let (output, caches) = self.forward(&batch)?;
+        let (output, caches) = self.forward(&batch, arena)?;
         Ok(BatchForwardPass {
             output,
             caches,
@@ -301,9 +324,16 @@ impl BatchGradientEngine {
         self.network.check_batch_input(&batch)?;
         let mut x = batch;
         let mut outputs = Vec::new();
+        let mut arena = ScratchArena::new();
         for (i, layer) in self.network.layers().iter().enumerate() {
             x = match layer {
-                Layer::Conv2d(l) => self.conv_forward_batch(i, l, &x, false)?.0,
+                Layer::Conv2d(l) => self.conv_forward_batch(i, l, &x, false, &mut arena)?.0,
+                // Apply directly: `ActivationLayer::forward` also clones its
+                // input into a backward cache this forward-only path discards.
+                Layer::Activation(l) => {
+                    let act = l.activation();
+                    x.map(|v| act.apply(v))
+                }
                 other => other.forward(&x)?.0,
             };
             if layer.is_activation() {
@@ -335,6 +365,25 @@ impl BatchGradientEngine {
         s: usize,
         output_grad: &[f32],
     ) -> Result<Tensor> {
+        self.input_gradient_with(pass, s, output_grad, &mut ScratchArena::new())
+    }
+
+    /// [`BatchGradientEngine::input_gradient`] with a caller-owned
+    /// [`ScratchArena`] — the gradient-descent loops call this once per
+    /// (sample, step), so reusing one arena across the whole trajectory
+    /// removes a per-call scratch allocation. Results are bit-identical to
+    /// [`BatchGradientEngine::input_gradient`].
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`BatchGradientEngine::input_gradient`].
+    pub fn input_gradient_with(
+        &self,
+        pass: &BatchForwardPass,
+        s: usize,
+        output_grad: &[f32],
+        arena: &mut ScratchArena,
+    ) -> Result<Tensor> {
         let classes = self.network.num_classes();
         if output_grad.len() != classes {
             return Err(NnError::ParamLengthMismatch {
@@ -349,9 +398,10 @@ impl BatchGradientEngine {
                 expected: format!("sample index < {}", pass.batch),
             });
         }
-        let sample_caches = self.slice_sample(&pass.caches, s)?;
-        let grad = self.backward_sample(&sample_caches, output_grad, None)?;
-        Ok(grad.reshape(self.network.input_shape())?)
+        let g = self.backward_sample(&pass.caches, s, output_grad, None, arena)?;
+        let out = Tensor::from_vec(g.clone(), self.network.input_shape())?;
+        arena.grad_a = g;
+        Ok(out)
     }
 
     /// Per-sample parameter gradients of one output projection, one `Vec` per
@@ -376,62 +426,94 @@ impl BatchGradientEngine {
     }
 
     /// One convolution layer's batched forward through its precomputed weight
-    /// matrix: per-sample im2col + matmul. Returns the stacked output and,
-    /// when `keep_cols`, each sample's lowered column matrix (what the
-    /// backward pass consumes). Both the gradient path and the forward-only
-    /// activation capture go through this single implementation, so their
-    /// intermediate values are bit-identical by construction.
+    /// matrix: batch-blocked im2col + per-sample matmul. Returns the stacked
+    /// output and, when `keep_cols`, the flat buffer of per-sample column
+    /// blocks (what the backward pass consumes) with its `(ckk, per)` block
+    /// dimensions. Both the gradient path and the forward-only activation
+    /// capture go through this single implementation, so their intermediate
+    /// values are bit-identical by construction.
     fn conv_forward_batch(
         &self,
         layer_index: usize,
         l: &Conv2d,
         x: &Tensor,
         keep_cols: bool,
-    ) -> Result<(Tensor, Vec<Tensor>)> {
-        let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        arena: &mut ScratchArena,
+    ) -> Result<(Tensor, Option<ColBlocks>)> {
+        let (b, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
         let geom = l.geometry();
         let (oh, ow) = geom.output_hw(h, w)?;
         let oc = l.out_channels();
-        let bias = l.parameters().1;
+        let bd = l.parameters().1.data();
         let (wmat, _) = self.conv_mats[layer_index]
             .as_ref()
             .expect("conv layer has precomputed weight matrices");
-        let sample_len = c * h * w;
+        // Retained column blocks need their own storage for the backward
+        // passes; the forward-only path lowers into the arena instead.
+        let mut fresh = Vec::new();
+        let cols = if keep_cols {
+            &mut fresh
+        } else {
+            &mut arena.cols
+        };
+        let c = x.shape()[1];
+        let (rows, per) = (c * geom.kh * geom.kw, oh * ow);
+        cols.resize(b * rows * per, 0.0);
         let out_len = oc * oh * ow;
         let mut out = vec![0.0f32; b * out_len];
-        let mut cols_vec = Vec::with_capacity(if keep_cols { b } else { 0 });
+        let sample_len = c * h * w;
         for s in 0..b {
-            let sample = Tensor::from_vec(
-                x.data()[s * sample_len..(s + 1) * sample_len].to_vec(),
-                &[c, h, w],
+            // Lower this sample's block, then multiply it while it is still
+            // cache-hot — interleaving matters more than batching the scatter.
+            let block = &mut cols[s * rows * per..(s + 1) * rows * per];
+            im2col_block_into(
+                &x.data()[s * sample_len..(s + 1) * sample_len],
+                c,
+                h,
+                w,
+                geom,
+                block,
             )?;
-            let (prod, cols) = conv2d_sample_forward_cols(&sample, wmat, bias, geom)?;
-            out[s * out_len..(s + 1) * out_len].copy_from_slice(prod.data());
-            if keep_cols {
-                cols_vec.push(cols);
+            let dst = &mut out[s * out_len..(s + 1) * out_len];
+            kernels::gemm(oc, rows, per, wmat.data(), block, dst);
+            for (oci, &bv) in bd.iter().enumerate() {
+                for v in &mut dst[oci * per..(oci + 1) * per] {
+                    *v += bv;
+                }
             }
         }
-        Ok((Tensor::from_vec(out, &[b, oc, oh, ow])?, cols_vec))
+        let kept = keep_cols.then_some((fresh, rows, per));
+        Ok((Tensor::from_vec(out, &[b, oc, oh, ow])?, kept))
     }
 
     /// Batched forward pass recording the per-layer state the per-sample
     /// backward passes need, returning the final stacked output alongside.
-    fn forward(&self, batch: &Tensor) -> Result<(Tensor, Vec<BatchCache>)> {
+    fn forward(
+        &self,
+        batch: &Tensor,
+        arena: &mut ScratchArena,
+    ) -> Result<(Tensor, Vec<BatchCache>)> {
         let mut caches = Vec::with_capacity(self.network.num_layers());
         let mut x = batch.clone();
         for (i, layer) in self.network.layers().iter().enumerate() {
             match layer {
                 Layer::Conv2d(l) => {
                     let chw = (x.shape()[1], x.shape()[2], x.shape()[3]);
-                    let (out, cols_vec) = self.conv_forward_batch(i, l, &x, true)?;
+                    let (out, kept) = self.conv_forward_batch(i, l, &x, true, arena)?;
                     x = out;
+                    let (cols, ckk, per) = kept.expect("keep_cols retains the column blocks");
                     caches.push(BatchCache::Conv {
-                        cols: cols_vec,
+                        cols,
+                        ckk,
+                        per,
                         chw,
                     });
                 }
                 Layer::Dense(l) => {
-                    let (out, _) = l.forward(&x)?;
+                    // Same ops as `Dense::forward`, minus the input clone that
+                    // call makes for a `LayerCache` this engine discards.
+                    let (wt, bias) = l.parameters();
+                    let out = ops::add_row_vector(&ops::matmul(&x, wt)?, bias)?;
                     caches.push(BatchCache::Dense { input: x });
                     x = out;
                 }
@@ -451,14 +533,19 @@ impl BatchGradientEngine {
                     x = out;
                 }
                 Layer::Flatten(l) => {
-                    let input_shape = x.shape().to_vec();
                     let (out, _) = l.forward(&x)?;
-                    caches.push(BatchCache::Flatten { input_shape });
+                    caches.push(BatchCache::Flatten);
                     x = out;
                 }
                 Layer::Activation(l) => {
-                    let (out, _) = l.forward(&x)?;
-                    caches.push(BatchCache::Act { input: x });
+                    // Apply directly (`ActivationLayer::forward` clones its
+                    // input into a cache the engine discards) and retain the
+                    // output: backward recovers derivatives from it.
+                    let act = l.activation();
+                    let out = x.map(|v| act.apply(v));
+                    caches.push(BatchCache::Act {
+                        output: out.clone(),
+                    });
                     x = out;
                 }
             }
@@ -466,51 +553,13 @@ impl BatchGradientEngine {
         Ok((x, caches))
     }
 
-    /// Slice the batch-level caches down to sample `s` (a batch of one).
-    fn slice_sample<'c>(&self, caches: &'c [BatchCache], s: usize) -> Result<Vec<SampleCache<'c>>> {
-        caches
-            .iter()
-            .map(|cache| {
-                Ok(match cache {
-                    BatchCache::Conv { cols, chw } => SampleCache::Conv {
-                        cols: &cols[s],
-                        chw: *chw,
-                    },
-                    BatchCache::Dense { input } => SampleCache::Single(LayerCache::Dense {
-                        input: ops::batch_slice(input, s, s + 1)?,
-                    }),
-                    BatchCache::Pool {
-                        argmax,
-                        input_shape,
-                    } => {
-                        let item_len: usize = input_shape[1..].iter().product();
-                        let per_out = argmax.len() / input_shape[0];
-                        let rebased: Vec<usize> = argmax[s * per_out..(s + 1) * per_out]
-                            .iter()
-                            .map(|&idx| idx - s * item_len)
-                            .collect();
-                        let mut shape = vec![1];
-                        shape.extend_from_slice(&input_shape[1..]);
-                        SampleCache::Single(LayerCache::MaxPool2d {
-                            argmax: rebased,
-                            input_shape: shape,
-                        })
-                    }
-                    BatchCache::Flatten { input_shape } => {
-                        let mut shape = vec![1];
-                        shape.extend_from_slice(&input_shape[1..]);
-                        SampleCache::Single(LayerCache::Flatten { input_shape: shape })
-                    }
-                    BatchCache::Act { input } => SampleCache::Single(LayerCache::Activation {
-                        input: ops::batch_slice(input, s, s + 1)?,
-                    }),
-                })
-            })
-            .collect()
-    }
-
-    /// Backward pass for one sample and one projection, returning the gradient
-    /// with respect to the layer-0 input (batch-of-one shape).
+    /// Backward pass for sample `s` of a completed batched forward, returning
+    /// the gradient with respect to the layer-0 input as a flat buffer (the
+    /// caller hands it back to `arena.grad_a` so the allocation is reused).
+    ///
+    /// The running gradient lives in a pair of ping-pong buffers borrowed from
+    /// the arena — no per-layer or per-sample tensor allocations. Every layer
+    /// reads its slice of the batch-level caches directly.
     ///
     /// When `param_out` is `Some`, the flat parameter-gradient vector is
     /// written into it (every parameterized range is fully overwritten, so the
@@ -519,86 +568,153 @@ impl BatchGradientEngine {
     /// stacked gradient-descent loop.
     fn backward_sample(
         &self,
-        caches: &[SampleCache<'_>],
+        caches: &[BatchCache],
+        s: usize,
         projection: &[f32],
         mut param_out: Option<&mut [f32]>,
-    ) -> Result<Tensor> {
-        let mut grad = Tensor::from_vec(projection.to_vec(), &[1, projection.len()])?;
+        arena: &mut ScratchArena,
+    ) -> Result<Vec<f32>> {
+        let mut cur = std::mem::take(&mut arena.grad_a);
+        let mut nxt = std::mem::take(&mut arena.grad_b);
+        cur.clear();
+        cur.extend_from_slice(projection);
         for (i, layer) in self.network.layers().iter().enumerate().rev() {
             match (&caches[i], layer) {
-                (SampleCache::Conv { cols, chw }, Layer::Conv2d(l)) => {
+                (
+                    BatchCache::Conv {
+                        cols,
+                        ckk,
+                        per,
+                        chw,
+                    },
+                    Layer::Conv2d(l),
+                ) => {
+                    let (ckk, per) = (*ckk, *per);
                     let (_, wmat_t) = self.conv_mats[i]
                         .as_ref()
                         .expect("conv layer has precomputed weight matrices");
                     let oc = l.out_channels();
-                    let per = cols.shape()[1];
-                    let go_mat = grad.reshape(&[oc, per])?;
+                    // ∂L/∂out arrives with exactly oc·per elements; its flat
+                    // storage *is* the [OC, OH*OW] matrix, so no reshape copy.
+                    debug_assert_eq!(cur.len(), oc * per);
+                    let god = cur.as_slice();
+                    let block = &cols[s * ckk * per..(s + 1) * ckk * per];
                     if let Some(out) = param_out.as_deref_mut() {
-                        // ∂L/∂W = ∂L/∂out · colsᵀ, accumulated over output pixels
-                        // in the same order as the direct kernel.
-                        let gw = ops::matmul_nt(&go_mat, cols)?;
-                        let god = go_mat.data();
                         let range = self
                             .network
                             .param_layout()
                             .layer_range(i)
                             .expect("parameterized layer present in layout");
                         let dst = &mut out[range];
-                        let w_len = gw.len();
-                        dst[..w_len].copy_from_slice(gw.data());
+                        let w_len = oc * ckk;
+                        // ∂L/∂W = ∂L/∂out · colsᵀ, written straight into the
+                        // flat parameter-gradient slice.
+                        kernels::gemm_nt(oc, per, ckk, god, block, &mut dst[..w_len]);
                         for (oci, slot) in dst[w_len..].iter_mut().enumerate() {
                             *slot = god[oci * per..(oci + 1) * per].iter().sum();
                         }
                     }
-                    // ∂L/∂x = col2im(Wᵀ · ∂L/∂out).
-                    let gi_cols = ops::matmul(wmat_t, &go_mat)?;
+                    // ∂L/∂x = col2im(Wᵀ · ∂L/∂out), product in arena scratch.
+                    let gi_cols = ScratchArena::sized(&mut arena.grad_cols, ckk * per);
+                    kernels::gemm(ckk, oc, per, wmat_t.data(), god, gi_cols);
                     let (c, h, w) = *chw;
-                    let gi = col2im(&gi_cols, l.geometry(), c, h, w)?;
-                    grad = gi.reshape(&[1, c, h, w])?;
+                    col2im_slice_into(gi_cols, l.geometry(), c, h, w, &mut nxt)?;
+                    std::mem::swap(&mut cur, &mut nxt);
                 }
-                (SampleCache::Single(LayerCache::Dense { input }), Layer::Dense(_)) => {
+                (BatchCache::Dense { input }, Layer::Dense(_)) => {
                     let w_t = self.dense_t[i]
                         .as_ref()
                         .expect("dense layer has a precomputed weight transpose");
-                    // Same kernels as `Dense::backward`, with the weight
-                    // transpose hoisted out of the per-(sample, class) loop.
-                    let grad_in = ops::matmul(&grad, w_t)?;
+                    let (out_f, in_f) = (w_t.shape()[0], w_t.shape()[1]);
+                    debug_assert_eq!(cur.len(), out_f);
+                    let god = cur.as_slice();
                     if let Some(out) = param_out.as_deref_mut() {
-                        let grad_weight = ops::matmul(&ops::transpose(input)?, &grad)?;
-                        let grad_bias = ops::sum_rows(&grad)?;
+                        let input_s = &input.data()[s * in_f..(s + 1) * in_f];
                         let range = self
                             .network
                             .param_layout()
                             .layer_range(i)
                             .expect("parameterized layer present in layout");
                         let dst = &mut out[range];
-                        let w_len = grad_weight.len();
-                        dst[..w_len].copy_from_slice(grad_weight.data());
-                        dst[w_len..].copy_from_slice(grad_bias.data());
+                        let w_len = in_f * out_f;
+                        // ∂L/∂W = inputᵀ · ∂L/∂out; one sample's input slice
+                        // is already its own [in, 1] transpose, so the product
+                        // runs straight into the flat parameter slice.
+                        kernels::gemm(in_f, 1, out_f, input_s, god, &mut dst[..w_len]);
+                        // ∂L/∂b over a batch of one is `sum_rows`' single-term
+                        // fold `0.0 + g` — written out as such (not a copy) so
+                        // -0.0 normalizes to +0.0 exactly like the reference.
+                        for (slot, &g) in dst[w_len..].iter_mut().zip(god) {
+                            *slot = 0.0 + g;
+                        }
                     }
-                    grad = grad_in;
+                    // ∂L/∂x = ∂L/∂out · Wᵀ — the same kernel call
+                    // `ops::matmul(grad, w_t)` makes, minus the tensor wrap.
+                    let grad_in = ScratchArena::sized(&mut nxt, in_f);
+                    kernels::gemm(1, out_f, in_f, god, w_t.data(), grad_in);
+                    std::mem::swap(&mut cur, &mut nxt);
                 }
-                (SampleCache::Single(cache), _) => {
-                    let (grad_in, pgrads) = layer.backward(cache, &grad)?;
-                    if let (Some(pg), Some(out)) = (pgrads, param_out.as_deref_mut()) {
-                        let range = self
-                            .network
-                            .param_layout()
-                            .layer_range(i)
-                            .expect("parameterized layer present in layout");
-                        let w_len = pg.weight.len();
-                        let dst = &mut out[range];
-                        dst[..w_len].copy_from_slice(pg.weight.data());
-                        dst[w_len..].copy_from_slice(pg.bias.data());
+                (
+                    BatchCache::Pool {
+                        argmax,
+                        input_shape,
+                    },
+                    Layer::MaxPool2d(_),
+                ) => {
+                    // Scatter-add in argmax order — the exact fold
+                    // `maxpool2d_backward` performs on a rebased batch of one.
+                    let item_len: usize = input_shape[1..].iter().product();
+                    let per_out = argmax.len() / input_shape[0];
+                    let base = s * item_len;
+                    let dst = ScratchArena::sized(&mut nxt, item_len);
+                    dst.fill(0.0);
+                    for (&g, &idx) in cur.iter().zip(&argmax[s * per_out..(s + 1) * per_out]) {
+                        dst[idx - base] += g;
                     }
-                    grad = grad_in;
+                    std::mem::swap(&mut cur, &mut nxt);
                 }
-                (SampleCache::Conv { .. }, _) => {
-                    unreachable!("conv cache recorded for a non-conv layer")
+                // A sample's flat storage is unchanged by flattening: identity.
+                (BatchCache::Flatten, Layer::Flatten(_)) => {}
+                (BatchCache::Act { output }, Layer::Activation(l)) => {
+                    // Derivative from the cached post-activation output —
+                    // bit-identical to `Activation::derivative` at the
+                    // pre-activation input (`y = act(x)` is the same bits, and
+                    // each rule below is the derivative formula rewritten in
+                    // terms of `y`), multiplied exactly like `zip_map`'s
+                    // `g * act.derivative(x)`.
+                    let per = output.len() / output.shape()[0];
+                    let ys = &output.data()[s * per..(s + 1) * per];
+                    debug_assert_eq!(cur.len(), per);
+                    match l.activation() {
+                        Activation::Relu => {
+                            // `y > 0` ⟺ `x > 0` (negatives, zeros and NaN all
+                            // clamp to 0), so the indicator matches exactly.
+                            for (g, &y) in cur.iter_mut().zip(ys) {
+                                *g *= if y > 0.0 { 1.0 } else { 0.0 };
+                            }
+                        }
+                        Activation::Tanh => {
+                            for (g, &y) in cur.iter_mut().zip(ys) {
+                                *g *= 1.0 - y * y;
+                            }
+                        }
+                        Activation::Sigmoid => {
+                            for (g, &y) in cur.iter_mut().zip(ys) {
+                                *g *= y * (1.0 - y);
+                            }
+                        }
+                        Activation::Identity => {
+                            for g in cur.iter_mut() {
+                                *g *= 1.0;
+                            }
+                        }
+                    }
                 }
+                _ => unreachable!("cache variant mismatches layer kind"),
             }
         }
-        Ok(grad)
+        arena.grad_b = nxt;
+        Ok(cur)
     }
 }
 

@@ -23,18 +23,52 @@ pub enum Activation {
     Identity,
 }
 
+/// `tanh` as a clamped rational polynomial: a 13th-degree odd numerator over a
+/// 6th-degree even denominator, the single-precision approximation vectorizing
+/// math libraries use. Maximum absolute error vs `f32::tanh` is below 1e-6
+/// over the full range; inputs beyond ±7.9 (where f32 `tanh` is exactly ±1)
+/// are clamped into the fitted range first. Unlike `f32::tanh` — an opaque
+/// libm call the compiler cannot inline — this evaluates with plain
+/// multiply/adds, so `Tensor::map` loops over it auto-vectorize; the batched
+/// forward pass spends as much time in tanh as in its matrix products, which
+/// is why the engine does not simply call libm. NaN propagates (clamp keeps
+/// NaN, and the polynomial turns it into NaN output).
+#[inline]
+fn tanh_rational(x: f32) -> f32 {
+    let x = x.clamp(-7.905_311, 7.905_311);
+    let x2 = x * x;
+    let mut p = -2.760_768_5e-16f32;
+    p = p * x2 + 2.000_188e-13;
+    p = p * x2 + -8.604_672e-11;
+    p = p * x2 + 5.122_297e-8;
+    p = p * x2 + 1.485_722_4e-5;
+    p = p * x2 + 6.372_619_3e-4;
+    p = p * x2 + 4.893_524_6e-3;
+    p *= x;
+    let mut q = 1.198_258_4e-6f32;
+    q = q * x2 + 1.185_347e-4;
+    q = q * x2 + 2.268_434_6e-3;
+    q = q * x2 + 4.893_525e-3;
+    p / q
+}
+
 impl Activation {
     /// Apply the activation to a scalar.
     pub fn apply(self, x: f32) -> f32 {
         match self {
             Activation::Relu => x.max(0.0),
-            Activation::Tanh => x.tanh(),
+            Activation::Tanh => tanh_rational(x),
             Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
             Activation::Identity => x,
         }
     }
 
     /// Derivative of the activation evaluated at pre-activation `x`.
+    ///
+    /// Each arm derives from the exact bits [`Activation::apply`] produces
+    /// (`Tanh` uses the same `tanh_rational`), so recomputing the derivative
+    /// from a cached *output* `y` — `1 - y²`, `y·(1-y)`, `y > 0` — matches
+    /// this function bit-for-bit; the batched gradient engine relies on that.
     pub fn derivative(self, x: f32) -> f32 {
         match self {
             Activation::Relu => {
@@ -45,7 +79,7 @@ impl Activation {
                 }
             }
             Activation::Tanh => {
-                let t = x.tanh();
+                let t = tanh_rational(x);
                 1.0 - t * t
             }
             Activation::Sigmoid => {
@@ -195,6 +229,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn rational_tanh_tracks_libm_and_saturates_inside_unit_interval() {
+        let mut worst = 0.0f32;
+        for i in -16_000..=16_000 {
+            let x = i as f32 * 1e-3; // dense sweep of [-16, 16]
+            let y = Activation::Tanh.apply(x);
+            worst = worst.max((y - x.tanh()).abs());
+            assert!(y.abs() <= 1.0, "tanh({x}) = {y} escaped [-1, 1]");
+            assert_eq!(
+                y.to_bits(),
+                (-Activation::Tanh.apply(-x)).to_bits(),
+                "odd symmetry broke at {x}"
+            );
+        }
+        assert!(worst < 1e-6, "max |fast - libm| = {worst}");
+        assert_eq!(Activation::Tanh.apply(0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(Activation::Tanh.apply(100.0), 1.0f32.tanh().signum());
+        assert!(Activation::Tanh.apply(f32::NAN).is_nan());
+        assert_eq!(Activation::Tanh.apply(f32::INFINITY), 1.0);
+        assert_eq!(Activation::Tanh.apply(f32::NEG_INFINITY), -1.0);
     }
 
     #[test]

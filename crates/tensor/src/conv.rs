@@ -157,28 +157,26 @@ fn check_conv_args(
     Ok(())
 }
 
-/// Lower one `[C, H, W]` sample into an im2col matrix `[C*KH*KW, OH*OW]`.
+/// Copy one sample's receptive fields into an im2col layout.
 ///
-/// Column `p` of the result holds the receptive field that produces output pixel
-/// `p` (row-major over `OH`×`OW`); zero padding contributes explicit zeros.
-///
-/// # Errors
-///
-/// Returns a [`TensorError`] for non-rank-3 input or invalid window geometry.
-pub fn im2col(sample: &Tensor, geom: Conv2dGeometry) -> Result<Tensor> {
-    if sample.ndim() != 3 {
-        return Err(TensorError::RankMismatch {
-            expected: 3,
-            actual: sample.shape().to_vec(),
-            op: "im2col",
-        });
-    }
-    let (c, h, w) = (sample.shape()[0], sample.shape()[1], sample.shape()[2]);
-    let (oh, ow) = geom.output_hw(h, w)?;
-    let rows = c * geom.kh * geom.kw;
-    let cols = oh * ow;
-    let mut out = vec![0.0f32; rows * cols];
-    let sd = sample.data();
+/// `out` must be zeroed where padding positions land; this writes only the
+/// in-bounds entries. Row `r` of the im2col matrix starts at `out[r *
+/// row_stride + col_offset]` — `row_stride`/`col_offset` are what let the
+/// batched lowering write each sample's columns straight into its slot of the
+/// shared `[C*KH*KW, N*OH*OW]` matrix without a per-sample staging tensor.
+#[allow(clippy::too_many_arguments)] // internal hot loop; the args are the full addressing scheme
+fn im2col_scatter(
+    sd: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: Conv2dGeometry,
+    oh: usize,
+    ow: usize,
+    out: &mut [f32],
+    row_stride: usize,
+    col_offset: usize,
+) {
     for ci in 0..c {
         for khi in 0..geom.kh {
             for kwi in 0..geom.kw {
@@ -195,12 +193,70 @@ pub fn im2col(sample: &Tensor, geom: Conv2dGeometry) -> Result<Tensor> {
                             continue;
                         }
                         let iw = iw - geom.pad;
-                        out[r * cols + ohi * ow + owi] = sd[(ci * h + ih) * w + iw];
+                        out[r * row_stride + col_offset + ohi * ow + owi] =
+                            sd[(ci * h + ih) * w + iw];
                     }
                 }
             }
         }
     }
+}
+
+/// Lower a raw `[C, H, W]` slice into an im2col matrix written into a
+/// caller-owned buffer; returns the matrix dimensions `(C*KH*KW, OH*OW)`.
+///
+/// The buffer is resized and **fully overwritten** (zeros where padding
+/// lands), so a reused arena buffer produces bit-identical results to a fresh
+/// allocation. This is the allocation-free core of [`im2col`], threaded
+/// through the batched gradient engine's [`crate::ScratchArena`].
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when `sample` is not `c*h*w` long or the window
+/// geometry is invalid.
+pub fn im2col_slice_into(
+    sample: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: Conv2dGeometry,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize)> {
+    if sample.len() != c * h * w {
+        return Err(TensorError::ShapeDataMismatch {
+            shape: vec![c, h, w],
+            data_len: sample.len(),
+        });
+    }
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    let cols = oh * ow;
+    out.clear();
+    out.resize(rows * cols, 0.0);
+    im2col_scatter(sample, c, h, w, geom, oh, ow, out, cols, 0);
+    Ok((rows, cols))
+}
+
+/// Lower one `[C, H, W]` sample into an im2col matrix `[C*KH*KW, OH*OW]`.
+///
+/// Column `p` of the result holds the receptive field that produces output pixel
+/// `p` (row-major over `OH`×`OW`); zero padding contributes explicit zeros.
+/// Allocating wrapper around [`im2col_slice_into`].
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] for non-rank-3 input or invalid window geometry.
+pub fn im2col(sample: &Tensor, geom: Conv2dGeometry) -> Result<Tensor> {
+    if sample.ndim() != 3 {
+        return Err(TensorError::RankMismatch {
+            expected: 3,
+            actual: sample.shape().to_vec(),
+            op: "im2col",
+        });
+    }
+    let (c, h, w) = (sample.shape()[0], sample.shape()[1], sample.shape()[2]);
+    let mut out = Vec::new();
+    let (rows, cols) = im2col_slice_into(sample.data(), c, h, w, geom, &mut out)?;
     Tensor::from_vec(out, &[rows, cols])
 }
 
@@ -234,8 +290,40 @@ pub fn col2im(cols: &Tensor, geom: Conv2dGeometry, c: usize, h: usize, w: usize)
             op: "col2im",
         });
     }
-    let cd = cols.data();
-    let mut out = vec![0.0f32; c * h * w];
+    let mut out = Vec::new();
+    col2im_slice_into(cols.data(), geom, c, h, w, &mut out)?;
+    Tensor::from_vec(out, &[c, h, w])
+}
+
+/// Scatter a raw im2col-layout slice back onto a `[C, H, W]` image written
+/// into a caller-owned buffer — the allocation-free core of [`col2im`].
+///
+/// The buffer is resized to `c*h*w`, zeroed, and then accumulated into, so a
+/// reused arena buffer produces bit-identical results to a fresh allocation.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when `cols` is not `C*KH*KW × OH*OW` long or the
+/// window does not fit the target image.
+pub fn col2im_slice_into(
+    cols: &[f32],
+    geom: Conv2dGeometry,
+    c: usize,
+    h: usize,
+    w: usize,
+    out: &mut Vec<f32>,
+) -> Result<()> {
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    let ncols = oh * ow;
+    if cols.len() != rows * ncols {
+        return Err(TensorError::ShapeDataMismatch {
+            shape: vec![rows, ncols],
+            data_len: cols.len(),
+        });
+    }
+    out.clear();
+    out.resize(c * h * w, 0.0);
     for ci in 0..c {
         for khi in 0..geom.kh {
             for kwi in 0..geom.kw {
@@ -252,13 +340,13 @@ pub fn col2im(cols: &Tensor, geom: Conv2dGeometry, c: usize, h: usize, w: usize)
                             continue;
                         }
                         let iw = iw - geom.pad;
-                        out[(ci * h + ih) * w + iw] += cd[r * ncols + ohi * ow + owi];
+                        out[(ci * h + ih) * w + iw] += cols[r * ncols + ohi * ow + owi];
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(out, &[c, h, w])
+    Ok(())
 }
 
 /// Lower a whole batch `[N, C, H, W]` into one im2col matrix
@@ -274,26 +362,118 @@ pub fn col2im(cols: &Tensor, geom: Conv2dGeometry, c: usize, h: usize, w: usize)
 ///
 /// Returns a [`TensorError`] for non-rank-4 input or invalid window geometry.
 pub fn im2col_batch(input: &Tensor, geom: Conv2dGeometry) -> Result<Tensor> {
+    let mut out = Vec::new();
+    let (rows, ncols) = im2col_batch_into(input, geom, &mut out)?;
+    Tensor::from_vec(out, &[rows, ncols])
+}
+
+/// Lower a whole batch into one im2col matrix written into a caller-owned
+/// buffer; returns the matrix dimensions `(C*KH*KW, N*OH*OW)`.
+///
+/// The allocation-free core of [`im2col_batch`]: each sample's receptive
+/// fields are scattered straight into its column slot of the shared matrix —
+/// no per-sample staging tensor, no row-by-row copy. The buffer is resized
+/// and fully overwritten, so arena reuse is bit-identical to fresh allocation.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] for non-rank-4 input or invalid window geometry.
+pub fn im2col_batch_into(
+    input: &Tensor,
+    geom: Conv2dGeometry,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize)> {
     let (n, c, h, w) = expect_rank4(input, "im2col_batch")?;
     let (oh, ow) = geom.output_hw(h, w)?;
     let rows = c * geom.kh * geom.kw;
     let per_sample = oh * ow;
     let ncols = n * per_sample;
-    let mut out = vec![0.0f32; rows * ncols];
+    out.clear();
+    out.resize(rows * ncols, 0.0);
     let sample_len = c * h * w;
     for ni in 0..n {
-        let sample = Tensor::from_vec(
-            input.data()[ni * sample_len..(ni + 1) * sample_len].to_vec(),
-            &[c, h, w],
-        )?;
-        let cols = im2col(&sample, geom)?;
-        let cd = cols.data();
-        for r in 0..rows {
-            out[r * ncols + ni * per_sample..r * ncols + (ni + 1) * per_sample]
-                .copy_from_slice(&cd[r * per_sample..(r + 1) * per_sample]);
-        }
+        let sample = &input.data()[ni * sample_len..(ni + 1) * sample_len];
+        im2col_scatter(sample, c, h, w, geom, oh, ow, out, ncols, ni * per_sample);
     }
-    Tensor::from_vec(out, &[rows, ncols])
+    Ok((rows, ncols))
+}
+
+/// Lower a whole batch into per-sample im2col **blocks** written into a
+/// caller-owned buffer; returns the per-sample matrix dimensions
+/// `(C*KH*KW, OH*OW)`.
+///
+/// Unlike [`im2col_batch_into`], which concatenates samples along the column
+/// axis of one shared matrix, this layout keeps each sample's `[C*KH*KW,
+/// OH*OW]` matrix **contiguous**: sample `s` occupies
+/// `out[s*rows*per .. (s+1)*rows*per]`, bit-identical to what
+/// [`im2col_slice_into`] produces for that sample alone. That makes each block
+/// directly consumable by the matmul kernels (which want a contiguous
+/// right-hand side) without a per-sample staging allocation — the batched
+/// gradient engine retains exactly this buffer for its backward pass. The
+/// buffer is resized and fully overwritten, so arena reuse is bit-identical
+/// to fresh allocation.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] for non-rank-4 input or invalid window geometry.
+pub fn im2col_batch_blocks_into(
+    input: &Tensor,
+    geom: Conv2dGeometry,
+    out: &mut Vec<f32>,
+) -> Result<(usize, usize)> {
+    let (n, c, h, w) = expect_rank4(input, "im2col_batch_blocks")?;
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    let per = oh * ow;
+    out.resize(n * rows * per, 0.0);
+    let sample_len = c * h * w;
+    for ni in 0..n {
+        let sample = &input.data()[ni * sample_len..(ni + 1) * sample_len];
+        let block = &mut out[ni * rows * per..(ni + 1) * rows * per];
+        im2col_block_into(sample, c, h, w, geom, block)?;
+    }
+    Ok((rows, per))
+}
+
+/// Lower one raw `[C, H, W]` sample into a caller-provided im2col block of
+/// exactly `rows * per` elements (one contiguous block of the layout built by
+/// [`im2col_batch_blocks_into`]); returns `(rows, per)`.
+///
+/// The block is fully overwritten (zeros where padding lands), so stale
+/// contents never leak through — bit-identical to [`im2col_slice_into`] on a
+/// fresh buffer. Exists so a caller holding one flat multi-sample buffer can
+/// interleave lowering with consuming each block while it is still cache-hot.
+///
+/// # Errors
+///
+/// Returns a [`TensorError`] when `sample` is not `c*h*w` long, the window
+/// geometry is invalid, or `block` is not exactly `rows * per` long.
+pub fn im2col_block_into(
+    sample: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: Conv2dGeometry,
+    block: &mut [f32],
+) -> Result<(usize, usize)> {
+    if sample.len() != c * h * w {
+        return Err(TensorError::ShapeDataMismatch {
+            shape: vec![c, h, w],
+            data_len: sample.len(),
+        });
+    }
+    let (oh, ow) = geom.output_hw(h, w)?;
+    let rows = c * geom.kh * geom.kw;
+    let per = oh * ow;
+    if block.len() != rows * per {
+        return Err(TensorError::ShapeDataMismatch {
+            shape: vec![rows, per],
+            data_len: block.len(),
+        });
+    }
+    block.fill(0.0);
+    im2col_scatter(sample, c, h, w, geom, oh, ow, block, per, 0);
+    Ok((rows, per))
 }
 
 /// Forward one `[C, H, W]` sample through an im2col convolution, keeping the
@@ -399,14 +579,22 @@ pub fn conv2d_forward_im2col(
     // Weight matrix [OC, C*KH*KW].
     let wmat = weight.reshape(&[oc, c * kh * kw])?;
     let mut out = vec![0.0f32; n * oc * oh * ow];
+    let mut cols = Vec::new();
+    let bd = bias.data();
+    let sample_len = c * h * w;
+    let out_len = oc * oh * ow;
 
     for ni in 0..n {
-        let sample = Tensor::from_vec(
-            input.data()[ni * c * h * w..(ni + 1) * c * h * w].to_vec(),
-            &[c, h, w],
-        )?;
-        let (prod, _) = conv2d_sample_forward_cols(&sample, &wmat, bias, geom)?;
-        out[ni * oc * oh * ow..(ni + 1) * oc * oh * ow].copy_from_slice(prod.data());
+        let sample = &input.data()[ni * sample_len..(ni + 1) * sample_len];
+        let (rows, per) = im2col_slice_into(sample, c, h, w, geom, &mut cols)?;
+        let dst = &mut out[ni * out_len..(ni + 1) * out_len];
+        crate::kernels::gemm(oc, rows, per, wmat.data(), &cols, dst);
+        for oci in 0..oc {
+            let b = bd[oci];
+            for v in &mut dst[oci * per..(oci + 1) * per] {
+                *v += b;
+            }
+        }
     }
     Tensor::from_vec(out, &[n, oc, oh, ow])
 }
@@ -686,6 +874,29 @@ mod tests {
             }
         }
         assert!(im2col_batch(&Tensor::zeros(&[4, 4]), geom).is_err());
+    }
+
+    #[test]
+    fn im2col_batch_blocks_are_per_sample_im2col() {
+        // Padded geometry so zero-fill positions are exercised too.
+        let input = Tensor::from_fn(&[3, 2, 4, 5], |i| ((i as f32) * 0.13).sin());
+        let geom = Conv2dGeometry::square(3, 1, 1);
+        let mut blocks = vec![f32::NAN; 7]; // dirty buffer: must be overwritten
+        let (rows, per) = im2col_batch_blocks_into(&input, geom, &mut blocks).unwrap();
+        assert_eq!((rows, per), (2 * 9, 4 * 5));
+        assert_eq!(blocks.len(), 3 * rows * per);
+        let sample_len = 2 * 4 * 5;
+        for ni in 0..3 {
+            let mut single = Vec::new();
+            let sd = &input.data()[ni * sample_len..(ni + 1) * sample_len];
+            im2col_slice_into(sd, 2, 4, 5, geom, &mut single).unwrap();
+            assert_eq!(
+                &blocks[ni * rows * per..(ni + 1) * rows * per],
+                single.as_slice(),
+                "sample {ni} block must be bit-identical to its solo lowering"
+            );
+        }
+        assert!(im2col_batch_blocks_into(&Tensor::zeros(&[4, 4]), geom, &mut blocks).is_err());
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //!   shape-checked element-wise arithmetic, reductions and reshaping.
 //! * [`ops`] — linear-algebra kernels (matrix multiplication, transposition,
 //!   batched row access) used by the fully-connected layers.
+//! * [`kernels`] — the cache-blocked, register-tiled matmul micro-kernels
+//!   behind [`ops::matmul`] / [`ops::matmul_nt`], bit-identical to the naive
+//!   reference loops.
+//! * [`arena`] — the [`ScratchArena`] of reusable scratch buffers the batched
+//!   gradient engine threads through its hot loops.
 //! * [`conv`] — convolution and pooling primitives (direct and im2col-based
 //!   forward passes, full backward passes) used by the convolutional layers.
 //! * [`init`] — reproducible weight initializers (uniform, normal, Xavier/Glorot,
@@ -43,11 +48,14 @@
 mod error;
 mod tensor;
 
+pub mod arena;
 pub mod conv;
 pub mod init;
+pub mod kernels;
 pub mod ops;
 pub mod par;
 pub mod shape;
 
+pub use arena::ScratchArena;
 pub use error::{Result, TensorError};
 pub use tensor::Tensor;

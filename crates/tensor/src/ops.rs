@@ -19,9 +19,39 @@ fn expect_rank(t: &Tensor, rank: usize, op: &'static str) -> Result<()> {
     Ok(())
 }
 
+/// Validate a `[m, k] x [k, n]` (or, with `nt`, `[m, k] x [n, k]`) operand
+/// pair and return `(m, k, n)`.
+fn matmul_dims(
+    a: &Tensor,
+    b: &Tensor,
+    nt: bool,
+    op: &'static str,
+) -> Result<(usize, usize, usize)> {
+    expect_rank(a, 2, op)?;
+    expect_rank(b, 2, op)?;
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = if nt {
+        (b.shape()[1], b.shape()[0])
+    } else {
+        (b.shape()[0], b.shape()[1])
+    };
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    Ok((m, k, n))
+}
+
 /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
 ///
-/// Uses a cache-friendly i-k-j loop ordering over the row-major buffers.
+/// Runs the cache-blocked, register-tiled kernel in [`crate::kernels`];
+/// results are bit-identical to the naive [`matmul_reference`] loop for all
+/// inputs — non-finite values in either operand propagate through the product
+/// exactly as IEEE 754 prescribes (`0 · NaN = NaN`, `0 · ∞ = NaN`). An earlier
+/// version skipped the inner loop whenever `a[i][p] == 0.0`, silently
+/// swallowing NaN/Inf in `b`; the skip is gone.
 ///
 /// # Errors
 ///
@@ -42,25 +72,30 @@ fn expect_rank(t: &Tensor, rank: usize, op: &'static str) -> Result<()> {
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    expect_rank(a, 2, "matmul")?;
-    expect_rank(b, 2, "matmul")?;
-    let (m, k) = (a.shape()[0], a.shape()[1]);
-    let (k2, n) = (b.shape()[0], b.shape()[1]);
-    if k != k2 {
-        return Err(TensorError::MatmulDimMismatch {
-            lhs: a.shape().to_vec(),
-            rhs: b.shape().to_vec(),
-        });
-    }
+    let (m, k, n) = matmul_dims(a, b, false, "matmul")?;
+    let mut out = vec![0.0f32; m * n];
+    crate::kernels::gemm(m, k, n, a.data(), b.data(), &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Naive i-k-j matrix product — the bit-exact reference for [`matmul`].
+///
+/// Kept (and exercised by the differential tests) so the blocked kernel always
+/// has an independent, obviously-correct implementation to agree with. Each
+/// output element accumulates `a[i][p] * b[p][j]` over ascending `p` starting
+/// from `0.0`, with no shortcuts: non-finite values propagate.
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul`].
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k, n) = matmul_dims(a, b, false, "matmul_reference")?;
     let mut out = vec![0.0f32; m * n];
     let ad = a.data();
     let bd = b.data();
     for i in 0..m {
         for p in 0..k {
             let aik = ad[i * k + p];
-            if aik == 0.0 {
-                continue;
-            }
             let brow = &bd[p * n..(p + 1) * n];
             let orow = &mut out[i * n..(i + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
@@ -73,29 +108,38 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// Matrix product with the right-hand side transposed: `[m, k] x [n, k] -> [m, n]`.
 ///
-/// Computes `a · bᵀ` without materializing the transpose. Every output element is
-/// a dot product of two contiguous rows, which makes this the cache-friendliest
-/// formulation for gradient kernels such as `∂L/∂W = ∂L/∂out · colsᵀ` in the
-/// im2col convolution backward pass. The accumulation order over `k` matches
-/// [`matmul`] exactly, so `matmul_nt(a, b)` is bit-identical to
-/// `matmul(a, transpose(b))`... up to the skipped-zero shortcut in [`matmul`]
-/// (which only changes signed zeros).
+/// Computes `a · bᵀ` without materializing the transpose: the blocked kernel
+/// in [`crate::kernels`] folds the transpose into its panel packing, then runs
+/// the same micro-kernel as [`matmul`]. The accumulation order over `k`
+/// matches [`matmul`] exactly, so `matmul_nt(a, b)` is bit-identical to
+/// `matmul(a, transpose(b))` for **all** inputs — NaN, ±Inf and signed zeros
+/// included (the regression test below pins this; the old skipped-zero
+/// shortcut that broke it for non-finite `b` is gone). This is the gradient
+/// kernel behind `∂L/∂W = ∂L/∂out · colsᵀ` in the im2col convolution backward
+/// pass.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::RankMismatch`] if either operand is not rank-2 and
 /// [`TensorError::MatmulDimMismatch`] if the shared dimension disagrees.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
-    expect_rank(a, 2, "matmul_nt")?;
-    expect_rank(b, 2, "matmul_nt")?;
-    let (m, k) = (a.shape()[0], a.shape()[1]);
-    let (n, k2) = (b.shape()[0], b.shape()[1]);
-    if k != k2 {
-        return Err(TensorError::MatmulDimMismatch {
-            lhs: a.shape().to_vec(),
-            rhs: b.shape().to_vec(),
-        });
-    }
+    let (m, k, n) = matmul_dims(a, b, true, "matmul_nt")?;
+    let mut out = vec![0.0f32; m * n];
+    crate::kernels::gemm_nt(m, k, n, a.data(), b.data(), &mut out);
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Naive row-dot-product `a · bᵀ` — the bit-exact reference for [`matmul_nt`].
+///
+/// Every output element is one sequential dot product of two contiguous rows,
+/// accumulated over ascending `k` from `0.0` — the same per-element fold as
+/// [`matmul_reference`], so the two references agree bitwise under transpose.
+///
+/// # Errors
+///
+/// Same error conditions as [`matmul_nt`].
+pub fn matmul_nt_reference(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k, n) = matmul_dims(a, b, true, "matmul_nt_reference")?;
     let ad = a.data();
     let bd = b.data();
     let mut out = vec![0.0f32; m * n];
@@ -366,6 +410,69 @@ mod tests {
             matmul(&a, &c),
             Err(TensorError::RankMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn non_finite_values_propagate_and_kernels_stay_bit_identical() {
+        // Regression for the zero-skip bug: a zero in `a` must NOT swallow a
+        // NaN/Inf sitting in the corresponding `b` entries (0·NaN = NaN,
+        // 0·∞ = NaN), and `matmul(a, transpose(b))` must stay bit-identical
+        // to `matmul_nt(a, b)` even for NaN/Inf/-0.0 inputs.
+        let a = Tensor::from_vec(
+            vec![
+                0.0, 1.0, -0.0, //
+                2.0, 0.0, 0.5, //
+                -0.0, -0.0, 0.0,
+            ],
+            &[3, 3],
+        )
+        .unwrap();
+        // b in [n, k] orientation for matmul_nt.
+        let b = Tensor::from_vec(
+            vec![
+                f32::NAN,
+                1.0,
+                2.0, //
+                f32::INFINITY,
+                -0.0,
+                3.0, //
+                0.25,
+                f32::NEG_INFINITY,
+                -0.0,
+            ],
+            &[3, 3],
+        )
+        .unwrap();
+        let bt = transpose(&b).unwrap();
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+
+        let via_t = matmul(&a, &bt).unwrap();
+        let nt = matmul_nt(&a, &b).unwrap();
+        assert_eq!(bits(&via_t), bits(&nt), "matmul vs matmul_nt");
+        // The references agree with the blocked kernels bit-for-bit too.
+        assert_eq!(bits(&via_t), bits(&matmul_reference(&a, &bt).unwrap()));
+        assert_eq!(bits(&nt), bits(&matmul_nt_reference(&a, &b).unwrap()));
+
+        // Row 0 of `a` is (0, 1, -0): column 0 of bᵀ holds the NaN, so the
+        // product's [0,0] must be NaN — the old skip returned a finite value.
+        assert!(via_t.get(&[0, 0]).unwrap().is_nan());
+        // Row 2 is all zeros; against the ±Inf column the result is NaN.
+        assert!(via_t.get(&[2, 1]).unwrap().is_nan());
+    }
+
+    #[test]
+    fn matmul_matches_reference_on_ragged_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 9, 8), (5, 2, 9), (13, 11, 17)] {
+            let a = Tensor::from_fn(&[m, k], |i| ((i as f32) * 0.37).sin() - 0.2);
+            let b = Tensor::from_fn(&[k, n], |i| ((i as f32) * 0.53).cos() * 1.5);
+            let fast = matmul(&a, &b).unwrap();
+            let reference = matmul_reference(&a, &b).unwrap();
+            assert_eq!(fast, reference, "[{m},{k}]x[{k},{n}]");
+            let bnt = Tensor::from_fn(&[n, k], |i| ((i as f32) * 0.29).sin() + 0.1);
+            let fast_nt = matmul_nt(&a, &bnt).unwrap();
+            let reference_nt = matmul_nt_reference(&a, &bnt).unwrap();
+            assert_eq!(fast_nt, reference_nt, "nt [{m},{k}]x[{n},{k}]t");
+        }
     }
 
     #[test]

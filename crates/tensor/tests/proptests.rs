@@ -6,8 +6,9 @@
 //! implementations, and gradient-routing conservation in max pooling.
 
 use dnnip_tensor::conv::{
-    conv2d_backward, conv2d_forward, conv2d_forward_im2col, conv2d_forward_im2col_batch,
-    maxpool2d_backward, maxpool2d_forward, Conv2dGeometry,
+    col2im_slice_into, conv2d_backward, conv2d_forward, conv2d_forward_im2col,
+    conv2d_forward_im2col_batch, im2col_batch_into, im2col_slice_into, maxpool2d_backward,
+    maxpool2d_forward, Conv2dGeometry,
 };
 use dnnip_tensor::{ops, Tensor};
 use proptest::prelude::*;
@@ -237,6 +238,55 @@ proptest! {
             let slice = ops::batch_slice(&batch, i, i + 1).unwrap();
             prop_assert_eq!(slice.data(), item.data());
         }
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive_reference(
+        m in 1usize..18, k in 1usize..18, n in 1usize..18, seed in 0u64..1000
+    ) {
+        // Ragged shapes straddle every register-tile remainder path (m % MR,
+        // n % NR, short k); the blocked kernels must agree with the naive
+        // references bit for bit, not approximately.
+        let a = Tensor::from_fn(&[m, k], |i| (((i as u64 + seed) * 29) % 41) as f32 * 0.13 - 2.1);
+        let b = Tensor::from_fn(&[k, n], |i| (((i as u64 + seed) * 43) % 37) as f32 * 0.11 - 1.8);
+        prop_assert_eq!(ops::matmul(&a, &b).unwrap(), ops::matmul_reference(&a, &b).unwrap());
+        let bt = Tensor::from_fn(&[n, k], |i| (((i as u64 + seed) * 53) % 31) as f32 * 0.17 - 2.4);
+        prop_assert_eq!(
+            ops::matmul_nt(&a, &bt).unwrap(),
+            ops::matmul_nt_reference(&a, &bt).unwrap()
+        );
+    }
+
+    #[test]
+    fn arena_buffer_reuse_equals_fresh_buffers(
+        n in 1usize..3, c in 1usize..3, hw in 3usize..7,
+        stride in 1usize..3, pad in 0usize..2, seed in 0u64..1000
+    ) {
+        // The `_into` kernels must fully overwrite whatever a reused scratch
+        // buffer held before — a dirty oversized buffer and a fresh one must
+        // produce bit-identical results.
+        let geom = Conv2dGeometry::square(3, stride, pad);
+        let input = Tensor::from_fn(&[n, c, hw, hw], |i| (((i as u64 + seed) * 13) % 37) as f32 * 0.1 - 1.7);
+
+        let mut fresh = Vec::new();
+        let dims = im2col_batch_into(&input, geom, &mut fresh).unwrap();
+        let mut dirty = vec![f32::NAN; fresh.len() + 64];
+        prop_assert_eq!(im2col_batch_into(&input, geom, &mut dirty).unwrap(), dims);
+        prop_assert_eq!(&dirty, &fresh);
+
+        let sample = &input.data()[..c * hw * hw];
+        let mut fresh_s = Vec::new();
+        let (rows, cols) = im2col_slice_into(sample, c, hw, hw, geom, &mut fresh_s).unwrap();
+        let mut dirty_s = vec![f32::INFINITY; 7];
+        im2col_slice_into(sample, c, hw, hw, geom, &mut dirty_s).unwrap();
+        prop_assert_eq!(&dirty_s, &fresh_s);
+
+        let colvals: Vec<f32> = (0..rows * cols).map(|i| (((i as u64 + seed) * 7) % 19) as f32 * 0.2 - 1.9).collect();
+        let mut fresh_g = Vec::new();
+        col2im_slice_into(&colvals, geom, c, hw, hw, &mut fresh_g).unwrap();
+        let mut dirty_g = vec![f32::NAN; fresh_g.len() * 2 + 3];
+        col2im_slice_into(&colvals, geom, c, hw, hw, &mut dirty_g).unwrap();
+        prop_assert_eq!(&dirty_g, &fresh_g);
     }
 
     #[test]
