@@ -85,6 +85,7 @@ const EXPECTED: &[(&str, &[&str])] = &[
             "requests",
             "workers",
             "seed",
+            "coalesce",
             "wall_s",
             "throughput_rps",
             "p50_ms",
@@ -92,6 +93,7 @@ const EXPECTED: &[(&str, &[&str])] = &[
             "p99_ms",
             "errors",
             "timeouts",
+            "burst",
         ],
     ),
 ];
@@ -137,6 +139,35 @@ fn check_parallel_coverage(value: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Deep checks for `serve_load.json`'s `burst` block: the off/on replay
+/// pair both carry their latency/throughput fields, and the coalescing
+/// totals the `on` run recorded are present and numeric.
+fn check_serve_load(value: &Json) -> Result<(), String> {
+    let burst = value
+        .get("burst")
+        .ok_or_else(|| "\"burst\" is missing".to_string())?;
+    for key in ["model", "criterion", "requests", "rounds", "off", "on"] {
+        if burst.get(key).is_none() {
+            return Err(format!("burst: missing key {key:?}"));
+        }
+    }
+    for side in ["off", "on"] {
+        let run = burst.get(side).expect("checked above");
+        for key in ["wall_s", "throughput_rps", "p50_ms", "p95_ms"] {
+            if run.get(key).and_then(Json::as_f64).is_none() {
+                return Err(format!("burst.{side}: missing numeric key {key:?}"));
+            }
+        }
+    }
+    let on = burst.get("on").expect("checked above");
+    for key in ["batches", "mean_batch_size", "shared_samples"] {
+        if on.get(key).and_then(Json::as_f64).is_none() {
+            return Err(format!("burst.on: missing numeric key {key:?}"));
+        }
+    }
+    Ok(())
+}
+
 fn check_artifact(path: &Path) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
@@ -157,6 +188,9 @@ fn check_artifact(path: &Path) -> Result<(), String> {
     }
     if name == "parallel_coverage.json" {
         check_parallel_coverage(&value).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    if name == "serve_load.json" {
+        check_serve_load(&value).map_err(|e| format!("{}: {e}", path.display()))?;
     }
     Ok(())
 }

@@ -144,8 +144,22 @@ impl Bitset {
     }
 
     /// Iterate over the indices of the set bits in increasing order.
+    ///
+    /// Word-wise: each backing `u64` is consumed by clearing its lowest set
+    /// bit per step (`trailing_zeros`), so a full pass is O(words + ones)
+    /// instead of O(len) bounds-checked [`Bitset::get`] probes — zero words,
+    /// the common case for sparse activation sets, cost one comparison each.
+    /// Bits past `len` cannot appear: [`Bitset::from_words`] and
+    /// [`Bitset::or_word`] reject stray high bits.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let base = wi * 64;
+            std::iter::successors((word != 0).then_some(word), |&rest| {
+                let rest = rest & (rest - 1); // clear lowest set bit
+                (rest != 0).then_some(rest)
+            })
+            .map(move |rest| base + rest.trailing_zeros() as usize)
+        })
     }
 
     /// The backing `u64` words (`len.div_ceil(64)` of them, low bits first) —

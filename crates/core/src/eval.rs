@@ -30,13 +30,13 @@
 //! [`crate::protocol::FunctionalTestSuite::from_evaluator`] routes through it,
 //! so building suites for nested test prefixes replays no inference.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 use dnnip_faults::attacks::Attack;
 use dnnip_faults::detection::{self, DetectionConfig, DetectionReport};
-use dnnip_nn::fingerprint::{Fnv1a, NetworkFingerprint};
+use dnnip_nn::fingerprint::NetworkFingerprint;
 use dnnip_nn::Network;
 use dnnip_tensor::Tensor;
 
@@ -187,6 +187,7 @@ struct CacheEntry<V> {
 struct Counters {
     hits: u64,
     misses: u64,
+    flight_hits: u64,
     insertions: u64,
     evictions: u64,
     entries: usize,
@@ -234,6 +235,10 @@ pub struct CacheStats {
     /// Lookups not answered from memory (served by the persistent tier, when
     /// one is attached, or freshly computed).
     pub misses: u64,
+    /// Lookups that found their key **in flight** on another thread and were
+    /// served by waiting for that computation instead of duplicating it (the
+    /// single-flight path; each also counts as a hit once the value lands).
+    pub flight_hits: u64,
     /// Values stored (hits never re-store).
     pub insertions: u64,
     /// Values dropped to stay under the byte budget.
@@ -263,11 +268,71 @@ impl Counters {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
+            flight_hits: self.flight_hits,
             insertions: self.insertions,
             evictions: self.evictions,
             entries: self.entries,
             bytes: self.bytes,
             max_bytes,
+        }
+    }
+}
+
+/// Registry of cache keys whose values are being computed **right now** by
+/// some thread — the single-flight table.
+///
+/// A thread that misses on a key first tries to [`FlightTable::claim`] it;
+/// losing the claim means another thread is already computing that exact
+/// value, so the loser parks on the condvar instead of duplicating the work
+/// (the thundering-herd fix for cold concurrent requests over shared
+/// samples). Claims are always released through a [`FlightGuard`], so an
+/// erroring — or even panicking — computation wakes its waiters, who re-probe
+/// the cache and fall back to their own computation instead of hanging.
+#[derive(Debug, Default)]
+struct FlightTable {
+    keys: Mutex<HashSet<CacheKey>>,
+    wake: Condvar,
+}
+
+impl FlightTable {
+    /// Claim `key` for this thread's computation; `false` when another
+    /// thread's computation of it is already in flight.
+    fn claim(&self, key: CacheKey) -> bool {
+        self.keys.lock().expect("flight table lock").insert(key)
+    }
+
+    /// Release claims and wake every waiter.
+    fn release(&self, keys: &[CacheKey]) {
+        let mut set = self.keys.lock().expect("flight table lock");
+        for key in keys {
+            set.remove(key);
+        }
+        drop(set);
+        self.wake.notify_all();
+    }
+
+    /// Block until `key` is not in flight (returns immediately when it never
+    /// was).
+    fn wait_idle(&self, key: &CacheKey) {
+        let mut set = self.keys.lock().expect("flight table lock");
+        while set.contains(key) {
+            set = self.wake.wait(set).expect("flight table lock");
+        }
+    }
+}
+
+/// Unwind-safe ownership of in-flight claims: dropping the guard — on normal
+/// completion, an error return, or a panic inside the compute closure —
+/// releases every claimed key and wakes the waiters.
+struct FlightGuard<'a> {
+    table: &'a FlightTable,
+    keys: Vec<CacheKey>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.keys.is_empty() {
+            self.table.release(&self.keys);
         }
     }
 }
@@ -278,11 +343,13 @@ impl Counters {
 /// resident count. Keys are content digests, never references — two evaluators
 /// over byte-identical networks share hits, and a tampered clone of a network
 /// can never alias the original's entries. Counters are kept globally and per
-/// criterion id.
+/// criterion id. Fresh computations are **single-flight**: concurrent misses
+/// of one key compute it once (see the private `FlightTable`).
 #[derive(Debug)]
 pub struct ContentCache<V: CacheValue> {
     max_bytes: usize,
     inner: Mutex<CacheInner<V>>,
+    flight: FlightTable,
     /// Optional persistent tier consulted on in-memory misses and filled on
     /// fresh computations (shared across every cache of a workspace).
     disk: Option<Arc<DiskTier>>,
@@ -305,6 +372,7 @@ impl<V: CacheValue> ContentCache<V> {
         Self {
             max_bytes,
             inner: Mutex::new(CacheInner::default()),
+            flight: FlightTable::default(),
             disk,
         }
     }
@@ -413,6 +481,19 @@ impl<V: CacheValue> ContentCache<V> {
         inner.per_model.entry(net).or_default().misses += count;
     }
 
+    /// Record `count` lookups served by waiting on another thread's in-flight
+    /// computation instead of duplicating it.
+    fn note_flight_hits(&self, count: u64, criterion: &'static str, net: NetworkFingerprint) {
+        let mut inner = self.lock();
+        inner.total.flight_hits += count;
+        inner
+            .per_criterion
+            .entry(criterion)
+            .or_default()
+            .flight_hits += count;
+        inner.per_model.entry(net).or_default().flight_hits += count;
+    }
+
     /// Current counters over the whole cache. The entry/byte gauges are read
     /// straight off the resident map, so they can never drift from the budget
     /// accounting; only the per-criterion split is maintained incrementally.
@@ -476,6 +557,15 @@ impl<V: CacheValue> ContentCache<V> {
     /// one batch is computed and hashed exactly once) are computed in a single
     /// `compute` call and inserted. Both evaluator caches route through this,
     /// so the dedup/fill machinery exists exactly once.
+    ///
+    /// Fresh computations are **single-flight** across threads: a key another
+    /// thread is already computing is not recomputed here — this request's
+    /// slots for it park on the [`FlightTable`] (after this request's own
+    /// misses are computed, inserted and released, so two requests can never
+    /// deadlock waiting on each other's claims) and reuse the value the owner
+    /// inserts. An owner whose computation fails releases its claims before
+    /// returning the error; its waiters then re-probe, win the claim and run
+    /// their own computation — a failed flight never poisons a waiter.
     fn get_or_compute<K, F>(
         &self,
         samples: &[Tensor],
@@ -485,15 +575,22 @@ impl<V: CacheValue> ContentCache<V> {
     ) -> Result<Vec<V>>
     where
         K: Fn(&Tensor) -> CacheKey,
-        F: FnOnce(&[Tensor]) -> Result<Vec<V>>,
+        F: Fn(&[Tensor]) -> Result<Vec<V>>,
     {
         let mut out: Vec<Option<V>> = (0..samples.len()).map(|_| None).collect();
         // `miss_indices[p]` lists every output slot the `p`-th distinct miss
-        // fills; keys computed here are kept for the insert pass.
-        let mut miss_keys: Vec<CacheKey> = Vec::new();
+        // fills; keys computed here are kept for the insert pass. Claimed
+        // keys live in the guard so an error or panic releases them.
+        let mut guard = FlightGuard {
+            table: &self.flight,
+            keys: Vec::new(),
+        };
         let mut miss_indices: Vec<Vec<usize>> = Vec::new();
         let mut miss_samples: Vec<Tensor> = Vec::new();
         let mut key_to_miss: HashMap<CacheKey, usize> = HashMap::new();
+        // Keys some other thread is computing right now: (key, slots, sample).
+        let mut waits: Vec<(CacheKey, Vec<usize>, Tensor)> = Vec::new();
+        let mut key_to_wait: HashMap<CacheKey, usize> = HashMap::new();
         for (i, sample) in samples.iter().enumerate() {
             let key = key_fn(sample);
             if let Some(value) = self.get(&key, label) {
@@ -502,6 +599,10 @@ impl<V: CacheValue> ContentCache<V> {
             }
             if let Some(&pending) = key_to_miss.get(&key) {
                 miss_indices[pending].push(i);
+                continue;
+            }
+            if let Some(&parked) = key_to_wait.get(&key) {
+                waits[parked].1.push(i);
                 continue;
             }
             // First in-memory miss of this key in the request: probe the
@@ -513,17 +614,22 @@ impl<V: CacheValue> ContentCache<V> {
                 out[i] = Some(value);
                 continue;
             }
-            key_to_miss.insert(key, miss_samples.len());
-            miss_keys.push(key);
-            miss_indices.push(vec![i]);
-            miss_samples.push(sample.clone());
+            if self.flight.claim(key) {
+                key_to_miss.insert(key, miss_samples.len());
+                guard.keys.push(key);
+                miss_indices.push(vec![i]);
+                miss_samples.push(sample.clone());
+            } else {
+                key_to_wait.insert(key, waits.len());
+                waits.push((key, vec![i], sample.clone()));
+            }
         }
         if !miss_samples.is_empty() {
             // Every key of one request shares the evaluator's fingerprint, so
-            // the distinct-miss count is attributed to `miss_keys[0].net`.
-            self.note_misses(miss_samples.len() as u64, label, miss_keys[0].net);
+            // the distinct-miss count is attributed to the first key's net.
+            self.note_misses(miss_samples.len() as u64, label, guard.keys[0].net);
             let computed = compute(&miss_samples)?;
-            for ((indices, key), value) in miss_indices.iter().zip(&miss_keys).zip(&computed) {
+            for ((indices, key), value) in miss_indices.iter().zip(&guard.keys).zip(&computed) {
                 self.insert(*key, value, label);
                 for &i in indices {
                     out[i] = Some(value.clone());
@@ -534,14 +640,63 @@ impl<V: CacheValue> ContentCache<V> {
                 // (they all share this evaluator's fingerprint and criterion,
                 // so the tier emits exactly one file).
                 let batch: Vec<(CacheKey, &V)> =
-                    miss_keys.iter().copied().zip(computed.iter()).collect();
+                    guard.keys.iter().copied().zip(computed.iter()).collect();
                 disk.store_batch(&batch);
+            }
+        }
+        // Our own claims are done: release them BEFORE parking on foreign
+        // flights, so requests with interleaved miss sets can never deadlock.
+        drop(guard);
+        for (key, indices, sample) in waits {
+            let value = self.await_flight(key, &sample, label, &compute)?;
+            for i in indices {
+                out[i] = Some(value.clone());
             }
         }
         Ok(out
             .into_iter()
             .map(|s| s.expect("every slot filled by hit or computation"))
             .collect())
+    }
+
+    /// Wait out another thread's in-flight computation of `key` and reuse its
+    /// result; when the owner failed (or the value was already evicted),
+    /// compute it here instead.
+    fn await_flight<F>(
+        &self,
+        key: CacheKey,
+        sample: &Tensor,
+        label: &'static str,
+        compute: &F,
+    ) -> Result<V>
+    where
+        F: Fn(&[Tensor]) -> Result<Vec<V>>,
+    {
+        loop {
+            self.flight.wait_idle(&key);
+            if let Some(value) = self.get(&key, label) {
+                self.note_flight_hits(1, label, key.net);
+                return Ok(value);
+            }
+            // The flight landed nothing (failed owner / instant eviction):
+            // whoever wins the claim computes; losers go back to waiting.
+            if !self.flight.claim(key) {
+                continue;
+            }
+            let guard = FlightGuard {
+                table: &self.flight,
+                keys: vec![key],
+            };
+            self.note_misses(1, label, key.net);
+            let computed = compute(std::slice::from_ref(sample))?;
+            let value = computed.into_iter().next().expect("one value per sample");
+            self.insert(key, &value, label);
+            if let Some(disk) = &self.disk {
+                disk.store_batch(&[(key, &value)]);
+            }
+            drop(guard);
+            return Ok(value);
+        }
     }
 
     /// Drop every resident entry (hit/miss/insertion/eviction counters are
@@ -562,23 +717,48 @@ impl<V: CacheValue> ContentCache<V> {
     }
 }
 
-/// Content hash of a sample tensor: shape and exact `f32` bit patterns through
-/// two independent FNV-1a streams.
-fn sample_hash(sample: &Tensor) -> (u64, u64) {
-    let mut lo = Fnv1a::new();
-    let mut hi = Fnv1a::new_alt();
-    lo.write_u64(sample.shape().len() as u64);
-    hi.write_u64(sample.shape().len() as u64);
+/// The splitmix64 finalizer: a cheap bijective mixer with full avalanche.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Content hash of a sample tensor: shape and exact `f32` bit patterns
+/// through two independent splitmix64-style streams (128 bits total). Also
+/// the identity [`crate::workspace::Workspace::run_coalesced`] dedupes
+/// cross-request candidate pools by, so "same content hash" always means
+/// "same cache entry".
+///
+/// This runs on **every** cache probe — one hash per candidate per
+/// `activation_sets` call — so it absorbs two `f32`s per mixing step
+/// instead of byte-at-a-time FNV. Packing a trailing odd element as a lone
+/// low word cannot collide with a `[x, 0.0]` pair: the data length is the
+/// shape's element product and the shape is hashed first.
+pub(crate) fn sample_hash(sample: &Tensor) -> (u64, u64) {
+    const C_LO: u64 = 0x9e37_79b9_7f4a_7c15;
+    const C_HI: u64 = 0xc2b2_ae3d_27d4_eb4f;
+    let mut lo = mix64(0x2545_f491_4f6c_dd1d ^ sample.shape().len() as u64);
+    let mut hi = mix64(0x6a09_e667_f3bc_c909 ^ sample.shape().len() as u64);
     for &d in sample.shape() {
-        lo.write_u64(d as u64);
-        hi.write_u64(d as u64);
+        lo = mix64(lo ^ (d as u64).wrapping_mul(C_LO));
+        hi = mix64(hi ^ (d as u64).wrapping_mul(C_HI));
     }
-    for &v in sample.data() {
-        let bits = v.to_bits() as u64;
-        lo.write_u64(bits);
-        hi.write_u64(bits);
+    let mut chunks = sample.data().chunks_exact(2);
+    for pair in &mut chunks {
+        let word = (pair[0].to_bits() as u64) | ((pair[1].to_bits() as u64) << 32);
+        lo = mix64(lo ^ word.wrapping_mul(C_LO));
+        hi = mix64(hi ^ word.wrapping_mul(C_HI));
     }
-    (lo.finish(), hi.finish())
+    if let [last] = chunks.remainder() {
+        let word = last.to_bits() as u64;
+        lo = mix64(lo ^ word.wrapping_mul(C_LO));
+        hi = mix64(hi ^ word.wrapping_mul(C_HI));
+    }
+    (lo, hi)
 }
 
 /// Criterion-id label used for forward-output cache counters (outputs are
@@ -778,6 +958,15 @@ impl Evaluator {
             sample: sample_hash(sample),
             criterion: self.inner.criterion_key,
         }
+    }
+
+    /// The effective cache-key criterion component: the criterion digest,
+    /// XOR-tagged when this evaluator's forward path is quantized. Two
+    /// evaluators whose `(fingerprint, criterion_key)` pairs agree address
+    /// identical cache entries — the grouping identity
+    /// [`crate::workspace::Workspace::run_coalesced`] buckets by.
+    pub(crate) fn criterion_key(&self) -> u64 {
+        self.inner.criterion_key
     }
 
     fn output_key_for(&self, sample: &Tensor) -> CacheKey {
@@ -1300,5 +1489,135 @@ mod tests {
             assert_eq!(x.input, y.input);
         }
         let _ = ParamGradient::default();
+    }
+
+    /// A key for the single-flight race tests: any distinct `(u64, u64)` pair
+    /// works because the cache only compares digests.
+    fn race_key(sample: (u64, u64)) -> CacheKey {
+        CacheKey {
+            net: NetworkFingerprint::of_bytes(b"single-flight-test"),
+            sample,
+            criterion: 7,
+        }
+    }
+
+    fn one_bit_set() -> Bitset {
+        let mut set = Bitset::new(64);
+        set.set(3);
+        set
+    }
+
+    #[test]
+    fn racing_threads_on_one_cold_key_compute_it_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::mpsc;
+
+        let cache: Arc<ContentCache<Bitset>> = Arc::new(ContentCache::new(1 << 20));
+        let computes = Arc::new(AtomicUsize::new(0));
+        let sample = samples(1).pop().unwrap();
+        // The owner signals from inside its compute closure, then blocks until
+        // the main thread confirms the second thread has parked on the flight.
+        let (in_compute_tx, in_compute_rx) = mpsc::channel::<()>();
+        let (proceed_tx, proceed_rx) = mpsc::channel::<()>();
+        let owner = {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            let sample = sample.clone();
+            std::thread::spawn(move || {
+                cache.get_or_compute(
+                    std::slice::from_ref(&sample),
+                    |_| race_key((1, 2)),
+                    "race",
+                    move |misses| {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        in_compute_tx.send(()).unwrap();
+                        proceed_rx.recv().unwrap();
+                        Ok(vec![one_bit_set(); misses.len()])
+                    },
+                )
+            })
+        };
+        in_compute_rx.recv().unwrap();
+        // The key is now claimed and mid-compute: a second lookup of it must
+        // park on the flight table, not run its own computation.
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let computes = Arc::clone(&computes);
+            std::thread::spawn(move || {
+                cache.get_or_compute(
+                    std::slice::from_ref(&sample),
+                    |_| race_key((1, 2)),
+                    "race",
+                    move |misses| {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        Ok(vec![one_bit_set(); misses.len()])
+                    },
+                )
+            })
+        };
+        // Give the waiter time to reach the flight table, then let the owner
+        // finish. (If the waiter instead lands after the insert, it scores a
+        // plain hit and the assertions below still hold except `flight_hits`,
+        // which the sleep makes effectively impossible to miss.)
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        proceed_tx.send(()).unwrap();
+        let a = owner.join().unwrap().unwrap();
+        let b = waiter.join().unwrap().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "duplicated compute");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.flight_hits, 1);
+    }
+
+    #[test]
+    fn failed_flight_wakes_waiter_into_its_own_compute() {
+        use std::sync::mpsc;
+
+        let cache: Arc<ContentCache<Bitset>> = Arc::new(ContentCache::new(1 << 20));
+        let sample = samples(1).pop().unwrap();
+        let (in_compute_tx, in_compute_rx) = mpsc::channel::<()>();
+        let (proceed_tx, proceed_rx) = mpsc::channel::<()>();
+        let owner = {
+            let cache = Arc::clone(&cache);
+            let sample = sample.clone();
+            std::thread::spawn(move || {
+                cache.get_or_compute(
+                    std::slice::from_ref(&sample),
+                    |_| race_key((3, 4)),
+                    "race",
+                    move |_| -> Result<Vec<Bitset>> {
+                        in_compute_tx.send(()).unwrap();
+                        proceed_rx.recv().unwrap();
+                        Err(CoreError::EmptyCandidatePool)
+                    },
+                )
+            })
+        };
+        in_compute_rx.recv().unwrap();
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                cache.get_or_compute(
+                    std::slice::from_ref(&sample),
+                    |_| race_key((3, 4)),
+                    "race",
+                    |misses| Ok(vec![one_bit_set(); misses.len()]),
+                )
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        proceed_tx.send(()).unwrap();
+        // The owner's failure must propagate to the owner only; the waiter
+        // wakes, wins the abandoned claim, and computes its own value.
+        assert!(owner.join().unwrap().is_err());
+        let value = waiter.join().unwrap().unwrap();
+        assert_eq!(value, vec![one_bit_set()]);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "owner and fallback each count one miss");
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.flight_hits, 0);
+        assert_eq!(stats.entries, 1);
     }
 }

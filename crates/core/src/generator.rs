@@ -46,6 +46,21 @@ impl GenerationMethod {
         }
     }
 
+    /// Whether the strategy scores the **whole** candidate pool's covered-unit
+    /// sets under the evaluator's criterion (Algorithm 1's selection input).
+    /// These are the pools a coalesced group may precompute in one shared
+    /// batched pass ([`crate::workspace::Workspace::run_coalesced`]) without
+    /// ever computing a set that an isolated run would not.
+    /// `NeuronCoverageBaseline` scores its pool under its *own* neuron
+    /// analyzer (not the evaluator's cache) and `RandomSelection` only
+    /// evaluates the tests it draws, so neither benefits from pre-warming.
+    pub fn consumes_pool(self) -> bool {
+        matches!(
+            self,
+            GenerationMethod::TrainingSetSelection | GenerationMethod::Combined
+        )
+    }
+
     /// All methods, in the order used by the experiment tables.
     pub fn all() -> [GenerationMethod; 5] {
         [

@@ -52,7 +52,7 @@
 //! # }
 //! ```
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -332,6 +332,22 @@ impl TestGenReport {
     pub fn selected_indices(&self) -> Vec<usize> {
         self.tests.pool_indices()
     }
+}
+
+/// Cross-request sharing achieved by one [`Workspace::run_coalesced`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Number of `(model fingerprint × criterion key)` buckets the group
+    /// formed — requests in one bucket address identical cache entries.
+    pub groups: usize,
+    /// Total candidate tensors across every pool-consuming request in the
+    /// group (the slots the shared warm pass covers).
+    pub pool_samples: usize,
+    /// Slots of [`CoalesceStats::pool_samples`] whose content hash already
+    /// appeared earlier in the same bucket: covered-unit sets the group
+    /// computed **once** where isolated runs would have computed them once
+    /// per request.
+    pub shared_samples: usize,
 }
 
 /// The owned multi-model evaluator registry (see the module docs).
@@ -628,6 +644,75 @@ impl Workspace {
         crate::par::map(policy, requests, |request| self.run(request))
     }
 
+    /// Run a group of requests **coalesced**: candidate tensors are deduped
+    /// across the group's pools by content hash, all missing covered-unit
+    /// sets of each `(model × criterion key)` bucket are computed in one
+    /// batched [`Evaluator::activation_sets`] pass, and then every request's
+    /// strategy runs per-request with its own seed — so each report is
+    /// **bit-identical** to a sequential [`Workspace::run`] of the same
+    /// request (batch-of-N ≡ batch-of-1 is pinned, and selection consumes
+    /// identical cached bitsets). Results come back **in request order**,
+    /// failures in their own slots.
+    ///
+    /// Only pool-consuming strategies ([`GenerationMethod::consumes_pool`])
+    /// contribute candidates to the warm pass, and the pass is skipped
+    /// entirely when the covered-set cache is disabled — coalescing never
+    /// computes a set that sequential execution would not.
+    ///
+    /// The returned [`CoalesceStats`] quantify what the group shared; the
+    /// serving layer's micro-batching dispatcher aggregates them into its
+    /// `stats` counters.
+    pub fn run_coalesced(
+        &self,
+        requests: &[TestGenRequest],
+    ) -> (Vec<Result<TestGenReport>>, CoalesceStats) {
+        let mut stats = CoalesceStats::default();
+        if self.set_cache.max_bytes() > 0 && requests.len() > 1 {
+            // Bucket request slots by the exact cache identity their
+            // covered-unit sets live under (fingerprint × criterion digest,
+            // quant-tagged) — the evaluator's own key derivation, so two
+            // requests share a bucket iff they share cache entries. Requests
+            // whose evaluator cannot be resolved are skipped here and report
+            // their error from `run` below.
+            let mut buckets: BTreeMap<(NetworkFingerprint, u64), (Evaluator, Vec<usize>)> =
+                BTreeMap::new();
+            for (i, request) in requests.iter().enumerate() {
+                if !request.strategy.consumes_pool() || request.candidates.is_empty() {
+                    continue;
+                }
+                let Ok(evaluator) = self.evaluator(request.model, &request.criterion) else {
+                    continue;
+                };
+                buckets
+                    .entry((request.model, evaluator.criterion_key()))
+                    .or_insert_with(|| (evaluator, Vec::new()))
+                    .1
+                    .push(i);
+            }
+            for (evaluator, members) in buckets.values() {
+                stats.groups += 1;
+                let mut seen: HashSet<(u64, u64)> = HashSet::new();
+                let mut unique: Vec<Tensor> = Vec::new();
+                for &i in members {
+                    for sample in &requests[i].candidates {
+                        stats.pool_samples += 1;
+                        if seen.insert(crate::eval::sample_hash(sample)) {
+                            unique.push(sample.clone());
+                        } else {
+                            stats.shared_samples += 1;
+                        }
+                    }
+                }
+                // One batched pass fills the shared cache for the whole
+                // bucket; a failure (e.g. shape mismatch) is not fatal here —
+                // the owning request reports it from its own slot.
+                let _ = evaluator.activation_sets(&unique);
+            }
+        }
+        let reports = requests.iter().map(|request| self.run(request)).collect();
+        (reports, stats)
+    }
+
     /// Remove persistent-tier directories belonging to models that are
     /// **not** registered in this workspace (`None` when no tier is
     /// enabled). Only directories named by a parseable fingerprint are
@@ -909,6 +994,58 @@ mod tests {
             let sequential = ws.run(&requests[i]).unwrap();
             assert_eq!(report.selected_indices(), sequential.selected_indices());
         }
+    }
+
+    #[test]
+    fn run_coalesced_matches_sequential_run_bit_for_bit() {
+        let ws = Workspace::new();
+        let m1 = ws.register("m1", net(3), CoverageConfig::default());
+        let m2 = ws.register("m2", net(4), CoverageConfig::default());
+        let shared = pool(10);
+        // Overlapping pools, a second model, a non-pool strategy and a bad
+        // slot — the shapes the serving dispatcher produces.
+        let requests = vec![
+            TestGenRequest::new(m1, GenerationMethod::TrainingSetSelection, 4)
+                .with_candidates(shared.clone()),
+            TestGenRequest::new(m1, GenerationMethod::TrainingSetSelection, 3)
+                .with_candidates(shared[2..].to_vec())
+                .with_seed(7),
+            TestGenRequest::new(m2, GenerationMethod::TrainingSetSelection, 4)
+                .with_candidates(shared.clone()),
+            TestGenRequest::new(m1, GenerationMethod::RandomSelection, 3)
+                .with_candidates(shared.clone())
+                .with_seed(9),
+            TestGenRequest::new(
+                NetworkFingerprint { lo: 1, hi: 2 },
+                GenerationMethod::TrainingSetSelection,
+                2,
+            ),
+        ];
+        // The sequential reference runs on its own cold workspace, so the
+        // comparison is fresh-compute vs coalesced-cache end to end.
+        let reference = Workspace::new();
+        reference.register("m1", net(3), CoverageConfig::default());
+        reference.register("m2", net(4), CoverageConfig::default());
+        let sequential: Vec<Result<TestGenReport>> =
+            requests.iter().map(|r| reference.run(r)).collect();
+        let (coalesced, stats) = ws.run_coalesced(&requests);
+        assert_eq!(coalesced.len(), requests.len());
+        assert!(coalesced[4].is_err() && sequential[4].is_err());
+        for (c, s) in coalesced.iter().zip(&sequential).take(4) {
+            let (c, s) = (c.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(c.tests.inputs, s.tests.inputs);
+            assert_eq!(c.selected_indices(), s.selected_indices());
+            assert_eq!(c.final_coverage().to_bits(), s.final_coverage().to_bits());
+            assert_eq!(c.criterion_id, s.criterion_id);
+        }
+        // m1's two selection pools overlap in 8 slots; m2's pool shares
+        // nothing; the random-selection and error slots contribute nothing.
+        assert_eq!(stats.groups, 2);
+        assert_eq!(stats.pool_samples, 28);
+        assert_eq!(stats.shared_samples, 8);
+        // The shared warm pass really did collapse the duplicate computes:
+        // m1 selection traffic cost 10 distinct sets, not 18.
+        assert_eq!(ws.set_cache.stats_for_model(m1).entries, 10);
     }
 
     #[test]

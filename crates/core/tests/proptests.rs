@@ -55,6 +55,24 @@ proptest! {
     }
 
     #[test]
+    fn iter_ones_matches_the_per_bit_reference((len, families) in bitset_family()) {
+        // The word-wise `trailing_zeros` walk must enumerate exactly the
+        // positions the bounds-checked per-bit probe enumerates, in order —
+        // including sets with dense words, empty words and a ragged tail.
+        for family in &families {
+            let set = bitset_from_indices(len, family);
+            let word_wise: Vec<usize> = set.iter_ones().collect();
+            let per_bit: Vec<usize> = (0..set.len()).filter(|&i| set.get(i)).collect();
+            prop_assert_eq!(&word_wise, &per_bit);
+            prop_assert_eq!(word_wise.len(), set.count_ones());
+            // All-set and empty extremes over the same length.
+            let full = bitset_from_indices(len, &(0..len).collect::<Vec<_>>());
+            prop_assert_eq!(full.iter_ones().count(), len);
+            prop_assert_eq!(Bitset::new(len).iter_ones().count(), 0);
+        }
+    }
+
+    #[test]
     fn greedy_selection_is_within_budget_and_monotone((len, families) in bitset_family()) {
         let sets: Vec<Bitset> = families.iter().map(|f| bitset_from_indices(len, f)).collect();
         let budget = 1 + families.len() / 2;

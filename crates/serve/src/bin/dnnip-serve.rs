@@ -1,7 +1,8 @@
 //! `dnnip-serve` — the long-lived NDJSON test-generation service.
 //!
 //! ```text
-//! dnnip-serve [--workers N] [--queue-depth N] [--deadline-ms MS] [--socket PATH]
+//! dnnip-serve [--workers N] [--queue-depth N] [--deadline-ms MS]
+//!             [--max-batch N] [--batch-window-ms MS] [--socket PATH]
 //! ```
 //!
 //! By default the service reads one JSON request per line from **stdin**
@@ -50,10 +51,21 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|e| format!("--deadline-ms: {e}"))?,
                 );
             }
+            "--max-batch" => {
+                config.max_batch = value("--max-batch")?
+                    .parse()
+                    .map_err(|e| format!("--max-batch: {e}"))?;
+            }
+            "--batch-window-ms" => {
+                config.batch_window_ms = value("--batch-window-ms")?
+                    .parse()
+                    .map_err(|e| format!("--batch-window-ms: {e}"))?;
+            }
             "--socket" => socket = Some(value("--socket")?.into()),
             "--help" | "-h" => {
                 return Err("usage: dnnip-serve [--workers N] [--queue-depth N] \
-                     [--deadline-ms MS] [--socket PATH]"
+                     [--deadline-ms MS] [--max-batch N] [--batch-window-ms MS] \
+                     [--socket PATH]"
                     .to_string())
             }
             other => return Err(format!("unknown flag {other:?}")),

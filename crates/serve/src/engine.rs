@@ -16,6 +16,8 @@
 //! result is discarded) when the deadline fires first. Either way the client
 //! gets a structured `"kind":"timeout"` error, never a hung connection.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -23,11 +25,18 @@ use std::time::{Duration, Instant};
 
 use dnnip_core::workspace::{TestGenReport, TestGenRequest, Workspace, WorkspaceConfig};
 use dnnip_nn::fingerprint::NetworkFingerprint;
+use dnnip_tensor::Tensor;
 
 use crate::json::{obj, Json};
 use crate::protocol::{
-    build_model, parse_request, GenerateSpec, RequestOp, ServeRequest, BUILTIN_MODELS,
+    build_model, parse_request, GenerateSpec, PoolSpec, RequestOp, ServeRequest, BUILTIN_MODELS,
 };
+
+/// Synthetic pools already materialized while resolving one batch, keyed by
+/// (model, size, seed). Synthesis is deterministic, so handing a later
+/// batch member a clone is bit-identical to re-materializing — it just
+/// skips regenerating every sample of a pool the batch already built.
+type PoolMemo = HashMap<(String, usize, u64), Vec<Tensor>>;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,6 +49,14 @@ pub struct EngineConfig {
     /// Deadline applied to requests that do not carry their own
     /// `deadline_ms` (`None` = no default deadline).
     pub default_deadline_ms: Option<u64>,
+    /// Maximum `generate` jobs one worker pulls into a single coalesced
+    /// batch. `1` (the default) disables coalescing entirely — the worker
+    /// loop is then bit-identical to the pre-batching engine.
+    pub max_batch: usize,
+    /// How long a worker lingers on the queue for more jobs after receiving
+    /// the first of a batch, in milliseconds. `0` (the default) grabs only
+    /// the backlog already queued and never waits.
+    pub batch_window_ms: u64,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +65,8 @@ impl Default for EngineConfig {
             workers: 2,
             queue_depth: 64,
             default_deadline_ms: None,
+            max_batch: 1,
+            batch_window_ms: 0,
         }
     }
 }
@@ -61,11 +80,53 @@ struct RegisteredModel {
     num_parameters: usize,
 }
 
+/// Running totals of what the coalescing dispatcher has shared so far
+/// (one [`Engine`]'s lifetime; also surfaced by the `stats` operation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceSnapshot {
+    /// Grouped engine calls that executed **two or more** requests at once.
+    pub batches: u64,
+    /// Requests executed inside those batches.
+    pub requests: u64,
+    /// Candidate-pool slots whose covered-unit sets were computed once for a
+    /// whole batch instead of once per request (cross-request dedup).
+    pub shared_samples: u64,
+}
+
+impl CoalesceSnapshot {
+    /// Mean requests per coalesced batch (0 when no batch formed yet).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CoalesceCounters {
+    batches: AtomicU64,
+    requests: AtomicU64,
+    shared_samples: AtomicU64,
+}
+
+impl CoalesceCounters {
+    fn snapshot(&self) -> CoalesceSnapshot {
+        CoalesceSnapshot {
+            batches: self.batches.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            shared_samples: self.shared_samples.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// State shared between submitters, workers and abandoned helper threads.
 #[derive(Debug)]
 struct ServiceState {
     workspace: Workspace,
     models: Vec<RegisteredModel>,
+    coalesce: CoalesceCounters,
 }
 
 impl ServiceState {
@@ -123,16 +184,22 @@ impl Engine {
                 num_parameters,
             });
         }
-        let state = Arc::new(ServiceState { workspace, models });
+        let state = Arc::new(ServiceState {
+            workspace,
+            models,
+            coalesce: CoalesceCounters::default(),
+        });
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
+        let max_batch = config.max_batch.max(1);
+        let batch_window = Duration::from_millis(config.batch_window_ms);
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let state = Arc::clone(&state);
                 std::thread::Builder::new()
                     .name(format!("dnnip-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&state, &rx))
+                    .spawn(move || worker_loop(&state, &rx, max_batch, batch_window))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -213,13 +280,15 @@ impl Engine {
     }
 
     /// Stop accepting work, wait for every queued and in-flight request to
-    /// finish and deliver its response, then return. Abandoned (timed-out)
-    /// helper threads are NOT waited for; they die with the process.
-    pub fn drain(mut self) {
+    /// finish and deliver its response, then return the final coalescing
+    /// totals. Abandoned (timed-out) helper threads are NOT waited for; they
+    /// die with the process.
+    pub fn drain(mut self) -> CoalesceSnapshot {
         self.jobs.take();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.state.coalesce.snapshot()
     }
 
     fn models_response(&self, id: &str) -> Json {
@@ -246,8 +315,14 @@ impl Engine {
         ])
     }
 
+    /// Totals of what the coalescing dispatcher has shared so far.
+    pub fn coalesce_stats(&self) -> CoalesceSnapshot {
+        self.state.coalesce.snapshot()
+    }
+
     fn stats_response(&self, id: &str) -> Json {
         let cache = self.state.workspace.cache_stats();
+        let coalesce = self.state.coalesce.snapshot();
         let disk = match self.state.workspace.disk_stats() {
             Some(d) => obj(vec![
                 ("hits", Json::Num(d.hits as f64)),
@@ -267,10 +342,20 @@ impl Engine {
                 obj(vec![
                     ("hits", Json::Num(cache.hits as f64)),
                     ("misses", Json::Num(cache.misses as f64)),
+                    ("flight_hits", Json::Num(cache.flight_hits as f64)),
                     ("insertions", Json::Num(cache.insertions as f64)),
                     ("evictions", Json::Num(cache.evictions as f64)),
                     ("entries", Json::Num(cache.entries as f64)),
                     ("bytes", Json::Num(cache.bytes as f64)),
+                ]),
+            ),
+            (
+                "coalesce",
+                obj(vec![
+                    ("batches", Json::Num(coalesce.batches as f64)),
+                    ("requests", Json::Num(coalesce.requests as f64)),
+                    ("mean_batch_size", Json::Num(coalesce.mean_batch_size())),
+                    ("shared_samples", Json::Num(coalesce.shared_samples as f64)),
                 ]),
             ),
             ("disk", disk),
@@ -330,16 +415,209 @@ pub fn error_response(id: &str, kind: &str, message: &str) -> Json {
     ])
 }
 
-fn worker_loop(state: &Arc<ServiceState>, rx: &Arc<Mutex<Receiver<Job>>>) {
+fn worker_loop(
+    state: &Arc<ServiceState>,
+    rx: &Arc<Mutex<Receiver<Job>>>,
+    max_batch: usize,
+    batch_window: Duration,
+) {
     loop {
-        // Hold the lock only for the recv: a worker must not serialize the
-        // others for the duration of its compute.
-        let job = match rx.lock().expect("job queue lock").recv() {
-            Ok(job) => job,
-            Err(_) => return, // channel closed: drain complete
+        // Hold the lock only while receiving: a worker must not serialize
+        // the others for the duration of its compute. With `max_batch > 1`
+        // the worker opportunistically drains the backlog behind its first
+        // job (lingering up to `batch_window` for stragglers) — holding the
+        // lock through the linger is deliberate, since the jobs a sibling
+        // worker would steal are exactly the ones this batch coalesces.
+        let mut jobs = {
+            let queue = rx.lock().expect("job queue lock");
+            let first = match queue.recv() {
+                Ok(job) => job,
+                Err(_) => return, // channel closed: drain complete
+            };
+            let mut jobs = vec![first];
+            if max_batch > 1 {
+                let linger_until = Instant::now() + batch_window;
+                while jobs.len() < max_batch {
+                    match queue.try_recv() {
+                        Ok(job) => jobs.push(job),
+                        Err(mpsc::TryRecvError::Empty) => {
+                            let now = Instant::now();
+                            if now >= linger_until {
+                                break;
+                            }
+                            match queue.recv_timeout(linger_until - now) {
+                                Ok(job) => jobs.push(job),
+                                Err(_) => break,
+                            }
+                        }
+                        Err(mpsc::TryRecvError::Disconnected) => break,
+                    }
+                }
+            }
+            jobs
         };
-        let response = process(state, job.id.clone(), job.spec, job.enqueued, job.deadline);
-        let _ = job.out.send(response.to_string());
+        if jobs.len() == 1 {
+            // One job (always the case at `max_batch <= 1`): exactly the
+            // pre-batching engine, bit for bit.
+            let job = jobs.pop().expect("one job");
+            let response = process(state, job.id.clone(), job.spec, job.enqueued, job.deadline);
+            let _ = job.out.send(response.to_string());
+        } else {
+            process_batch(state, jobs);
+        }
+    }
+}
+
+/// Execute a coalesced batch: fail jobs whose deadline already expired in
+/// queue (same trip point and message as the sequential path), resolve the
+/// rest into workspace requests, and issue **one** grouped
+/// [`Workspace::run_coalesced`] call — which buckets by (model fingerprint ×
+/// criterion digest × quant mode) internally and dedupes candidate tensors
+/// across each bucket's pools.
+fn process_batch(state: &Arc<ServiceState>, jobs: Vec<Job>) {
+    let mut runnable: Vec<Job> = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        if let Some(deadline) = job.deadline {
+            if job.enqueued.elapsed() >= deadline {
+                // Expired while queued: fail before spending any compute.
+                let _ = job.out.send(
+                    error_response(
+                        &job.id,
+                        "timeout",
+                        &format!("deadline of {} ms expired in queue", deadline.as_millis()),
+                    )
+                    .to_string(),
+                );
+                continue;
+            }
+        }
+        runnable.push(job);
+    }
+    // Specs that cannot resolve (unknown model, bad pool) are answered now
+    // and drop out of the grouped call.
+    let mut members: Vec<Job> = Vec::with_capacity(runnable.len());
+    let mut requests: Vec<TestGenRequest> = Vec::with_capacity(runnable.len());
+    let mut pool_memo = PoolMemo::new();
+    for job in runnable {
+        match build_request(state, &job.id, &job.spec, Some(&mut pool_memo)) {
+            Ok(request) => {
+                requests.push(request);
+                members.push(job);
+            }
+            Err(response) => {
+                let _ = job.out.send(response.to_string());
+            }
+        }
+    }
+    match members.len() {
+        0 => return,
+        1 => {
+            // A batch that collapsed to one live job runs the sequential
+            // path so its deadline semantics stay identical.
+            let job = members.pop().expect("one job");
+            let response = process(state, job.id.clone(), job.spec, job.enqueued, job.deadline);
+            let _ = job.out.send(response.to_string());
+            return;
+        }
+        n => {
+            state.coalesce.batches.fetch_add(1, Ordering::Relaxed);
+            state
+                .coalesce
+                .requests
+                .fetch_add(n as u64, Ordering::Relaxed);
+        }
+    }
+    if members.iter().all(|job| job.deadline.is_none()) {
+        // No deadlines anywhere in the batch: run inline on this worker.
+        let (reports, stats) = state.workspace.run_coalesced(&requests);
+        state
+            .coalesce
+            .shared_samples
+            .fetch_add(stats.shared_samples as u64, Ordering::Relaxed);
+        for (job, report) in members.iter().zip(&reports) {
+            let _ = job.out.send(report_response(&job.id, report).to_string());
+        }
+        return;
+    }
+    // Some members still carry live deadlines: run the grouped call on a
+    // helper thread and time out each job at its own deadline. Once every
+    // member is answered the helper is abandoned — like the sequential
+    // path's helper, it finishes in the background warming caches.
+    let (tx, rx) = mpsc::channel();
+    let helper_state = Arc::clone(state);
+    std::thread::spawn(move || {
+        let (reports, stats) = helper_state.workspace.run_coalesced(&requests);
+        helper_state
+            .coalesce
+            .shared_samples
+            .fetch_add(stats.shared_samples as u64, Ordering::Relaxed);
+        let _ = tx.send(reports);
+    });
+    let mut answered = vec![false; members.len()];
+    loop {
+        let next_expiry = members
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !answered[i])
+            .filter_map(|(_, job)| job.deadline.map(|d| job.enqueued + d))
+            .min();
+        let received = match next_expiry {
+            // Every unanswered member is deadline-free: block for results.
+            None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+            Some(when) => {
+                let now = Instant::now();
+                if when <= now {
+                    Err(mpsc::RecvTimeoutError::Timeout)
+                } else {
+                    rx.recv_timeout(when - now)
+                }
+            }
+        };
+        match received {
+            Ok(reports) => {
+                for (i, (job, report)) in members.iter().zip(&reports).enumerate() {
+                    if !answered[i] {
+                        let _ = job.out.send(report_response(&job.id, report).to_string());
+                    }
+                }
+                return;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let now = Instant::now();
+                for (i, job) in members.iter().enumerate() {
+                    if answered[i] {
+                        continue;
+                    }
+                    let Some(deadline) = job.deadline else {
+                        continue;
+                    };
+                    if job.enqueued + deadline <= now {
+                        let _ = job.out.send(
+                            error_response(
+                                &job.id,
+                                "timeout",
+                                &format!("deadline of {} ms exceeded", deadline.as_millis()),
+                            )
+                            .to_string(),
+                        );
+                        answered[i] = true;
+                    }
+                }
+                if answered.iter().all(|&a| a) {
+                    return; // helper abandoned; it completes in background
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                for (i, job) in members.iter().enumerate() {
+                    if !answered[i] {
+                        let _ = job.out.send(
+                            error_response(&job.id, "internal", "batch helper died").to_string(),
+                        );
+                    }
+                }
+                return;
+            }
+        }
     }
 }
 
@@ -380,19 +658,40 @@ fn process(
     }
 }
 
-/// Run one generate spec to a response object. Infallible at the signature:
-/// every failure becomes a structured error response.
-fn execute(state: &Arc<ServiceState>, id: &str, spec: &GenerateSpec) -> Json {
+/// Resolve a generate spec into the workspace request it runs, or the
+/// structured `bad_request` response that rejects it. A batch passes a
+/// [`PoolMemo`] so identical synthetic pool specs materialize once per
+/// batch instead of once per member.
+fn build_request(
+    state: &Arc<ServiceState>,
+    id: &str,
+    spec: &GenerateSpec,
+    pool_memo: Option<&mut PoolMemo>,
+) -> std::result::Result<TestGenRequest, Json> {
     let Some(model) = state.model(&spec.model) else {
-        return error_response(
+        return Err(error_response(
             id,
             "bad_request",
             &format!("unknown model {:?}", spec.model),
-        );
+        ));
     };
-    let candidates = match spec.pool.materialize(&model.input_shape) {
-        Ok(candidates) => candidates,
-        Err(message) => return error_response(id, "bad_request", &message),
+    let candidates = match (&spec.pool, pool_memo) {
+        (&PoolSpec::Synthetic { size, seed }, Some(memo)) => {
+            match memo.entry((spec.model.clone(), size, seed)) {
+                std::collections::hash_map::Entry::Occupied(hit) => hit.get().clone(),
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    let pool = spec
+                        .pool
+                        .materialize(&model.input_shape)
+                        .map_err(|message| error_response(id, "bad_request", &message))?;
+                    slot.insert(pool).clone()
+                }
+            }
+        }
+        _ => spec
+            .pool
+            .materialize(&model.input_shape)
+            .map_err(|message| error_response(id, "bad_request", &message))?,
     };
     let mut request = TestGenRequest::new(model.key, spec.strategy, spec.budget)
         .with_seed(spec.seed)
@@ -401,8 +700,23 @@ fn execute(state: &Arc<ServiceState>, id: &str, spec: &GenerateSpec) -> Json {
     if let Some(criterion) = &spec.criterion {
         request = request.with_criterion_spec(criterion.clone());
     }
-    match state.workspace.run(&request) {
-        Ok(report) => ok_response(id, &report),
+    Ok(request)
+}
+
+/// Run one generate spec to a response object. Infallible at the signature:
+/// every failure becomes a structured error response.
+fn execute(state: &Arc<ServiceState>, id: &str, spec: &GenerateSpec) -> Json {
+    let request = match build_request(state, id, spec, None) {
+        Ok(request) => request,
+        Err(response) => return response,
+    };
+    report_response(id, &state.workspace.run(&request))
+}
+
+/// Map one request's workspace outcome to its response line.
+fn report_response(id: &str, report: &dnnip_core::Result<TestGenReport>) -> Json {
+    match report {
+        Ok(report) => ok_response(id, report),
         Err(e) => error_response(id, "generation", &e.to_string()),
     }
 }
@@ -454,6 +768,7 @@ mod tests {
             workers: 2,
             queue_depth: 8,
             default_deadline_ms: None,
+            ..EngineConfig::default()
         })
     }
 
@@ -589,6 +904,7 @@ mod tests {
             workers: 1,
             queue_depth: 4,
             default_deadline_ms: Some(0),
+            ..EngineConfig::default()
         });
         let (tx, rx) = mpsc::channel();
         engine.handle(
@@ -630,6 +946,14 @@ mod tests {
         }
         let stats = by_id(&responses, "s");
         assert!(stats.get("cache").is_some());
+        assert!(stats
+            .get("cache")
+            .and_then(|c| c.get("flight_hits"))
+            .is_some());
+        let coalesce = stats.get("coalesce").expect("coalesce counters");
+        for key in ["batches", "requests", "mean_batch_size", "shared_samples"] {
+            assert!(coalesce.get(key).is_some(), "missing coalesce.{key}");
+        }
         // No persistent tier in an in-memory engine.
         assert_eq!(stats.get("disk"), Some(&Json::Null));
         assert_eq!(by_id(&responses, "v").get("vacuum"), Some(&Json::Null));
@@ -660,6 +984,7 @@ mod tests {
             workers: 3,
             queue_depth: 4, // smaller than the burst: submitters block, nothing is lost
             default_deadline_ms: None,
+            ..EngineConfig::default()
         });
         let (tx, rx) = mpsc::channel();
         let n = 12;

@@ -25,7 +25,7 @@ pub mod engine;
 pub mod json;
 pub mod protocol;
 
-pub use engine::{shutdown_response, Engine, EngineConfig, Handled};
+pub use engine::{shutdown_response, CoalesceSnapshot, Engine, EngineConfig, Handled};
 
 use std::io::{BufRead, Write};
 use std::sync::mpsc;

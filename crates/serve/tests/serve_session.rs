@@ -16,6 +16,7 @@ fn engine(workers: usize) -> Engine {
         workers,
         queue_depth: 8,
         default_deadline_ms: None,
+        ..EngineConfig::default()
     })
 }
 
