@@ -1,0 +1,232 @@
+//! Compressed vs dense covered-set cache at a fixed byte budget.
+//!
+//! The acceptance experiment for the hybrid sparse/dense
+//! [`CoveredSet`](dnnip_core::covered::CoveredSet)
+//! representation: a sparse criterion (top-k neuron, k=2) over a wide MLP
+//! produces activation sets whose dense bitmaps are ~1 KB each but whose
+//! compressed form is a few dozen sorted indices. At a `ContentCache` byte
+//! budget sized to a fraction of the dense footprint, the dense baseline
+//! thrashes (every sweep recomputes every set) while the compressed cache
+//! holds the whole pool — so repeated selection sweeps run entirely from
+//! memory. Both modes must select byte-identical tests; the artifact
+//! records hit rates, residency, the compression ratio and the end-to-end
+//! repeated-sweep speedup.
+//!
+//! ```text
+//! cargo run --release -p dnnip-bench --bin cache_density [smoke|default|paper]
+//! ```
+//!
+//! The final `compression_ratio=` / `cache_density_speedup=` lines are
+//! machine-readable — CI greps them to assert the compressed form actually
+//! wins on a sparse criterion. Results go to
+//! `crates/bench/results/cache_density.json` (smoke leaves the committed
+//! default-profile file untouched).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dnnip_bench::{seed_from_env_or, ExperimentProfile};
+use dnnip_core::coverage::CoverageConfig;
+use dnnip_core::covered::set_compress_enabled;
+use dnnip_core::criterion::TopKNeuron;
+use dnnip_core::eval::{CacheStats, Evaluator};
+use dnnip_core::select::{greedy_select_covered, SelectionResult};
+use dnnip_nn::layers::Activation;
+use dnnip_nn::{zoo, Network};
+use dnnip_tensor::Tensor;
+
+/// One mode's measured outcome over the repeated sweeps.
+struct ModeOutcome {
+    wall_s: f64,
+    stats: CacheStats,
+    selection: SelectionResult,
+}
+
+impl ModeOutcome {
+    fn hit_rate(&self) -> f64 {
+        let probes = self.stats.hits + self.stats.misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.stats.hits as f64 / probes as f64
+        }
+    }
+}
+
+fn pool_for(network: &Network, n: usize, seed: u64) -> Vec<Tensor> {
+    let shape = network.input_shape().to_vec();
+    (0..n)
+        .map(|i| {
+            Tensor::from_fn(&shape, |j| {
+                ((i * 131 + j) as f32 * 0.173 + seed as f32).sin()
+            })
+        })
+        .collect()
+}
+
+/// Run `rounds` full sweeps (activation sets + greedy selection) through a
+/// fresh evaluator in the given compression mode, at a fixed cache budget.
+fn run_mode(
+    compress: bool,
+    network: &Network,
+    pool: &[Tensor],
+    budget_bytes: usize,
+    rounds: usize,
+    tests: usize,
+) -> ModeOutcome {
+    set_compress_enabled(compress);
+    let evaluator = Evaluator::with_criterion_cache_bytes(
+        network.clone(),
+        CoverageConfig::default(),
+        Arc::new(TopKNeuron { k: 2 }),
+        budget_bytes,
+    );
+    let start = Instant::now();
+    let mut selection = None;
+    for _ in 0..rounds {
+        let sets = evaluator.activation_sets(pool).expect("activation sets");
+        selection = Some(
+            greedy_select_covered(&sets, evaluator.num_units(), tests).expect("greedy selection"),
+        );
+    }
+    ModeOutcome {
+        wall_s: start.elapsed().as_secs_f64(),
+        stats: evaluator.cache_stats(),
+        selection: selection.expect("at least one round"),
+    }
+}
+
+fn main() {
+    let profile = ExperimentProfile::from_env_or_args();
+    let seed = seed_from_env_or(1);
+    let (hidden, pool_size, rounds, tests) = match profile {
+        ExperimentProfile::Smoke => (2048usize, 16usize, 4usize, 6usize),
+        _ => (8192, 48, 8, 10),
+    };
+    let network = zoo::tiny_mlp(16, hidden, 10, Activation::Relu, seed).expect("wide MLP");
+
+    println!("== cache density: compressed vs dense covered sets at one byte budget ==");
+    println!(
+        "profile: {}, seed: {seed}, hidden: {hidden}, pool: {pool_size}, rounds: {rounds}",
+        profile.name()
+    );
+
+    let pool = pool_for(&network, pool_size, seed);
+
+    // Size the fixed budget from the measured dense footprint of the whole
+    // pool: one third of it, so the dense baseline can never hold the pool
+    // while the compressed form (sparse top-k sets) fits with room to spare.
+    set_compress_enabled(false);
+    let sizing = Evaluator::with_criterion_cache_bytes(
+        network.clone(),
+        CoverageConfig::default(),
+        Arc::new(TopKNeuron { k: 2 }),
+        usize::MAX / 2,
+    );
+    sizing.activation_sets(&pool).expect("sizing pass");
+    let dense_total = sizing.cache_stats().bytes;
+    let budget_bytes = dense_total / 3;
+    println!(
+        "dense footprint of the pool: {dense_total} bytes; fixed budget: {budget_bytes} bytes\n"
+    );
+
+    let dense = run_mode(false, &network, &pool, budget_bytes, rounds, tests);
+    let compressed = run_mode(true, &network, &pool, budget_bytes, rounds, tests);
+    // Leave the process-global flag at its default for anything after us.
+    set_compress_enabled(true);
+
+    // The whole point is byte-identical selection either way.
+    assert_eq!(
+        dense.selection.selected, compressed.selection.selected,
+        "selection order diverged between cache representations"
+    );
+    assert_eq!(
+        dense
+            .selection
+            .coverage_curve
+            .iter()
+            .map(|c| c.to_bits())
+            .collect::<Vec<_>>(),
+        compressed
+            .selection
+            .coverage_curve
+            .iter()
+            .map(|c| c.to_bits())
+            .collect::<Vec<_>>(),
+        "coverage curve diverged between cache representations"
+    );
+    assert_eq!(
+        dense.selection.covered, compressed.selection.covered,
+        "covered set diverged between cache representations"
+    );
+
+    let speedup = dense.wall_s / compressed.wall_s;
+    let ratio = compressed.stats.compression_ratio();
+    for (label, o) in [("dense     ", &dense), ("compressed", &compressed)] {
+        println!(
+            "  {label}: {:.3} s wall ({:.1} sweeps/s), {} hits / {} misses ({:.0}% hit rate), \
+             {} entries in {} bytes resident",
+            o.wall_s,
+            rounds as f64 / o.wall_s,
+            o.stats.hits,
+            o.stats.misses,
+            o.hit_rate() * 100.0,
+            o.stats.entries,
+            o.stats.resident_bytes,
+        );
+    }
+    println!(
+        "\n  compressed holds {} logical bytes in {} resident ({ratio:.1}x, {:.0} bytes/entry)",
+        compressed.stats.logical_bytes,
+        compressed.stats.resident_bytes,
+        compressed.stats.bytes_per_entry()
+    );
+    println!("  repeated-sweep speedup: {speedup:.2}x (selections byte-identical)");
+    // Machine-readable gate lines for CI.
+    println!("compression_ratio={ratio:.3}");
+    println!("cache_density_speedup={speedup:.3}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"compressed vs dense covered-set cache at a fixed byte budget\",\n  \
+         \"profile\": \"{}\",\n  \"seed\": {seed},\n  \"hidden\": {hidden},\n  \
+         \"pool_size\": {pool_size},\n  \"rounds\": {rounds},\n  \"tests\": {tests},\n  \
+         \"budget_bytes\": {budget_bytes},\n  \"dense_pool_bytes\": {dense_total},\n  \
+         \"dense\": {{\n    \"wall_s\": {:.4},\n    \"sweeps_per_s\": {:.2},\n    \
+         \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.4},\n    \
+         \"entries\": {},\n    \"resident_bytes\": {}\n  }},\n  \
+         \"compressed\": {{\n    \"wall_s\": {:.4},\n    \"sweeps_per_s\": {:.2},\n    \
+         \"hits\": {},\n    \"misses\": {},\n    \"hit_rate\": {:.4},\n    \
+         \"entries\": {},\n    \"resident_bytes\": {},\n    \"logical_bytes\": {},\n    \
+         \"bytes_per_entry\": {:.2},\n    \"compression_ratio\": {:.3}\n  }},\n  \
+         \"speedup\": {:.3},\n  \"selection_identical\": true\n}}\n",
+        profile.name(),
+        dense.wall_s,
+        rounds as f64 / dense.wall_s,
+        dense.stats.hits,
+        dense.stats.misses,
+        dense.hit_rate(),
+        dense.stats.entries,
+        dense.stats.resident_bytes,
+        compressed.wall_s,
+        rounds as f64 / compressed.wall_s,
+        compressed.stats.hits,
+        compressed.stats.misses,
+        compressed.hit_rate(),
+        compressed.stats.entries,
+        compressed.stats.resident_bytes,
+        compressed.stats.logical_bytes,
+        compressed.stats.bytes_per_entry(),
+        ratio,
+        speedup,
+    );
+    if profile == ExperimentProfile::Smoke {
+        // CI smoke must not rewrite the committed default-profile results.
+        println!("\nsmoke profile: leaving results/cache_density.json untouched");
+        return;
+    }
+    let out_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/results");
+    let out_path = format!("{out_dir}/cache_density.json");
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    std::fs::write(&out_path, &json).expect("write results json");
+    println!("\nwrote {out_path}");
+}

@@ -31,6 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use dnnip_bench::{seed_from_env_or, ExperimentProfile};
+use dnnip_core::eval::CacheStats;
 use dnnip_serve::json::Json;
 use dnnip_serve::protocol::BUILTIN_MODELS;
 use dnnip_serve::{CoalesceSnapshot, Engine, EngineConfig, Handled};
@@ -58,6 +59,8 @@ struct ReplayOutcome {
     errors: usize,
     timeouts: usize,
     coalesce: CoalesceSnapshot,
+    /// Final activation-set cache statistics (residency + compression).
+    cache: CacheStats,
 }
 
 impl ReplayOutcome {
@@ -158,7 +161,7 @@ fn replay(config: EngineConfig, lines: &[String]) -> ReplayOutcome {
         // A full queue blocks here: submission rate adapts to service rate.
         assert_eq!(engine.handle(line, &out_tx), Handled::Continue);
     }
-    let coalesce = engine.drain();
+    let (coalesce, cache) = engine.drain_with_cache_stats();
     let wall_s = replay_start.elapsed().as_secs_f64();
     drop(out_tx);
     let samples = collector.join().expect("collector thread");
@@ -184,6 +187,7 @@ fn replay(config: EngineConfig, lines: &[String]) -> ReplayOutcome {
         errors,
         timeouts,
         coalesce,
+        cache,
     }
 }
 
@@ -249,6 +253,14 @@ fn main() {
         "  errors:     {} ({} timeouts)",
         mixed.errors, mixed.timeouts
     );
+    println!(
+        "  cache:      {} entries resident in {} bytes ({} logical, {:.2}x compression, {:.0} bytes/entry)",
+        mixed.cache.entries,
+        mixed.cache.resident_bytes,
+        mixed.cache.logical_bytes,
+        mixed.cache.compression_ratio(),
+        mixed.cache.bytes_per_entry()
+    );
     if coalesce {
         println!(
             "  coalesced:  {} batches, mean {:.1} req/batch, {} shared samples",
@@ -306,7 +318,10 @@ fn main() {
          \"seed\": {seed},\n  \"coalesce\": {coalesce},\n  \"wall_s\": {:.3},\n  \
          \"throughput_rps\": {:.2},\n  \"p50_ms\": {:.3},\n  \
          \"p95_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"errors\": {},\n  \
-         \"timeouts\": {},\n  \"burst\": {{\n    \
+         \"timeouts\": {},\n  \"cache\": {{\n    \
+         \"entries\": {},\n    \"resident_bytes\": {},\n    \
+         \"logical_bytes\": {},\n    \"bytes_per_entry\": {:.2},\n    \
+         \"compression_ratio\": {:.3}\n  }},\n  \"burst\": {{\n    \
          \"model\": \"{BURST_MODEL}\",\n    \"criterion\": \"{BURST_CRITERION}\",\n    \
          \"requests\": {burst_requests},\n    \"rounds\": {burst_rounds},\n    \"off\": {{\n      \
          \"wall_s\": {:.3},\n      \"throughput_rps\": {:.2},\n      \
@@ -323,6 +338,11 @@ fn main() {
         mixed.p(99.0),
         mixed.errors,
         mixed.timeouts,
+        mixed.cache.entries,
+        mixed.cache.resident_bytes,
+        mixed.cache.logical_bytes,
+        mixed.cache.bytes_per_entry(),
+        mixed.cache.compression_ratio(),
         burst_off.wall_s,
         burst_off.throughput_rps(),
         burst_off.p(50.0),

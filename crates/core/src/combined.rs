@@ -7,9 +7,11 @@
 //! where the *marginal coverage gain per test* of a synthetic batch exceeds the
 //! gain of the best remaining training sample.
 
+use std::sync::Arc;
+
 use dnnip_tensor::Tensor;
 
-use crate::bitset::Bitset;
+use crate::covered::CoveredSet;
 use crate::eval::Evaluator;
 use crate::gradgen::{GradGenConfig, GradientGenerator};
 use crate::{CoreError, Result};
@@ -104,7 +106,7 @@ pub fn generate_combined(
     let num_units = evaluator.num_units();
     let candidate_sets = evaluator.activation_sets(candidates)?;
     let mut taken = vec![false; candidates.len()];
-    let mut covered = Bitset::new(num_units);
+    let mut covered = CoveredSet::new(num_units);
     let mut result = CombinedResult::default();
 
     let mut generator = evaluator.gradient_generator(config.gradgen);
@@ -113,7 +115,7 @@ pub fn generate_combined(
     // compares against. Generating it lazily (only once Algorithm 1 starts
     // saturating would be cheaper, but the paper's rule compares benefits from
     // the start, and one batch of k gradient descents is affordable).
-    let mut pending_batch: Vec<(Tensor, usize, Bitset)> = Vec::new();
+    let mut pending_batch: Vec<(Tensor, usize, Arc<CoveredSet>)> = Vec::new();
     let mut switched = false;
 
     while result.tests.len() < config.max_tests {
@@ -183,7 +185,7 @@ pub fn generate_combined(
 fn materialize_batch(
     generator: &mut GradientGenerator,
     evaluator: &Evaluator,
-) -> Result<Vec<(Tensor, usize, Bitset)>> {
+) -> Result<Vec<(Tensor, usize, Arc<CoveredSet>)>> {
     let batch = generator.generate_batch()?;
     // One batched (and possibly multi-threaded) coverage pass over the whole
     // synthetic batch instead of per-input analyses.

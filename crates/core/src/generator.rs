@@ -154,7 +154,7 @@ impl GeneratedTests {
 /// e.g. every training sample the combined generator scored — are cache hits.
 fn coverage_curve(evaluator: &Evaluator, inputs: &[Tensor]) -> Result<Vec<f32>> {
     let sets = evaluator.activation_sets(inputs)?;
-    let mut covered = crate::bitset::Bitset::new(evaluator.num_units());
+    let mut covered = crate::covered::CoveredSet::new(evaluator.num_units());
     let mut curve = Vec::with_capacity(inputs.len());
     for set in &sets {
         covered.union_with(set);

@@ -68,6 +68,7 @@ mod error;
 pub mod bitset;
 pub mod combined;
 pub mod coverage;
+pub mod covered;
 pub mod criterion;
 pub mod eval;
 pub mod generator;

@@ -757,6 +757,105 @@ mod tests {
     }
 
     #[test]
+    fn compressed_covered_sets_round_trip_through_segments() {
+        use crate::covered::CoveredSet;
+
+        let root = temp_root("covered");
+        let tier = DiskTier::new(&root);
+        // Mixed block forms: sparse, dense-ish and a full run, over a length
+        // spanning a block boundary.
+        let len = 4096 + 900;
+        let dense_refs: Vec<Bitset> = vec![
+            set(&[3, 700, 4096, 4900], len),
+            set(&(0..900).map(|i| i * 5).collect::<Vec<_>>(), len),
+            set(&(4096..len).collect::<Vec<_>>(), len),
+        ];
+        let values: Vec<CoveredSet> = dense_refs
+            .iter()
+            .map(CoveredSet::from_bitset_compressed)
+            .collect();
+        let batch: Vec<(CacheKey, &CoveredSet)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let mut k = key(7);
+                k.sample = (i as u64, 2000 + i as u64);
+                (k, v)
+            })
+            .collect();
+        tier.store_batch(&batch);
+        only_segment(&root);
+        // A fresh tier ("second process") decodes every compressed payload
+        // back to exactly the original bits.
+        let second = DiskTier::new(&root);
+        for ((k, v), dense) in batch.iter().zip(&dense_refs) {
+            let loaded = second.load::<CoveredSet>(k).expect("compressed hit");
+            assert_eq!(&loaded, *v);
+            assert_eq!(loaded.to_bitset(), *dense);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn legacy_dense_segments_load_as_covered_sets() {
+        use crate::covered::CoveredSet;
+
+        let root = temp_root("legacy");
+        let tier = DiskTier::new(&root);
+        // A segment written with the historical dense `Bitset` encoding...
+        let dense = set(&[0, 64, 129, 199], 200);
+        tier.store_batch(&[(key(11), &dense)]);
+        // ...is readable as a compressed `CoveredSet` (same KIND, and the
+        // decoder understands the legacy payload), bit for bit.
+        let second = DiskTier::new(&root);
+        let loaded = second.load::<CoveredSet>(&key(11)).expect("legacy hit");
+        assert_eq!(loaded.to_bitset(), dense);
+        // And the reverse: a compressed payload written now still satisfies a
+        // reader asking for the dense type only when the payload happens to be
+        // the legacy layout (all-dense sets); a sparse compressed payload is a
+        // silent miss for the old decoder rather than an error.
+        let sparse = CoveredSet::from_bitset_compressed(&set(&[5], 200));
+        let mut k = key(11);
+        k.sample = (77, 78);
+        tier.store_batch(&[(k, &sparse)]);
+        let third = DiskTier::new(&root);
+        assert_eq!(third.load::<CoveredSet>(&k).as_ref(), Some(&sparse));
+        assert!(
+            third.load::<Bitset>(&k).is_none(),
+            "new payload, old reader"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_compressed_payload_degrades_to_a_miss() {
+        use crate::covered::CoveredSet;
+
+        let root = temp_root("covered-corrupt");
+        let tier = DiskTier::new(&root);
+        let value = CoveredSet::from_bitset_compressed(&set(&[9, 4100], 8000));
+        tier.store_batch(&[(key(13), &value)]);
+        let path = only_segment(&root);
+        let pristine = std::fs::read(&path).unwrap();
+        // Flip one payload byte anywhere in the record: checksum (or the
+        // decoder's structural validation) turns it into a silent miss.
+        let mut flipped = pristine.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(DiskTier::new(&root).load::<CoveredSet>(&key(13)).is_none());
+        // Truncation mid-record is a miss too.
+        std::fs::write(&path, &pristine[..pristine.len() - 3]).unwrap();
+        assert!(DiskTier::new(&root).load::<CoveredSet>(&key(13)).is_none());
+        std::fs::write(&path, &pristine).unwrap();
+        assert_eq!(
+            DiskTier::new(&root).load::<CoveredSet>(&key(13)).as_ref(),
+            Some(&value)
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn byte_budget_evicts_least_recently_accessed_segments() {
         let root = temp_root("budget");
         let value = set(&[1, 2, 3], 256);

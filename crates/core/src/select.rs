@@ -10,10 +10,12 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use dnnip_tensor::Tensor;
 
 use crate::bitset::Bitset;
+use crate::covered::CoveredSet;
 use crate::eval::Evaluator;
 use crate::{CoreError, Result};
 
@@ -74,6 +76,10 @@ pub fn greedy_select(
         covered: Bitset::new(num_units),
         ..SelectionResult::default()
     };
+    // Running cardinality of `covered`: a fresh bound IS the exact marginal
+    // gain of the accepted candidate, so the union's popcount is tracked by
+    // integer addition instead of re-scanning every word each round.
+    let mut covered_count = 0usize;
 
     // Lazy greedy: heap of (upper-bound gain, candidate, round the bound was
     // computed in). Gains only shrink as `covered` grows, so a bound computed in
@@ -100,11 +106,12 @@ pub fn greedy_select(
         if computed_round == round {
             // The bound is fresh: this candidate really is the arg-max.
             covered.union_with(&sets[candidate]);
+            covered_count += bound;
             taken[candidate] = true;
             result.selected.push(candidate);
             result
                 .coverage_curve
-                .push(covered.count_ones() as f32 / num_units as f32);
+                .push(covered_count as f32 / num_units as f32);
             round += 1;
         } else {
             // Stale bound: recompute against the current covered set and re-queue.
@@ -113,6 +120,77 @@ pub fn greedy_select(
         }
     }
     result.covered = covered;
+    Ok(result)
+}
+
+/// [`greedy_select`] over block-compressed [`CoveredSet`]s — the variant the
+/// evaluator pipeline runs so cached sets are consumed in place (no dense
+/// expansion). The heap discipline, tie-breaking and coverage-curve
+/// arithmetic are identical to the dense version, so for equal input sets the
+/// selections and curves are byte-identical (pinned by the differential
+/// suites in `tests/proptests.rs`).
+///
+/// # Errors
+///
+/// Same error conditions as [`greedy_select`].
+pub fn greedy_select_covered(
+    sets: &[Arc<CoveredSet>],
+    num_units: usize,
+    max_tests: usize,
+) -> Result<SelectionResult> {
+    if sets.is_empty() {
+        return Err(CoreError::EmptyCandidatePool);
+    }
+    if num_units == 0 {
+        return Err(CoreError::InvalidConfig {
+            reason: "criterion has no coverable units".to_string(),
+        });
+    }
+    if let Some(bad) = sets.iter().find(|s| s.len() != num_units) {
+        return Err(CoreError::InvalidConfig {
+            reason: format!(
+                "covered-unit set length {} does not match unit count {num_units}",
+                bad.len()
+            ),
+        });
+    }
+
+    let mut covered = CoveredSet::new(num_units);
+    let mut result = SelectionResult::default();
+    let mut covered_count = 0usize;
+    let mut heap: BinaryHeap<(usize, Reverse<usize>, usize)> = sets
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.count_ones(), Reverse(i), 0usize))
+        .collect();
+    let mut round = 0usize;
+    let mut taken = vec![false; sets.len()];
+
+    while result.selected.len() < max_tests {
+        let Some((bound, Reverse(candidate), computed_round)) = heap.pop() else {
+            break;
+        };
+        if taken[candidate] {
+            continue;
+        }
+        if bound == 0 {
+            break;
+        }
+        if computed_round == round {
+            covered.union_with(&sets[candidate]);
+            covered_count += bound;
+            taken[candidate] = true;
+            result.selected.push(candidate);
+            result
+                .coverage_curve
+                .push(covered_count as f32 / num_units as f32);
+            round += 1;
+        } else {
+            let gain = covered.union_gain(&sets[candidate]);
+            heap.push((gain, Reverse(candidate), round));
+        }
+    }
+    result.covered = covered.to_bitset();
     Ok(result)
 }
 
@@ -134,7 +212,7 @@ pub fn select_from_training_set(
         return Err(CoreError::EmptyCandidatePool);
     }
     let sets = evaluator.activation_sets(candidates)?;
-    greedy_select(&sets, evaluator.num_units(), max_tests)
+    greedy_select_covered(&sets, evaluator.num_units(), max_tests)
 }
 
 /// Reference implementation of Algorithm 1 exactly as written in the paper
@@ -163,6 +241,9 @@ pub fn greedy_select_naive(
         covered: Bitset::new(num_units),
         ..SelectionResult::default()
     };
+    // Same running-cardinality trick as the lazy variant: the accepted gain
+    // is exact, so no per-round popcount re-scan of the union.
+    let mut covered_count = 0usize;
     let mut taken = vec![false; sets.len()];
     while result.selected.len() < max_tests {
         let mut best: Option<(usize, usize)> = None; // (gain, index)
@@ -184,11 +265,12 @@ pub fn greedy_select_naive(
             break;
         }
         covered.union_with(&sets[index]);
+        covered_count += gain;
         taken[index] = true;
         result.selected.push(index);
         result
             .coverage_curve
-            .push(covered.count_ones() as f32 / num_units as f32);
+            .push(covered_count as f32 / num_units as f32);
     }
     result.covered = covered;
     Ok(result)

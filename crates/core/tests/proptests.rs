@@ -3,13 +3,14 @@
 
 use dnnip_core::bitset::Bitset;
 use dnnip_core::coverage::{CoverageAnalyzer, CoverageConfig, EpsilonPolicy};
+use dnnip_core::covered::CoveredSet;
 use dnnip_core::criterion::{
     builtin_criteria, criterion_digest, CoverageCriterion, NeuronActivation, ParamGradient,
     TopKNeuron,
 };
 use dnnip_core::eval::Evaluator;
 use dnnip_core::protocol::FunctionalTestSuite;
-use dnnip_core::select::{greedy_select, greedy_select_naive};
+use dnnip_core::select::{greedy_select, greedy_select_covered, greedy_select_naive};
 use dnnip_faults::detection::MatchPolicy;
 use dnnip_nn::layers::Activation;
 use dnnip_nn::zoo;
@@ -32,6 +33,25 @@ fn bitset_family() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
             prop::collection::vec(prop::collection::vec(0..len, 0..len / 2), 1..12),
         )
     })
+}
+
+/// Strategy for the compressed-set differentials: lengths that straddle the
+/// 4096-bit block boundary, and member sets spanning the density spectrum
+/// (empty, sparse, dense, all-ones — every `CoveredSet` block variant).
+fn covered_family() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
+    prop_oneof![1usize..90, 4090usize..4110, 8185usize..8205, 500usize..3000,].prop_flat_map(
+        |len| {
+            let member = prop_oneof![
+                // Sparse: well under the per-block sparse threshold.
+                prop::collection::vec(0..len, 0..24),
+                // Dense: enough positions to exceed the sparse threshold per block.
+                prop::collection::vec(0..len, 0..len.min(1600)),
+                // Full: every position, canonicalizing to Full blocks.
+                Just((0..len).collect::<Vec<usize>>()),
+            ];
+            (Just(len), prop::collection::vec(member, 1..6))
+        },
+    )
 }
 
 proptest! {
@@ -153,18 +173,20 @@ proptest! {
         // returned activation sets are bit-identical to a cache-free analyzer.
         let net = zoo::tiny_mlp(4, 8, 3, Activation::Relu, seed).unwrap();
         let analyzer = CoverageAnalyzer::new(&net, CoverageConfig::default());
-        // Budget measured in whole entries so eviction pressure scales with
-        // the pool: budgets smaller than the pool force constant turnover.
-        let entry_bytes = net.num_parameters().div_ceil(64) * 8 + 96;
-        let evaluator = Evaluator::with_cache_bytes(
-            &net,
-            CoverageConfig::default(),
-            entry_bytes * budget_entries,
-        );
         let pool: Vec<Tensor> = (0..pool_size)
             .map(|i| Tensor::from_fn(&[4], |j| ((i * 4 + j) as f32 * 0.31 + seed as f32).sin()))
             .collect();
         let fresh = analyzer.activation_sets(&pool).unwrap();
+        // Budget measured in whole entries — sized from the pool's actual
+        // compressed footprints — so eviction pressure scales with the pool:
+        // budgets smaller than the pool force constant turnover.
+        let entry_sizes: Vec<usize> = fresh
+            .iter()
+            .map(|b| CoveredSet::from_bitset(b).resident_bytes() + 96)
+            .collect();
+        let entry_bytes = entry_sizes.iter().copied().max().unwrap();
+        let budget = entry_bytes * budget_entries;
+        let evaluator = Evaluator::with_cache_bytes(&net, CoverageConfig::default(), budget);
         for round in 0..rounds {
             let cached = evaluator.activation_sets(&pool).unwrap();
             prop_assert_eq!(&cached, &fresh, "round {} diverged", round);
@@ -176,9 +198,9 @@ proptest! {
             );
         }
         let stats = evaluator.cache_stats();
-        prop_assert!(stats.entries <= budget_entries);
-        prop_assert!(stats.bytes <= entry_bytes * budget_entries);
-        if budget_entries < pool_size && rounds > 1 {
+        prop_assert!(stats.bytes <= budget);
+        prop_assert!(stats.resident_bytes + stats.entries * 96 == stats.bytes);
+        if entry_sizes.iter().sum::<usize>() > budget {
             prop_assert!(stats.evictions > 0, "undersized cache never evicted");
         }
     }
@@ -230,7 +252,7 @@ proptest! {
             );
             // Per-sample sets are subsets of the union too.
             let sets = evaluator.activation_sets(&pool).unwrap();
-            let mut union = Bitset::new(evaluator.num_units());
+            let mut union = CoveredSet::new(evaluator.num_units());
             for s in &sets {
                 union.union_with(s);
             }
@@ -346,5 +368,106 @@ proptest! {
         .unwrap();
         let restored = FunctionalTestSuite::from_bytes(&suite.to_bytes()).unwrap();
         prop_assert_eq!(restored, suite);
+    }
+
+    #[test]
+    fn compressed_sets_mirror_dense_sets_exactly((len, families) in covered_family()) {
+        // Both the adaptively compressed form and the forced-uncompressed form
+        // must agree with the dense `Bitset` reference on every observable:
+        // length, cardinality, density bits, point probes and iteration order.
+        for family in &families {
+            let dense = bitset_from_indices(len, family);
+            for covered in [
+                CoveredSet::from_bitset_compressed(&dense),
+                CoveredSet::from_bitset_uncompressed(&dense),
+            ] {
+                prop_assert_eq!(covered.len(), dense.len());
+                prop_assert_eq!(covered.count_ones(), dense.count_ones());
+                prop_assert_eq!(covered.density().to_bits(), dense.density().to_bits());
+                prop_assert_eq!(
+                    covered.iter_ones().collect::<Vec<_>>(),
+                    dense.iter_ones().collect::<Vec<_>>()
+                );
+                for i in (0..len).step_by(1 + len / 97) {
+                    prop_assert_eq!(covered.get(i), dense.get(i));
+                }
+                prop_assert_eq!(covered.to_bitset(), dense.clone());
+                prop_assert!(covered == dense);
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_union_algebra_matches_dense((len, families) in covered_family()) {
+        // Running union over the family, mixing compressed and uncompressed
+        // operands, must track the dense reference step for step — including
+        // the `union_gain` previews the greedy selector relies on.
+        let mut dense_union = Bitset::new(len);
+        let mut covered_union = CoveredSet::new(len);
+        for (i, family) in families.iter().enumerate() {
+            let dense = bitset_from_indices(len, family);
+            let operand = if i % 2 == 0 {
+                CoveredSet::from_bitset_compressed(&dense)
+            } else {
+                CoveredSet::from_bitset_uncompressed(&dense)
+            };
+            prop_assert_eq!(covered_union.union_gain(&operand), dense_union.union_gain(&dense));
+            dense_union.union_with(&dense);
+            covered_union.union_with(&operand);
+            prop_assert_eq!(covered_union.count_ones(), dense_union.count_ones());
+        }
+        prop_assert!(covered_union == dense_union);
+        // And the one-shot union constructor agrees with the incremental one.
+        let sets: Vec<CoveredSet> = families
+            .iter()
+            .map(|f| CoveredSet::from_bitset_compressed(&bitset_from_indices(len, f)))
+            .collect();
+        prop_assert_eq!(CoveredSet::union_of(len, sets.iter()), covered_union);
+    }
+
+    #[test]
+    fn covered_encoding_round_trips_and_rejects_truncation((len, families) in covered_family()) {
+        for family in &families {
+            let dense = bitset_from_indices(len, family);
+            for covered in [
+                CoveredSet::from_bitset_compressed(&dense),
+                CoveredSet::from_bitset_uncompressed(&dense),
+            ] {
+                let mut bytes = Vec::new();
+                covered.encode_into(&mut bytes);
+                let decoded = CoveredSet::decode_bytes(&bytes).expect("round trip");
+                prop_assert_eq!(&decoded, &covered);
+                prop_assert_eq!(decoded.to_bitset(), dense.clone());
+                // Structural validation: a truncated or padded payload is
+                // rejected rather than misread.
+                if !bytes.is_empty() {
+                    prop_assert!(CoveredSet::decode_bytes(&bytes[..bytes.len() - 1]).is_none());
+                }
+                let mut padded = bytes.clone();
+                padded.push(0);
+                prop_assert!(CoveredSet::decode_bytes(&padded).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn covered_greedy_selection_equals_dense_greedy((len, families) in covered_family()) {
+        use std::sync::Arc;
+        let sets: Vec<Bitset> = families.iter().map(|f| bitset_from_indices(len, f)).collect();
+        let covered: Vec<Arc<CoveredSet>> = sets
+            .iter()
+            .map(|b| Arc::new(CoveredSet::from_bitset_compressed(b)))
+            .collect();
+        for budget in [1usize, families.len()] {
+            let dense_result = greedy_select(&sets, len, budget).unwrap();
+            let covered_result = greedy_select_covered(&covered, len, budget).unwrap();
+            prop_assert_eq!(&covered_result.selected, &dense_result.selected);
+            let dense_bits: Vec<u32> =
+                dense_result.coverage_curve.iter().map(|f| f.to_bits()).collect();
+            let covered_bits: Vec<u32> =
+                covered_result.coverage_curve.iter().map(|f| f.to_bits()).collect();
+            prop_assert_eq!(covered_bits, dense_bits);
+            prop_assert_eq!(&covered_result.covered, &dense_result.covered);
+        }
     }
 }

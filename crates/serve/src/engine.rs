@@ -291,6 +291,15 @@ impl Engine {
         self.state.coalesce.snapshot()
     }
 
+    /// [`Engine::drain`], additionally returning the final activation-set
+    /// cache statistics — for harnesses that report cache residency and
+    /// compression alongside the coalescing totals.
+    pub fn drain_with_cache_stats(self) -> (CoalesceSnapshot, dnnip_core::eval::CacheStats) {
+        let state = Arc::clone(&self.state);
+        let coalesce = self.drain();
+        (coalesce, state.workspace.cache_stats())
+    }
+
     fn models_response(&self, id: &str) -> Json {
         let models = self
             .state
@@ -347,6 +356,10 @@ impl Engine {
                     ("evictions", Json::Num(cache.evictions as f64)),
                     ("entries", Json::Num(cache.entries as f64)),
                     ("bytes", Json::Num(cache.bytes as f64)),
+                    ("resident_bytes", Json::Num(cache.resident_bytes as f64)),
+                    ("logical_bytes", Json::Num(cache.logical_bytes as f64)),
+                    ("bytes_per_entry", Json::Num(cache.bytes_per_entry())),
+                    ("compression_ratio", Json::Num(cache.compression_ratio())),
                 ]),
             ),
             (
@@ -946,10 +959,21 @@ mod tests {
         }
         let stats = by_id(&responses, "s");
         assert!(stats.get("cache").is_some());
-        assert!(stats
-            .get("cache")
-            .and_then(|c| c.get("flight_hits"))
-            .is_some());
+        let cache = stats.get("cache").unwrap();
+        for key in [
+            "flight_hits",
+            "resident_bytes",
+            "logical_bytes",
+            "bytes_per_entry",
+            "compression_ratio",
+        ] {
+            assert!(cache.get(key).is_some(), "missing cache.{key}");
+        }
+        // An empty cache reports a neutral compression ratio, not NaN.
+        assert_eq!(
+            cache.get("compression_ratio").and_then(Json::as_f64),
+            Some(1.0)
+        );
         let coalesce = stats.get("coalesce").expect("coalesce counters");
         for key in ["batches", "requests", "mean_batch_size", "shared_samples"] {
             assert!(coalesce.get(key).is_some(), "missing coalesce.{key}");
