@@ -1,0 +1,214 @@
+//! Graph-model sweep: the non-sequential zoo models driven end to end
+//! through the workspace, recorded as JSON next to the other benches.
+//!
+//! Runs the `DNNIP_MODEL`-selected graph model (residual by default — the
+//! first workload a linear [`dnnip_nn::Network`] cannot express) through a
+//! greedy training-set selection under each forward-only criterion, and
+//! reports per criterion the unit count, covered units and warm selection
+//! time. A differential stage then lowers the scaled MNIST zoo network into
+//! the graph IR, registers both forms in fresh workspaces, and checks the
+//! resulting reports are bit-identical — the `lowered_equivalence` flag in
+//! the JSON (and stdout) is the bench-level pin of the graph/engine
+//! equivalence contract.
+//!
+//! ```text
+//! cargo run --release -p dnnip-bench --bin graph_sweep [smoke|default|paper]
+//! DNNIP_MODEL=branching cargo run --release -p dnnip-bench --bin graph_sweep
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dnnip_bench::{
+    cache_banner, graph_pool, seed_from_env_or, workspace_from_env, ExperimentProfile, ModelSpec,
+};
+use dnnip_core::coverage::CoverageConfig;
+use dnnip_core::generator::GenerationMethod;
+use dnnip_core::workspace::{TestGenRequest, Workspace};
+use dnnip_graph::Graph;
+use dnnip_nn::zoo;
+use std::hint::black_box;
+
+/// Forward-only criteria the graph path supports (gradient criteria require
+/// lowering to a sequential network first).
+const CRITERIA: &[&str] = &["neuron-activation:0.1", "topk-neuron:2"];
+
+struct Row {
+    criterion: String,
+    criterion_id: &'static str,
+    num_units: usize,
+    covered_units: u64,
+    final_coverage: f32,
+    select_warm_ms: f64,
+}
+
+fn time_ms<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One untimed warm-up rep, then the best of `reps` timed runs.
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Run one request against the lowered-graph and native-network registrations
+/// of the same sequential model and compare the reports bit for bit.
+fn lowered_reports_match(seed: u64, budget: usize) -> bool {
+    let net = zoo::mnist_model_scaled(seed).expect("scaled MNIST geometry");
+    let lowered = Graph::from(&net);
+    // The equivalence pool is kept small — the check is about bit-identity,
+    // not scale.
+    let pool = graph_pool(&lowered, 16, seed);
+    let config = CoverageConfig::default();
+    let ws_net = Workspace::new();
+    let ws_graph = Workspace::new();
+    let key_net = ws_net.register("mnist-scaled", net, config);
+    // A linear graph lowers into the network registry under the *network*
+    // fingerprint — the two keys must collide by construction.
+    let key_graph = ws_graph.register_graph("mnist-scaled", lowered, config);
+    if key_net != key_graph {
+        return false;
+    }
+    CRITERIA.iter().all(|spec| {
+        let request = TestGenRequest::new(key_net, GenerationMethod::TrainingSetSelection, budget)
+            .with_criterion_spec(spec.to_string())
+            .with_seed(seed)
+            .with_candidates(pool.clone());
+        let a = ws_net.run(&request).expect("network-path selection");
+        let b = ws_graph.run(&request).expect("graph-path selection");
+        a.num_units == b.num_units
+            && a.selected_indices() == b.selected_indices()
+            && a.tests.coverage_curve == b.tests.coverage_curve
+    })
+}
+
+fn main() {
+    let profile = ExperimentProfile::from_env_or_args();
+    let seed = seed_from_env_or(15);
+    let spec = match ModelSpec::from_env() {
+        // This binary exists to exercise graph models; with no override it
+        // runs the residual classifier rather than a sequential default.
+        ModelSpec::Default => ModelSpec::Residual,
+        other => other,
+    };
+    let (pool_size, budget, reps) = match profile {
+        ExperimentProfile::Smoke => (16usize, 4usize, 2usize),
+        ExperimentProfile::Default => (32, 8, 5),
+        ExperimentProfile::Paper => (128, 16, 5),
+    };
+    println!(
+        "== Graph-model sweep (model = {}, pool = {pool_size}, budget = {budget}) ==",
+        spec.name()
+    );
+    let ws = workspace_from_env();
+    println!("profile: {}, seed: {seed}", profile.name());
+    println!("{}\n", cache_banner(&ws));
+
+    let graph = Arc::new(
+        spec.build_graph(seed)
+            .expect("graph_sweep always resolves to a graph model"),
+    );
+    let pool = graph_pool(&graph, pool_size, seed);
+    let model = ws.register_graph(spec.name(), graph.clone(), CoverageConfig::default());
+
+    let mut rows: Vec<Row> = Vec::new();
+    for criterion in CRITERIA {
+        let request = TestGenRequest::new(model, GenerationMethod::TrainingSetSelection, budget)
+            .with_criterion_spec(criterion.to_string())
+            .with_seed(seed)
+            .with_candidates(pool.clone());
+        let result = ws.run(&request).expect("graph selection");
+        let select_warm_ms = time_ms(reps, || {
+            black_box(ws.run(black_box(&request)).expect("warm graph selection"));
+        });
+        // Density is exactly covered/num_units, so the rounded product
+        // recovers the integer covered-unit count.
+        let covered_units =
+            (f64::from(result.final_coverage()) * result.num_units as f64).round() as u64;
+        rows.push(Row {
+            criterion: (*criterion).to_string(),
+            criterion_id: result.criterion_id,
+            num_units: result.num_units,
+            covered_units,
+            final_coverage: result.final_coverage(),
+            select_warm_ms,
+        });
+    }
+
+    // Differential stage: a lowered sequential model must report identically
+    // through both registries.
+    let lowered_equivalence = lowered_reports_match(seed, budget.min(4));
+
+    println!("  criterion                units  covered  coverage  select warm");
+    println!("  ----------------------- ------ -------- --------- ------------");
+    for row in &rows {
+        println!(
+            "  {:<23} {:>6} {:>8} {:>8.1}% {:>10.3}ms",
+            row.criterion,
+            row.num_units,
+            row.covered_units,
+            row.final_coverage * 100.0,
+            row.select_warm_ms
+        );
+    }
+    println!(
+        "\n  lowered-sequential equivalence: {}",
+        if lowered_equivalence {
+            "ok"
+        } else {
+            "MISMATCH"
+        }
+    );
+    // Machine-readable lines for CI: covered_units is the minimum across
+    // criteria (every criterion must cover something), and the equivalence
+    // flag gates the lowered-graph contract.
+    println!(
+        "covered_units={}",
+        rows.iter().map(|r| r.covered_units).min().unwrap_or(0)
+    );
+    println!("lowered_equivalence={}", u8::from(lowered_equivalence));
+
+    // Hand-rolled JSON (the workspace has no serde): flat and diff-friendly.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"bench\": \"graph-model sweep: non-sequential zoo models through the workspace\",\n",
+    );
+    json.push_str(&format!("  \"profile\": \"{}\",\n", profile.name()));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"model\": \"{}\",\n", spec.name()));
+    json.push_str(&format!("  \"nodes\": {},\n", graph.num_nodes()));
+    json.push_str(&format!(
+        "  \"num_parameters\": {},\n",
+        graph.num_parameters()
+    ));
+    json.push_str(&format!("  \"pool_size\": {pool_size},\n"));
+    json.push_str(&format!("  \"budget\": {budget},\n"));
+    json.push_str(&format!(
+        "  \"lowered_equivalence\": {lowered_equivalence},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"criterion\": \"{}\", \"criterion_id\": \"{}\", \"num_units\": {}, \
+             \"covered_units\": {}, \"final_coverage\": {:.4}, \"select_warm_best_ms\": {:.3}}}{}\n",
+            row.criterion,
+            row.criterion_id,
+            row.num_units,
+            row.covered_units,
+            row.final_coverage,
+            row.select_warm_ms,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/results");
+    let out_path = format!("{out_dir}/graph_sweep.json");
+    std::fs::create_dir_all(out_dir).expect("create results dir");
+    std::fs::write(&out_path, &json).expect("write results json");
+    println!("\nwrote {out_path}");
+}

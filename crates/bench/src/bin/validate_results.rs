@@ -98,6 +98,21 @@ const EXPECTED: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "graph_sweep.json",
+        &[
+            "bench",
+            "profile",
+            "seed",
+            "model",
+            "nodes",
+            "num_parameters",
+            "pool_size",
+            "budget",
+            "lowered_equivalence",
+            "results",
+        ],
+    ),
+    (
         "cache_density.json",
         &[
             "bench",
@@ -279,6 +294,38 @@ fn check_cache_density(value: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Deep checks for `graph_sweep.json`: every criterion row covers a nonzero
+/// number of units (a graph model whose selection covers nothing means the
+/// graph criterion hooks broke) and the lowered-sequential equivalence flag
+/// is true — the bench-level pin of the graph/engine bit-identity contract.
+fn check_graph_sweep(value: &Json) -> Result<(), String> {
+    let rows = value
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "\"results\" is not an array".to_string())?;
+    if rows.is_empty() {
+        return Err("\"results\" is empty".to_string());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        for key in ["criterion", "criterion_id", "num_units", "covered_units"] {
+            if row.get(key).is_none() {
+                return Err(format!("results[{i}]: missing key {key:?}"));
+            }
+        }
+        let covered = row
+            .get("covered_units")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("results[{i}]: \"covered_units\" is not numeric"))?;
+        if covered <= 0.0 {
+            return Err(format!("results[{i}]: covered_units is {covered}, not > 0"));
+        }
+    }
+    if value.get("lowered_equivalence").and_then(Json::as_bool) != Some(true) {
+        return Err("\"lowered_equivalence\" is not true".to_string());
+    }
+    Ok(())
+}
+
 fn check_artifact(path: &Path) -> Result<(), String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("{}: unreadable: {e}", path.display()))?;
@@ -308,6 +355,9 @@ fn check_artifact(path: &Path) -> Result<(), String> {
     }
     if name == "cache_density.json" {
         check_cache_density(&value).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    if name == "graph_sweep.json" {
+        check_graph_sweep(&value).map_err(|e| format!("{}: {e}", path.display()))?;
     }
     Ok(())
 }

@@ -24,10 +24,12 @@ use dnnip_core::workspace::{CriterionSpec, Workspace};
 use dnnip_dataset::digits::{synthetic_mnist, DigitConfig};
 use dnnip_dataset::objects::{synthetic_cifar, ObjectConfig};
 use dnnip_dataset::LabeledDataset;
+use dnnip_graph::{zoo as graph_zoo, Graph};
 use dnnip_nn::fingerprint::NetworkFingerprint;
 use dnnip_nn::layers::Activation;
 use dnnip_nn::train::{evaluate, train, TrainConfig};
 use dnnip_nn::{zoo, Network};
+use dnnip_tensor::Tensor;
 
 /// Which scale an experiment runs at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -333,6 +335,92 @@ pub fn evaluator_for(model: &PreparedModel) -> Evaluator {
     )
 }
 
+/// Which model family an experiment binary should run, resolved from the
+/// `DNNIP_MODEL` environment variable.
+///
+/// The sequential experiment binaries default to their own trained Table-I
+/// models ([`ModelSpec::Default`]); setting `DNNIP_MODEL=residual` or
+/// `DNNIP_MODEL=branching` swaps in a graph-zoo model so the same binary can
+/// exercise the non-sequential path without code changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelSpec {
+    /// The binary's own default model (`DNNIP_MODEL` unset).
+    Default,
+    /// [`dnnip_graph::zoo::residual_classifier`] — the ResNet-style Add model.
+    Residual,
+    /// [`dnnip_graph::zoo::branching_classifier`] — the two-branch Concat model.
+    Branching,
+}
+
+impl ModelSpec {
+    /// Parse a model spec from an environment string.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value.to_ascii_lowercase().as_str() {
+            "default" => Some(Self::Default),
+            "residual" => Some(Self::Residual),
+            "branching" => Some(Self::Branching),
+            _ => None,
+        }
+    }
+
+    /// Resolve the model spec from `DNNIP_MODEL`, defaulting to
+    /// [`ModelSpec::Default`] when unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown `DNNIP_MODEL` value — a typo'd model name must not
+    /// silently run a different experiment.
+    pub fn from_env() -> Self {
+        match std::env::var("DNNIP_MODEL") {
+            Ok(value) => Self::parse(&value).unwrap_or_else(|| {
+                panic!("unknown DNNIP_MODEL {value:?} (default, residual or branching)")
+            }),
+            Err(std::env::VarError::NotUnicode(_)) => {
+                panic!("DNNIP_MODEL is set but not valid UTF-8")
+            }
+            Err(std::env::VarError::NotPresent) => Self::Default,
+        }
+    }
+
+    /// Name used in report headers and result JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Default => "default",
+            Self::Residual => "residual",
+            Self::Branching => "branching",
+        }
+    }
+
+    /// Build the graph-zoo model this spec names, or `None` for
+    /// [`ModelSpec::Default`] (the binary keeps its own sequential model).
+    pub fn build_graph(self, seed: u64) -> Option<Graph> {
+        let graph = match self {
+            Self::Default => return None,
+            Self::Residual => graph_zoo::residual_classifier(seed),
+            Self::Branching => graph_zoo::branching_classifier(seed),
+        };
+        Some(graph.expect("graph zoo geometries are statically valid"))
+    }
+}
+
+/// Deterministic candidate pool in a graph's input shape, derived only from
+/// the seed — the same formula as `dnnip-import`'s synthetic pool, so bench
+/// runs and importer runs over the same (shape, size, seed) triple share
+/// covered-set cache entries.
+pub fn graph_pool(graph: &Graph, size: usize, seed: u64) -> Vec<Tensor> {
+    let shape = graph.input_shape().to_vec();
+    let per: usize = shape.iter().product();
+    (0..size)
+        .map(|i| {
+            Tensor::from_fn(&shape, |j| {
+                let n =
+                    (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize).wrapping_add(i * per + j);
+                ((n % 7919) as f32 * 0.017).sin()
+            })
+        })
+        .collect()
+}
+
 /// Resolve the experiment seed: the `DNNIP_SEED` environment variable when set
 /// to a valid `u64`, otherwise `default`.
 ///
@@ -515,6 +603,47 @@ mod tests {
         let config = coverage_config_for(Activation::Relu);
         assert!(config.exec.threads() >= 1);
         assert!(config.batch_size >= 1);
+    }
+
+    #[test]
+    fn model_spec_parses_and_builds_graphs() {
+        assert_eq!(ModelSpec::parse("residual"), Some(ModelSpec::Residual));
+        assert_eq!(ModelSpec::parse("BRANCHING"), Some(ModelSpec::Branching));
+        assert_eq!(ModelSpec::parse("default"), Some(ModelSpec::Default));
+        assert_eq!(ModelSpec::parse("bogus"), None);
+        assert!(ModelSpec::Default.build_graph(1).is_none());
+        let residual = ModelSpec::Residual.build_graph(1).expect("residual graph");
+        assert_eq!(residual.input_shape(), &[1, 8, 8]);
+        assert!(!residual.is_linear());
+        let branching = ModelSpec::Branching
+            .build_graph(1)
+            .expect("branching graph");
+        assert_eq!(branching.num_classes(), 3);
+    }
+
+    #[test]
+    fn model_spec_env_override_defaults_when_unset() {
+        // Serialize set/unset cases in one test, like the seed test above.
+        if std::env::var("DNNIP_MODEL").is_err() {
+            assert_eq!(ModelSpec::from_env(), ModelSpec::Default);
+            std::env::set_var("DNNIP_MODEL", "residual");
+            assert_eq!(ModelSpec::from_env(), ModelSpec::Residual);
+            std::env::remove_var("DNNIP_MODEL");
+        }
+    }
+
+    #[test]
+    fn graph_pool_is_deterministic_and_shaped() {
+        let graph = ModelSpec::Residual.build_graph(3).expect("residual graph");
+        let a = graph_pool(&graph, 4, 9);
+        let b = graph_pool(&graph, 4, 9);
+        assert_eq!(a.len(), 4);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.shape(), &[1, 8, 8]);
+            assert_eq!(x.data(), y.data());
+        }
+        let c = graph_pool(&graph, 4, 10);
+        assert_ne!(a[0].data(), c[0].data());
     }
 
     #[test]

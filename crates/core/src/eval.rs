@@ -664,7 +664,7 @@ impl<V: CacheValue> ContentCache<V> {
     /// inserts. An owner whose computation fails releases its claims before
     /// returning the error; its waiters then re-probe, win the claim and run
     /// their own computation — a failed flight never poisons a waiter.
-    fn get_or_compute<K, F>(
+    pub(crate) fn get_or_compute<K, F>(
         &self,
         samples: &[Tensor],
         key_fn: K,

@@ -57,21 +57,28 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use dnnip_graph::Graph;
 use dnnip_nn::fingerprint::NetworkFingerprint;
 use dnnip_nn::Network;
 use dnnip_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
+use crate::combined::TestSource;
 use crate::coverage::{CoverageAnalyzer, CoverageConfig};
+use crate::covered::CoveredSet;
 use crate::criterion::{criterion_digest, criterion_from_spec, CoverageCriterion, ParamGradient};
 use crate::eval::{
-    CacheStats, ContentCache, CoveredSetCache, Evaluator, DEFAULT_CACHE_BYTES,
-    DEFAULT_OUTPUT_CACHE_BYTES,
+    sample_hash, CacheKey, CacheStats, ContentCache, CoveredSetCache, Evaluator,
+    DEFAULT_CACHE_BYTES, DEFAULT_OUTPUT_CACHE_BYTES,
 };
 use crate::generator::{GeneratedTests, GenerationConfig, GenerationMethod};
 use crate::gradgen::GradGenConfig;
 use crate::neuron::NeuronCoverageConfig;
 use crate::par::ExecPolicy;
 use crate::persist::{DiskStats, DiskTier, VacuumStats};
+use crate::select::greedy_select_covered;
 use crate::{CoreError, Result};
 
 /// Environment variable overriding the persistent-cache directory.
@@ -179,6 +186,17 @@ struct ModelEntry {
     coverage: CoverageConfig,
     /// Evaluators by criterion digest ([`criterion_digest`]).
     evaluators: HashMap<u64, Evaluator>,
+}
+
+/// One registered **non-sequential** graph model: the shared graph handle and
+/// its base coverage configuration. Keyed by [`Graph::fingerprint`] in the
+/// workspace's graph registry; linear graphs never land here (registration
+/// lowers them to a [`Network`] entry instead).
+#[derive(Debug)]
+struct GraphEntry {
+    name: String,
+    graph: Arc<Graph>,
+    coverage: CoverageConfig,
 }
 
 /// Summary of one registered model ([`Workspace::models`]).
@@ -361,6 +379,7 @@ pub struct Workspace {
     output_cache: Arc<ContentCache<Tensor>>,
     disk: Option<Arc<DiskTier>>,
     models: Mutex<HashMap<NetworkFingerprint, ModelEntry>>,
+    graphs: Mutex<HashMap<NetworkFingerprint, GraphEntry>>,
 }
 
 impl Default for Workspace {
@@ -390,6 +409,7 @@ impl Workspace {
             output_cache: Arc::new(ContentCache::new(config.output_cache_bytes)),
             disk,
             models: Mutex::new(HashMap::new()),
+            graphs: Mutex::new(HashMap::new()),
         }
     }
 
@@ -448,18 +468,84 @@ impl Workspace {
         fingerprint
     }
 
-    /// Summaries of every registered model, sorted by name.
+    /// Register a **graph** model (typically one imported via
+    /// `dnnip_graph::serialize`) under `name` and return the fingerprint it is
+    /// addressable by in [`TestGenRequest::model`].
+    ///
+    /// Single-path graphs are lowered to their bit-identical [`Network`] and
+    /// registered through [`Workspace::register`] — they get the full strategy
+    /// and criterion surface (including the paper's parameter-gradient
+    /// criterion) and are keyed by the **network** fingerprint. Non-sequential
+    /// graphs (Add/Concat, branching) are stored in the graph registry keyed
+    /// by [`Graph::fingerprint`]; requests against them run the forward-only
+    /// graph path (see [`Workspace::run`]). Either way the model shares the
+    /// workspace's covered-set cache budget and persistent tier.
+    ///
+    /// Re-registration follows the same latest-wins rule as
+    /// [`Workspace::register`].
+    pub fn register_graph(
+        &self,
+        name: impl Into<String>,
+        graph: impl Into<Arc<Graph>>,
+        coverage: CoverageConfig,
+    ) -> NetworkFingerprint {
+        let graph = graph.into();
+        if graph.is_linear() {
+            let network = graph
+                .to_network()
+                .expect("a linear graph always lowers to a Network");
+            return self.register(name, network, coverage);
+        }
+        let fingerprint = graph.fingerprint();
+        let mut graphs = self.graphs.lock().expect("workspace graph registry lock");
+        graphs.insert(
+            fingerprint,
+            GraphEntry {
+                name: name.into(),
+                graph,
+                coverage,
+            },
+        );
+        fingerprint
+    }
+
+    /// The shared graph handle of a registered non-sequential graph model
+    /// (`None` for unknown fingerprints *and* for linear graphs, which
+    /// registration lowers into the network registry).
+    pub fn graph(&self, model: NetworkFingerprint) -> Option<Arc<Graph>> {
+        self.graphs
+            .lock()
+            .expect("workspace graph registry lock")
+            .get(&model)
+            .map(|entry| Arc::clone(&entry.graph))
+    }
+
+    /// Summaries of every registered model — sequential networks and graph
+    /// models alike — sorted by name.
     pub fn models(&self) -> Vec<ModelInfo> {
-        let models = self.models.lock().expect("workspace registry lock");
-        let mut out: Vec<ModelInfo> = models
-            .iter()
-            .map(|(&fingerprint, entry)| ModelInfo {
+        let mut out: Vec<ModelInfo> = {
+            let models = self.models.lock().expect("workspace registry lock");
+            models
+                .iter()
+                .map(|(&fingerprint, entry)| ModelInfo {
+                    fingerprint,
+                    name: entry.name.clone(),
+                    num_parameters: entry.network.num_parameters(),
+                    num_evaluators: entry.evaluators.len(),
+                })
+                .collect()
+        };
+        {
+            let graphs = self.graphs.lock().expect("workspace graph registry lock");
+            out.extend(graphs.iter().map(|(&fingerprint, entry)| ModelInfo {
                 fingerprint,
                 name: entry.name.clone(),
-                num_parameters: entry.network.num_parameters(),
-                num_evaluators: entry.evaluators.len(),
-            })
-            .collect();
+                num_parameters: entry.graph.num_parameters(),
+                // Graph requests resolve criteria per run; no evaluator
+                // handles are minted for them.
+                num_evaluators: 0,
+            }));
+        }
         out.sort_unstable_by(|a, b| a.name.cmp(&b.name).then(a.fingerprint.cmp(&b.fingerprint)));
         out
     }
@@ -483,12 +569,12 @@ impl Workspace {
     }
 
     fn resolve_criterion(
-        entry: &ModelEntry,
+        coverage: &CoverageConfig,
         spec: &CriterionSpec,
     ) -> Result<Arc<dyn CoverageCriterion>> {
         Ok(match spec {
-            CriterionSpec::ModelDefault => Arc::new(ParamGradient::from_config(&entry.coverage)),
-            CriterionSpec::Spec(s) => criterion_from_spec(s, &entry.coverage)?,
+            CriterionSpec::ModelDefault => Arc::new(ParamGradient::from_config(coverage)),
+            CriterionSpec::Spec(s) => criterion_from_spec(s, coverage)?,
             CriterionSpec::Instance(c) => Arc::clone(c),
         })
     }
@@ -515,7 +601,7 @@ impl Workspace {
                 let entry = models.get(&model).ok_or_else(|| CoreError::InvalidConfig {
                     reason: format!("model {model} is not registered in this workspace"),
                 })?;
-                let resolved = Self::resolve_criterion(entry, criterion)?;
+                let resolved = Self::resolve_criterion(&entry.coverage, criterion)?;
                 let digest = criterion_digest(resolved.as_ref());
                 if let Some(existing) = entry.evaluators.get(&digest) {
                     return Ok(existing.clone());
@@ -569,6 +655,17 @@ impl Workspace {
     /// when a selection strategy receives no candidates, and propagates
     /// coverage/gradient errors.
     pub fn run(&self, request: &TestGenRequest) -> Result<TestGenReport> {
+        // Non-sequential graph models live in their own registry and run the
+        // forward-only graph path; everything else is the network path below.
+        let graph_entry = {
+            let graphs = self.graphs.lock().expect("workspace graph registry lock");
+            graphs
+                .get(&request.model)
+                .map(|entry| (entry.name.clone(), Arc::clone(&entry.graph), entry.coverage))
+        };
+        if let Some((name, graph, coverage)) = graph_entry {
+            return self.run_graph(&name, &graph, &coverage, request);
+        }
         let evaluator = self.evaluator(request.model, &request.criterion)?;
         let (model_name, coverage) = {
             let models = self.models.lock().expect("workspace registry lock");
@@ -603,6 +700,142 @@ impl Workspace {
             cache: self.set_cache.stats(),
             disk: self.disk_stats(),
         })
+    }
+
+    /// One [`TestGenRequest`] against a non-sequential graph model: covered
+    /// sets come from the criterion's graph hooks (cached under the graph
+    /// fingerprint in the shared budget), selection reuses the exact greedy /
+    /// random machinery of the network path, and the coverage curve is the
+    /// same prefix-union density [`crate::generator::generate_tests`]
+    /// computes — so a request against a *lowered* copy of a linear graph is
+    /// bit-identical on both paths (pinned by `tests/graph_equivalence.rs`).
+    fn run_graph(
+        &self,
+        name: &str,
+        graph: &Arc<Graph>,
+        coverage: &CoverageConfig,
+        request: &TestGenRequest,
+    ) -> Result<TestGenReport> {
+        if request.budget == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "max_tests must be at least 1".to_string(),
+            });
+        }
+        let criterion = Self::resolve_criterion(coverage, &request.criterion)?;
+        let Some(num_units) = criterion.num_units_graph(graph) else {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "criterion {:?} has no graph evaluation path, and graph model {name:?} is \
+                     not sequential (it cannot lower to a Network); use a forward-only \
+                     criterion such as neuron-activation or topk-neuron",
+                    criterion.id()
+                ),
+            });
+        };
+        if !matches!(
+            request.strategy,
+            GenerationMethod::TrainingSetSelection | GenerationMethod::RandomSelection
+        ) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "strategy {:?} needs the gradient engine, which only sequential models \
+                     have; graph model {name:?} supports training-set-selection and \
+                     random-selection",
+                    request.strategy.name()
+                ),
+            });
+        }
+        if request.candidates.is_empty() {
+            return Err(CoreError::EmptyCandidatePool);
+        }
+        let start = Instant::now();
+        let sets = self.graph_activation_sets(
+            request.model,
+            graph,
+            criterion.as_ref(),
+            &request.candidates,
+        )?;
+        let selected: Vec<usize> = match request.strategy {
+            GenerationMethod::TrainingSetSelection => {
+                greedy_select_covered(&sets, num_units, request.budget)?.selected
+            }
+            GenerationMethod::RandomSelection => {
+                // Identical draw to the network path's random strategy, so a
+                // fixed seed selects the same indices on both.
+                let mut rng = StdRng::seed_from_u64(request.seed);
+                let mut indices: Vec<usize> = (0..request.candidates.len()).collect();
+                indices.shuffle(&mut rng);
+                indices.truncate(request.budget);
+                indices
+            }
+            _ => unreachable!("strategy gated above"),
+        };
+        // Prefix-union density over the selected sets — the same curve
+        // arithmetic as `generator::coverage_curve`.
+        let mut covered = CoveredSet::new(num_units);
+        let mut coverage_curve = Vec::with_capacity(selected.len());
+        for &i in &selected {
+            covered.union_with(&sets[i]);
+            coverage_curve.push(covered.density());
+        }
+        let tests = GeneratedTests {
+            inputs: selected
+                .iter()
+                .map(|&i| request.candidates[i].clone())
+                .collect(),
+            coverage_curve,
+            method: request.strategy,
+            provenance: selected
+                .iter()
+                .map(|&i| TestSource::TrainingSample(i))
+                .collect(),
+        };
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        Ok(TestGenReport {
+            model: request.model,
+            model_name: name.to_string(),
+            strategy: request.strategy,
+            criterion_id: criterion.id(),
+            num_units,
+            tests,
+            wall_ms,
+            cache: self.set_cache.stats(),
+            disk: self.disk_stats(),
+        })
+    }
+
+    /// Cache-aware covered-unit sets of `samples` evaluated through a
+    /// criterion's graph hooks: entries live in the workspace's **shared**
+    /// covered-set cache (and persistent tier) under
+    /// `(graph fingerprint, sample hash, criterion digest)`, exactly like the
+    /// network path's.
+    fn graph_activation_sets(
+        &self,
+        fingerprint: NetworkFingerprint,
+        graph: &Arc<Graph>,
+        criterion: &dyn CoverageCriterion,
+        samples: &[Tensor],
+    ) -> Result<Vec<Arc<CoveredSet>>> {
+        let compute = |chunk: &[Tensor]| -> Result<Vec<CoveredSet>> {
+            let sets = criterion
+                .covered_units_graph(graph, chunk)
+                .expect("caller verified the criterion's graph path")?;
+            Ok(sets.iter().map(CoveredSet::from_bitset).collect())
+        };
+        if self.set_cache.max_bytes() == 0 {
+            return Ok(compute(samples)?.into_iter().map(Arc::new).collect());
+        }
+        let digest = criterion_digest(criterion);
+        self.set_cache.get_or_compute(
+            samples,
+            |sample| CacheKey {
+                net: fingerprint,
+                sample: sample_hash(sample),
+                criterion: digest,
+            },
+            criterion.id(),
+            compute,
+        )
     }
 
     /// Run many independent requests, fanned out over
@@ -722,13 +955,20 @@ impl Workspace {
     /// from the registry stop occupying cache space at the next vacuum.
     pub fn vacuum(&self) -> Option<VacuumStats> {
         let disk = self.disk.as_ref()?;
-        let keep: HashSet<NetworkFingerprint> = self
+        let mut keep: HashSet<NetworkFingerprint> = self
             .models
             .lock()
             .expect("workspace registry lock")
             .keys()
             .copied()
             .collect();
+        keep.extend(
+            self.graphs
+                .lock()
+                .expect("workspace graph registry lock")
+                .keys()
+                .copied(),
+        );
         Some(disk.vacuum(&keep))
     }
 
@@ -1046,6 +1286,100 @@ mod tests {
         // The shared warm pass really did collapse the duplicate computes:
         // m1 selection traffic cost 10 distinct sets, not 18.
         assert_eq!(ws.set_cache.stats_for_model(m1).entries, 10);
+    }
+
+    #[test]
+    fn graph_models_register_and_run_forward_only_requests() {
+        let ws = Workspace::new();
+        let graph = dnnip_graph::zoo::residual_classifier(5).unwrap();
+        let expected = graph.fingerprint();
+        let model = ws.register_graph("residual", graph, CoverageConfig::default());
+        assert_eq!(
+            model, expected,
+            "non-linear graphs key by graph fingerprint"
+        );
+        assert!(ws.graph(model).is_some());
+        assert!(ws.network(model).is_none());
+        let info = ws.models();
+        assert_eq!(info.len(), 1);
+        assert_eq!(info[0].name, "residual");
+        assert!(info[0].num_parameters > 0);
+
+        let candidates: Vec<Tensor> = (0..10)
+            .map(|i| Tensor::from_fn(&[1, 8, 8], |j| ((i * 64 + j) as f32 * 0.11).sin()))
+            .collect();
+        let report = ws
+            .run(
+                &TestGenRequest::new(model, GenerationMethod::TrainingSetSelection, 4)
+                    .with_criterion_spec("neuron-activation:0.1")
+                    .with_candidates(candidates.clone()),
+            )
+            .unwrap();
+        assert_eq!(report.model_name, "residual");
+        assert_eq!(report.criterion_id, "neuron-activation");
+        assert!(report.num_units > 0);
+        assert!(report.final_coverage() > 0.0);
+        assert_eq!(report.tests.len(), report.selected_indices().len());
+        // Second identical run is served from the shared covered-set cache.
+        let again = ws
+            .run(
+                &TestGenRequest::new(model, GenerationMethod::TrainingSetSelection, 4)
+                    .with_criterion_spec("neuron-activation:0.1")
+                    .with_candidates(candidates.clone()),
+            )
+            .unwrap();
+        assert_eq!(again.selected_indices(), report.selected_indices());
+        assert!(again.cache.hits >= candidates.len() as u64);
+
+        // Random selection draws the same indices as the network strategy
+        // would for the same seed.
+        let random = ws
+            .run(
+                &TestGenRequest::new(model, GenerationMethod::RandomSelection, 3)
+                    .with_criterion_spec("topk-neuron:2")
+                    .with_seed(9)
+                    .with_candidates(candidates.clone()),
+            )
+            .unwrap();
+        assert_eq!(random.tests.len(), 3);
+
+        // Gradient-needing criterion and synthesis strategies fail with
+        // actionable messages instead of mis-scoring.
+        let err = ws
+            .run(
+                &TestGenRequest::new(model, GenerationMethod::TrainingSetSelection, 3)
+                    .with_candidates(candidates.clone()),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("neuron-activation"), "{err}");
+        let err = ws
+            .run(
+                &TestGenRequest::new(model, GenerationMethod::GradientBased, 3)
+                    .with_criterion_spec("neuron-activation")
+                    .with_candidates(candidates),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("training-set-selection"), "{err}");
+    }
+
+    #[test]
+    fn linear_graphs_lower_into_the_network_registry() {
+        let ws = Workspace::new();
+        let network = net(13);
+        let graph = dnnip_graph::Graph::from(&network);
+        let model = ws.register_graph("lowered", graph, CoverageConfig::default());
+        // The key is the NETWORK fingerprint: full strategy/criterion surface.
+        assert_eq!(model, NetworkFingerprint::of(&network));
+        assert!(ws.graph(model).is_none());
+        assert!(ws.network(model).is_some());
+        let report = ws
+            .run(
+                &TestGenRequest::new(model, GenerationMethod::TrainingSetSelection, 3)
+                    .with_candidates(pool(8)),
+            )
+            .unwrap();
+        assert_eq!(report.criterion_id, "param-gradient");
+        assert!(report.final_coverage() > 0.0);
     }
 
     #[test]

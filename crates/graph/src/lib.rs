@@ -1,0 +1,51 @@
+//! Graph IR and versioned model-import front-end for the `dnnip` workspace.
+//!
+//! The DATE 2019 pipeline assumed a flat sequential layer stack
+//! ([`dnnip_nn::Network`]); this crate generalizes the model representation to
+//! a directed acyclic graph so skip connections and branches can be
+//! fingerprinted, registered, and driven through the same test-generation
+//! machinery:
+//!
+//! * [`graph`] — the IR itself: [`Graph`]/[`GraphBuilder`] with explicit
+//!   input edges per node, deterministic topological execution, per-node shape
+//!   inference at construction, and the **Add** (residual) and **Concat** ops
+//!   alongside the existing `dnnip-nn` layer kernels.
+//! * [`lower`] — conversion in both directions between [`Graph`] and the
+//!   sequential [`dnnip_nn::Network`]; a lowered graph executes bit-identically
+//!   to its source network (pinned by `tests/graph_equivalence.rs`).
+//! * [`serialize`] — a versioned, FNV-checksummed on-disk format
+//!   (`to_bytes`/`from_bytes`) so externally produced model files can be
+//!   imported, verified, and fingerprinted.
+//! * [`zoo`] — graph-native models: a ResNet-style [`zoo::residual_classifier`]
+//!   and a Concat-based [`zoo::branching_classifier`].
+//!
+//! # Example
+//!
+//! ```
+//! use dnnip_graph::zoo;
+//! use dnnip_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), dnnip_nn::NnError> {
+//! let graph = zoo::residual_classifier(42)?;
+//! assert!(!graph.is_linear()); // a Network cannot express this model
+//! let x = Tensor::from_fn(&[2, 1, 8, 8], |i| (i as f32 * 0.05).sin());
+//! let logits = graph.forward(&x)?;
+//! assert_eq!(logits.shape(), &[2, 10]);
+//!
+//! // Export, re-import, and check the content fingerprint survived.
+//! let bytes = dnnip_graph::serialize::to_bytes(&graph);
+//! let imported = dnnip_graph::serialize::from_bytes(&bytes)?;
+//! assert_eq!(imported.fingerprint(), graph.fingerprint());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod lower;
+pub mod serialize;
+pub mod zoo;
+
+pub use graph::{Graph, GraphBuilder, GraphForwardPass, GraphOp, Node, NodeId};

@@ -1,0 +1,109 @@
+//! Lowering between the sequential [`Network`] container and the graph IR.
+//!
+//! A sequential network is exactly a single-path graph: input node, then one
+//! layer node per layer, each fed by its predecessor. The conversion in either
+//! direction moves the *same* [`dnnip_nn::layers::Layer`] values, so execution
+//! after a round trip is bit-identical and the serialized network form (and
+//! therefore its fingerprint) is unchanged.
+
+use dnnip_nn::{Network, NnError, Result};
+
+use crate::graph::{Graph, GraphBuilder, GraphOp};
+
+impl From<&Network> for Graph {
+    /// Lower a sequential network to a linear graph (input node followed by
+    /// one layer node per layer, chained in order).
+    fn from(network: &Network) -> Self {
+        let mut builder = GraphBuilder::new(network.input_shape());
+        let mut prev = 0;
+        for layer in network.layers() {
+            prev = builder
+                .layer(prev, layer.clone())
+                .expect("network shape chain was validated at Network construction");
+        }
+        builder
+            .finish()
+            .expect("a valid network has at least one layer")
+    }
+}
+
+impl Graph {
+    /// Raise a linear graph back to a sequential [`Network`].
+    ///
+    /// Only graphs for which [`Graph::is_linear`] holds are representable; the
+    /// round trip `Graph::from(&net).to_network()` reproduces a network whose
+    /// serialized bytes (and fingerprint) equal the original's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::GraphNotSequential`] naming the first node that
+    /// breaks the chain.
+    pub fn to_network(&self) -> Result<Network> {
+        let mut layers = Vec::with_capacity(self.num_nodes() - 1);
+        for (id, node) in self.nodes().iter().enumerate().skip(1) {
+            let layer = match node.op() {
+                GraphOp::Layer(layer) => layer,
+                other => {
+                    return Err(NnError::GraphNotSequential {
+                        node: id,
+                        reason: format!("is a {} node", other.name()),
+                    });
+                }
+            };
+            if node.inputs() != [id - 1] {
+                return Err(NnError::GraphNotSequential {
+                    node: id,
+                    reason: format!(
+                        "is fed by nodes {:?} instead of its predecessor {}",
+                        node.inputs(),
+                        id - 1
+                    ),
+                });
+            }
+            layers.push(layer.clone());
+        }
+        Network::new(layers, self.input_shape())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnip_nn::layers::Activation;
+    use dnnip_nn::{serialize, zoo};
+    use dnnip_tensor::Tensor;
+
+    #[test]
+    fn lowering_round_trip_preserves_bytes() {
+        for net in [
+            zoo::tiny_mlp(6, 10, 4, Activation::Relu, 11).unwrap(),
+            zoo::tiny_cnn(4, 3, Activation::Tanh, 12).unwrap(),
+        ] {
+            let graph = Graph::from(&net);
+            assert!(graph.is_linear());
+            assert_eq!(graph.num_nodes(), net.num_layers() + 1);
+            assert_eq!(graph.num_parameters(), net.num_parameters());
+            let raised = graph.to_network().unwrap();
+            assert_eq!(serialize::to_bytes(&raised), serialize::to_bytes(&net));
+        }
+    }
+
+    #[test]
+    fn lowered_forward_is_bit_identical() {
+        let net = zoo::tiny_cnn(4, 3, Activation::Relu, 5).unwrap();
+        let graph = Graph::from(&net);
+        let batch = Tensor::from_fn(&[3, 1, 8, 8], |i| (i as f32 * 0.05).sin());
+        let a = net.forward(&batch).unwrap();
+        let b = graph.forward(&batch).unwrap();
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn non_linear_graphs_refuse_to_lower() {
+        let graph = crate::zoo::residual_classifier(1).unwrap();
+        let err = graph.to_network().unwrap_err();
+        assert!(matches!(err, NnError::GraphNotSequential { .. }));
+        assert!(err.to_string().contains("Add"), "{err}");
+    }
+}

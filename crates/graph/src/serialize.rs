@@ -1,0 +1,268 @@
+//! Versioned binary serialization of model graphs.
+//!
+//! The layout follows `dnnip_nn::serialize` (magic string, format version,
+//! little-endian integers) and adds the two things an *import* boundary needs
+//! that the trusted in-process network format does not:
+//!
+//! * per-node topology — each node stores its op tag and explicit input-edge
+//!   list; layer payloads embed the exact per-layer encoding of the network
+//!   format via [`dnnip_nn::serialize::layer_to_bytes`];
+//! * an FNV-1a checksum trailer over everything before it — externally
+//!   produced files travel through file systems and tools the workspace does
+//!   not control, so accidental corruption must fail loudly at the checksum
+//!   before any payload is interpreted.
+//!
+//! Deserialized node lists then pass through [`Graph::new`], which revalidates
+//! every edge (cycle / dangling-edge rejection) and re-infers every shape, so
+//! a corrupted-but-checksum-valid stream still cannot produce an inconsistent
+//! graph.
+
+use dnnip_nn::fingerprint::{Fnv1a, NetworkFingerprint};
+use dnnip_nn::serialize::{layer_from_bytes, layer_to_bytes};
+use dnnip_nn::{NnError, Result};
+
+use crate::graph::{Graph, GraphOp};
+
+const MAGIC: &[u8; 8] = b"DNNIPGRF";
+const VERSION: u32 = 1;
+
+const TAG_INPUT: u8 = 0;
+const TAG_LAYER: u8 = 1;
+const TAG_ADD: u8 = 2;
+const TAG_CONCAT: u8 = 3;
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(NnError::Deserialize(format!(
+                "unexpected end of graph stream at byte {} (wanted {n} more)",
+                self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Serialize a graph into a self-contained, checksummed byte vector.
+///
+/// The encoding is deterministic: serializing the graph produced by
+/// [`from_bytes`] reproduces the input bytes exactly, so fingerprints survive
+/// an export → import round trip.
+pub fn to_bytes(graph: &Graph) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    push_u32(&mut buf, VERSION);
+    push_u32(&mut buf, graph.input_shape().len() as u32);
+    for &d in graph.input_shape() {
+        push_u32(&mut buf, d as u32);
+    }
+    push_u32(&mut buf, graph.num_nodes() as u32);
+    for node in graph.nodes() {
+        let tag = match node.op() {
+            GraphOp::Input => TAG_INPUT,
+            GraphOp::Layer(_) => TAG_LAYER,
+            GraphOp::Add => TAG_ADD,
+            GraphOp::Concat => TAG_CONCAT,
+        };
+        buf.push(tag);
+        push_u32(&mut buf, node.inputs().len() as u32);
+        for &input in node.inputs() {
+            push_u32(&mut buf, input as u32);
+        }
+        if let GraphOp::Layer(layer) = node.op() {
+            let payload = layer_to_bytes(layer);
+            push_u32(&mut buf, payload.len() as u32);
+            buf.extend_from_slice(&payload);
+        }
+    }
+    let mut checksum = Fnv1a::new();
+    checksum.write(&buf);
+    buf.extend_from_slice(&checksum.finish().to_le_bytes());
+    buf
+}
+
+/// Reconstruct a graph from bytes produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] for truncated, tampered (checksum
+/// mismatch), padded or otherwise malformed streams and unsupported versions,
+/// and propagates [`Graph::new`] validation errors (cycles, dangling edges,
+/// shape mismatches) for streams describing inconsistent topologies.
+pub fn from_bytes(bytes: &[u8]) -> Result<Graph> {
+    if bytes.len() < MAGIC.len() + 8 {
+        return Err(NnError::Deserialize(format!(
+            "graph stream of {} bytes is shorter than the header and checksum",
+            bytes.len()
+        )));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("trailer is 8 bytes"));
+    let mut checksum = Fnv1a::new();
+    checksum.write(body);
+    if checksum.finish() != stored {
+        return Err(NnError::Deserialize(format!(
+            "graph checksum mismatch: stored {stored:016x}, computed {:016x} — the file was \
+             corrupted or tampered with in transit",
+            checksum.finish()
+        )));
+    }
+    let mut r = Reader { buf: body, pos: 0 };
+    if r.take(MAGIC.len())? != MAGIC {
+        return Err(NnError::Deserialize("bad graph magic".to_string()));
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(NnError::Deserialize(format!(
+            "unsupported graph format version {version} (expected {VERSION})"
+        )));
+    }
+    let shape_len = r.u32()? as usize;
+    let mut input_shape = Vec::with_capacity(shape_len);
+    for _ in 0..shape_len {
+        input_shape.push(r.u32()? as usize);
+    }
+    let num_nodes = r.u32()? as usize;
+    // Rebuild through the raw (op, inputs) pairs; Graph::new re-derives every
+    // shape and validates the topology.
+    let mut pairs: Vec<(GraphOp, Vec<usize>)> = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let tag = r.u8()?;
+        let num_inputs = r.u32()? as usize;
+        let mut inputs = Vec::with_capacity(num_inputs);
+        for _ in 0..num_inputs {
+            inputs.push(r.u32()? as usize);
+        }
+        let op = match tag {
+            TAG_INPUT => GraphOp::Input,
+            TAG_LAYER => {
+                let len = r.u32()? as usize;
+                let payload = r.take(len)?;
+                let (layer, consumed) = layer_from_bytes(payload)?;
+                if consumed != len {
+                    return Err(NnError::Deserialize(format!(
+                        "layer payload declared {len} bytes but decoding consumed {consumed}"
+                    )));
+                }
+                GraphOp::Layer(layer)
+            }
+            TAG_ADD => GraphOp::Add,
+            TAG_CONCAT => GraphOp::Concat,
+            other => {
+                return Err(NnError::Deserialize(format!("unknown node tag {other}")));
+            }
+        };
+        pairs.push((op, inputs));
+    }
+    if r.pos != body.len() {
+        return Err(NnError::Deserialize(format!(
+            "{} trailing bytes after the last node",
+            body.len() - r.pos
+        )));
+    }
+    Graph::from_raw_nodes(pairs, &input_shape)
+}
+
+impl Graph {
+    /// Content fingerprint of the graph: the same 128-bit dual-FNV digest
+    /// [`NetworkFingerprint`] uses for sequential networks, computed over the
+    /// graph's serialized byte stream. Any change to topology or any single
+    /// parameter bit changes the fingerprint.
+    pub fn fingerprint(&self) -> NetworkFingerprint {
+        NetworkFingerprint::of_bytes(&to_bytes(self))
+    }
+}
+
+/// Save a graph to a file.
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] wrapping the I/O error message on failure.
+pub fn to_file(graph: &Graph, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, to_bytes(graph))
+        .map_err(|e| NnError::Deserialize(format!("writing {}: {e}", path.display())))
+}
+
+/// Load a graph from a file written by [`to_file`].
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] for I/O errors or malformed content.
+pub fn from_file(path: &std::path::Path) -> Result<Graph> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| NnError::Deserialize(format!("reading {}: {e}", path.display())))?;
+    from_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn round_trip_is_byte_exact() {
+        for graph in [
+            zoo::residual_classifier(7).unwrap(),
+            zoo::branching_classifier(8).unwrap(),
+        ] {
+            let bytes = to_bytes(&graph);
+            let restored = from_bytes(&bytes).unwrap();
+            assert_eq!(to_bytes(&restored), bytes);
+            assert_eq!(restored.fingerprint(), graph.fingerprint());
+            assert_eq!(restored.num_parameters(), graph.num_parameters());
+        }
+    }
+
+    #[test]
+    fn corrupted_streams_are_rejected() {
+        let graph = zoo::residual_classifier(3).unwrap();
+        let bytes = to_bytes(&graph);
+        // Truncation (loses the checksum) and padding (breaks it) both fail.
+        assert!(from_bytes(&bytes[..bytes.len() - 3]).is_err(), "truncated");
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(from_bytes(&padded).is_err(), "padded");
+        // Any single tampered byte trips the checksum.
+        for i in [0usize, 8, bytes.len() / 2, bytes.len() - 9] {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            let err = from_bytes(&bad).unwrap_err();
+            assert!(
+                matches!(err, NnError::Deserialize(_)),
+                "flip at byte {i}: {err}"
+            );
+        }
+        assert!(from_bytes(&[]).is_err(), "empty stream");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let graph = zoo::residual_classifier(4).unwrap();
+        let dir = std::env::temp_dir().join("dnnip_graph_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.dnnipg");
+        to_file(&graph, &path).unwrap();
+        let restored = from_file(&path).unwrap();
+        assert_eq!(restored.fingerprint(), graph.fingerprint());
+        std::fs::remove_file(&path).ok();
+        assert!(from_file(&dir.join("missing.dnnipg")).is_err());
+    }
+}

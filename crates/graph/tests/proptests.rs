@@ -1,0 +1,97 @@
+//! Property-based tests for the versioned graph on-disk format: round trips
+//! are bit-exact, every corruption mode (truncation, padding, bit flips) is
+//! rejected at the checksum or parser, and the content fingerprint is
+//! sensitive to single-bit parameter changes — the guarantees the
+//! `dnnip-import` boundary relies on.
+
+use dnnip_graph::{serialize, zoo, Graph};
+use dnnip_nn::layers::Activation;
+use dnnip_nn::{zoo as nn_zoo, NnError};
+use dnnip_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Graphs from every construction source the format must cover: the two
+/// non-sequential zoo models and a lowered sequential network.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (0u64..100, 0u8..3).prop_map(|(seed, which)| match which {
+        0 => zoo::residual_classifier(seed).expect("valid zoo geometry"),
+        1 => zoo::branching_classifier(seed).expect("valid zoo geometry"),
+        _ => Graph::from(&nn_zoo::tiny_cnn(2, 3, Activation::Relu, seed).expect("valid geometry")),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn round_trip_is_bit_exact_and_behaviour_preserving(graph in arb_graph()) {
+        let bytes = serialize::to_bytes(&graph);
+        let restored = serialize::from_bytes(&bytes).unwrap();
+        // Encode(decode(bytes)) reproduces the stream exactly, so the
+        // fingerprint survives an export → import round trip.
+        prop_assert_eq!(serialize::to_bytes(&restored), bytes);
+        prop_assert_eq!(restored.fingerprint(), graph.fingerprint());
+        prop_assert_eq!(restored.num_parameters(), graph.num_parameters());
+        prop_assert_eq!(restored.summary(), graph.summary());
+
+        let mut shape = vec![2];
+        shape.extend_from_slice(graph.input_shape());
+        let batch = Tensor::from_fn(&shape, |j| ((j * 13 + 5) as f32 * 0.07).sin());
+        let a = graph.forward(&batch).unwrap();
+        let b = restored.forward(&batch).unwrap();
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn truncated_streams_are_rejected(seed in 0u64..50, frac in 0.0f32..1.0) {
+        let bytes = serialize::to_bytes(&zoo::residual_classifier(seed).expect("valid"));
+        // Any strict prefix must fail — either at the length check, the
+        // checksum, or the parser. None may yield a graph.
+        let cut = ((bytes.len() - 1) as f32 * frac) as usize;
+        prop_assert!(serialize::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn padded_streams_are_rejected(seed in 0u64..50, extra in 1usize..16, byte in 0u8..255) {
+        let mut bytes = serialize::to_bytes(&zoo::branching_classifier(seed).expect("valid"));
+        bytes.extend(std::iter::repeat(byte).take(extra));
+        // Appended bytes shift the checksum trailer off the real digest.
+        prop_assert!(serialize::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected(seed in 0u64..50, pos in 0usize..100_000, bit in 0u32..8) {
+        let mut bytes = serialize::to_bytes(&zoo::residual_classifier(seed).expect("valid"));
+        let idx = pos % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let err = serialize::from_bytes(&bytes).unwrap_err();
+        prop_assert!(matches!(err, NnError::Deserialize(_)), "flip at {}: {}", idx, err);
+        // Flips in the body trip the checksum with the actionable message;
+        // flips inside the 8-byte trailer corrupt the stored digest itself.
+        prop_assert!(
+            err.to_string().contains("checksum mismatch"),
+            "flip at {} of {}: {}", idx, bytes.len(), err
+        );
+    }
+
+    #[test]
+    fn fingerprints_are_sensitive_to_single_parameter_bits(
+        seed in 0u64..50,
+        pidx in 0usize..10_000,
+        bit in 0u32..23,
+    ) {
+        // Flip one mantissa bit of one parameter of a sequential model and
+        // lower both versions: the graph fingerprints must differ (and the
+        // unchanged copy must collide).
+        let net = nn_zoo::tiny_cnn(2, 3, Activation::Tanh, seed).expect("valid geometry");
+        let mut params = net.parameters_flat();
+        let idx = pidx % params.len();
+        params[idx] = f32::from_bits(params[idx].to_bits() ^ (1 << bit));
+        let mut flipped = net.clone();
+        flipped.set_parameters_flat(&params).unwrap();
+
+        let original = Graph::from(&net).fingerprint();
+        prop_assert_eq!(Graph::from(&net).fingerprint(), original);
+        prop_assert_ne!(Graph::from(&flipped).fingerprint(), original);
+    }
+}

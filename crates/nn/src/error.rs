@@ -48,6 +48,43 @@ pub enum NnError {
     Deserialize(String),
     /// Training was requested with an empty dataset or inconsistent inputs/labels.
     InvalidTrainingData(String),
+    /// A graph node references a node that is not defined before it.
+    ///
+    /// Graph nodes are stored in topological order, so an edge pointing at the
+    /// node itself or a later node would form a cycle (or forward reference),
+    /// which the executor cannot schedule.
+    GraphCycle {
+        /// Index of the node holding the offending edge.
+        node: usize,
+        /// The referenced node index (>= `node`).
+        input: usize,
+    },
+    /// A graph node references a node index that does not exist at all.
+    GraphDanglingEdge {
+        /// Index of the node holding the offending edge.
+        node: usize,
+        /// The referenced node index.
+        input: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A graph node's inputs have shapes its op cannot combine.
+    GraphShapeMismatch {
+        /// Index of the offending node.
+        node: usize,
+        /// Name of the op at that node.
+        op: String,
+        /// What went wrong and how to fix it.
+        reason: String,
+    },
+    /// A graph was asked to lower to a sequential [`crate::Network`] but
+    /// contains non-sequential structure.
+    GraphNotSequential {
+        /// Index of the first node that breaks the single-path chain.
+        node: usize,
+        /// What about that node is non-sequential.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -79,6 +116,38 @@ impl fmt::Display for NnError {
             }
             NnError::Deserialize(msg) => write!(f, "deserialization failed: {msg}"),
             NnError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            NnError::GraphCycle { node, input } => {
+                write!(
+                    f,
+                    "graph node {node} references node {input}, which is not defined before it: \
+                     nodes must be listed in topological order (an edge to the node itself or a \
+                     later node would form a cycle); reorder the nodes so every edge points at an \
+                     earlier node"
+                )
+            }
+            NnError::GraphDanglingEdge {
+                node,
+                input,
+                num_nodes,
+            } => {
+                write!(
+                    f,
+                    "graph node {node} references node {input}, but the graph only has \
+                     {num_nodes} nodes (valid indices are 0..{num_nodes}); remove the dangling \
+                     edge or add the missing node"
+                )
+            }
+            NnError::GraphShapeMismatch { node, op, reason } => {
+                write!(f, "graph node {node} ({op}): {reason}")
+            }
+            NnError::GraphNotSequential { node, reason } => {
+                write!(
+                    f,
+                    "graph cannot lower to a sequential Network: node {node} {reason}; only a \
+                     single-path chain of layer nodes (no Add/Concat, no branching) is \
+                     representable as a Network"
+                )
+            }
         }
     }
 }
@@ -112,6 +181,31 @@ mod tests {
         assert!(e.to_string().contains('7'));
         let t: NnError = TensorError::EmptyTensor { op: "max" }.into();
         assert!(t.to_string().contains("max"));
+    }
+
+    #[test]
+    fn graph_errors_are_actionable() {
+        let cycle = NnError::GraphCycle { node: 3, input: 5 };
+        assert!(cycle.to_string().contains("topological order"));
+        assert!(cycle.to_string().contains('3') && cycle.to_string().contains('5'));
+        let dangling = NnError::GraphDanglingEdge {
+            node: 2,
+            input: 9,
+            num_nodes: 4,
+        };
+        assert!(dangling.to_string().contains("dangling"));
+        assert!(dangling.to_string().contains("0..4"));
+        let shape = NnError::GraphShapeMismatch {
+            node: 1,
+            op: "Add".to_string(),
+            reason: "inputs disagree".to_string(),
+        };
+        assert!(shape.to_string().contains("Add"));
+        let seq = NnError::GraphNotSequential {
+            node: 4,
+            reason: "is an Add node".to_string(),
+        };
+        assert!(seq.to_string().contains("single-path chain"));
     }
 
     #[test]

@@ -9,6 +9,11 @@ use crate::{NnError, Result};
 /// A feed-forward network: an ordered list of [`Layer`]s plus the shape of a
 /// single input sample.
 ///
+/// `Network` is the *sequential* model container: every layer feeds exactly
+/// the next one. Models with skip connections or branches live in the
+/// `dnnip-graph` crate's graph IR, which reuses these [`Layer`] kernels as
+/// node payloads and lowers single-path graphs back to a `Network`.
+///
 /// The network exposes three views that the rest of the workspace builds on:
 ///
 /// 1. **Inference** — [`Network::forward`] / [`Network::predict`].
@@ -147,7 +152,8 @@ impl Network {
     }
 
     /// Multi-line human-readable summary (layer names, output shapes, parameter
-    /// counts).
+    /// counts). The rendering follows the single-path layer order; graph models
+    /// print their own topology-aware summary via `dnnip-graph`.
     pub fn summary(&self) -> String {
         let mut out = String::new();
         let mut shape = vec![1];

@@ -4,7 +4,11 @@
 //! index: parameters are laid out layer by layer (in network order), weight
 //! tensor first, then bias, each in row-major order. [`ParamLayout`] describes
 //! that layout and lets callers translate between global indices and
-//! `(layer, tensor, local offset)` coordinates.
+//! `(layer, tensor, local offset)` coordinates. The layout is not tied to the
+//! sequential container: the graph IR in `dnnip-graph` builds the same layout
+//! over its parameterized nodes in topological order (using node indices as
+//! the `layer_index`), so a lowered graph and its source network share
+//! identical global parameter indices.
 //!
 //! The layout is the shared language of the whole workspace:
 //!

@@ -8,7 +8,10 @@
 //! * the accelerator crate, which builds a quantized weight-memory image from a
 //!   saved model;
 //! * the vendor/user protocol, which ships the vendor's golden model alongside
-//!   the generated functional tests in examples and tests.
+//!   the generated functional tests in examples and tests;
+//! * the graph IR in `dnnip-graph`, whose on-disk format embeds each layer
+//!   node's payload via [`layer_to_bytes`] / [`layer_from_bytes`] so both the
+//!   sequential and the graph model paths share one layer encoding.
 
 use crate::layers::{Activation, ActivationLayer, Conv2d, Dense, Flatten, Layer, MaxPool2d};
 use crate::{Network, NnError, Result};
@@ -125,6 +128,101 @@ fn activation_from_code(code: u8) -> Result<Activation> {
     }
 }
 
+fn write_layer(w: &mut Writer, layer: &Layer) {
+    match layer {
+        Layer::Conv2d(conv) => {
+            w.u8(TAG_CONV2D);
+            let (weight, bias) = conv.parameters();
+            w.shape(weight.shape());
+            w.u32(conv.geometry().stride as u32);
+            w.u32(conv.geometry().pad as u32);
+            w.f32_slice(weight.data());
+            w.f32_slice(bias.data());
+        }
+        Layer::Dense(dense) => {
+            w.u8(TAG_DENSE);
+            let (weight, bias) = dense.parameters();
+            w.shape(weight.shape());
+            w.f32_slice(weight.data());
+            w.f32_slice(bias.data());
+        }
+        Layer::MaxPool2d(pool) => {
+            w.u8(TAG_MAXPOOL);
+            w.u32(pool.kernel() as u32);
+            w.u32(pool.stride() as u32);
+        }
+        Layer::Flatten(_) => {
+            w.u8(TAG_FLATTEN);
+        }
+        Layer::Activation(act) => {
+            w.u8(TAG_ACTIVATION);
+            w.u8(activation_code(act.activation()));
+        }
+    }
+}
+
+fn read_layer(r: &mut Reader<'_>) -> Result<Layer> {
+    let tag = r.u8()?;
+    match tag {
+        TAG_CONV2D => {
+            let wshape = r.shape()?;
+            let stride = r.u32()? as usize;
+            let pad = r.u32()? as usize;
+            let wdata = r.f32_vec()?;
+            let bdata = r.f32_vec()?;
+            let weight = Tensor::from_vec(wdata, &wshape)?;
+            let bias_len = bdata.len();
+            let bias = Tensor::from_vec(bdata, &[bias_len])?;
+            Ok(Conv2d::new(weight, bias, stride, pad)?.into())
+        }
+        TAG_DENSE => {
+            let wshape = r.shape()?;
+            let wdata = r.f32_vec()?;
+            let bdata = r.f32_vec()?;
+            let weight = Tensor::from_vec(wdata, &wshape)?;
+            let bias_len = bdata.len();
+            let bias = Tensor::from_vec(bdata, &[bias_len])?;
+            Ok(Dense::new(weight, bias)?.into())
+        }
+        TAG_MAXPOOL => {
+            let k = r.u32()? as usize;
+            let s = r.u32()? as usize;
+            Ok(MaxPool2d::new(k, s).into())
+        }
+        TAG_FLATTEN => Ok(Flatten::new().into()),
+        TAG_ACTIVATION => {
+            let code = r.u8()?;
+            Ok(ActivationLayer::new(activation_from_code(code)?).into())
+        }
+        other => Err(NnError::Deserialize(format!("unknown layer tag {other}"))),
+    }
+}
+
+/// Serialize a single layer (tag byte + configuration + parameters) exactly as
+/// it appears inside a [`to_bytes`] stream.
+///
+/// The graph on-disk format in `dnnip-graph` embeds layer nodes with this
+/// encoding, so a layer serializes identically whether it sits in a sequential
+/// network or in a graph.
+pub fn layer_to_bytes(layer: &Layer) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_layer(&mut w, layer);
+    w.buf
+}
+
+/// Decode one layer from the front of `bytes`, returning the layer and the
+/// number of bytes it occupied.
+///
+/// # Errors
+///
+/// Returns [`NnError::Deserialize`] for truncated or malformed layer payloads
+/// and unknown layer tags.
+pub fn layer_from_bytes(bytes: &[u8]) -> Result<(Layer, usize)> {
+    let mut r = Reader::new(bytes);
+    let layer = read_layer(&mut r)?;
+    Ok((layer, r.pos))
+}
+
 /// Serialize a network into a self-contained byte vector.
 pub fn to_bytes(network: &Network) -> Vec<u8> {
     let mut w = Writer::new();
@@ -133,36 +231,7 @@ pub fn to_bytes(network: &Network) -> Vec<u8> {
     w.shape(network.input_shape());
     w.u32(network.num_layers() as u32);
     for layer in network.layers() {
-        match layer {
-            Layer::Conv2d(conv) => {
-                w.u8(TAG_CONV2D);
-                let (weight, bias) = conv.parameters();
-                w.shape(weight.shape());
-                w.u32(conv.geometry().stride as u32);
-                w.u32(conv.geometry().pad as u32);
-                w.f32_slice(weight.data());
-                w.f32_slice(bias.data());
-            }
-            Layer::Dense(dense) => {
-                w.u8(TAG_DENSE);
-                let (weight, bias) = dense.parameters();
-                w.shape(weight.shape());
-                w.f32_slice(weight.data());
-                w.f32_slice(bias.data());
-            }
-            Layer::MaxPool2d(pool) => {
-                w.u8(TAG_MAXPOOL);
-                w.u32(pool.kernel() as u32);
-                w.u32(pool.stride() as u32);
-            }
-            Layer::Flatten(_) => {
-                w.u8(TAG_FLATTEN);
-            }
-            Layer::Activation(act) => {
-                w.u8(TAG_ACTIVATION);
-                w.u8(activation_code(act.activation()));
-            }
-        }
+        write_layer(&mut w, layer);
     }
     w.buf
 }
@@ -190,42 +259,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Network> {
     let num_layers = r.u32()? as usize;
     let mut layers: Vec<Layer> = Vec::with_capacity(num_layers);
     for _ in 0..num_layers {
-        let tag = r.u8()?;
-        match tag {
-            TAG_CONV2D => {
-                let wshape = r.shape()?;
-                let stride = r.u32()? as usize;
-                let pad = r.u32()? as usize;
-                let wdata = r.f32_vec()?;
-                let bdata = r.f32_vec()?;
-                let weight = Tensor::from_vec(wdata, &wshape)?;
-                let bias_len = bdata.len();
-                let bias = Tensor::from_vec(bdata, &[bias_len])?;
-                layers.push(Conv2d::new(weight, bias, stride, pad)?.into());
-            }
-            TAG_DENSE => {
-                let wshape = r.shape()?;
-                let wdata = r.f32_vec()?;
-                let bdata = r.f32_vec()?;
-                let weight = Tensor::from_vec(wdata, &wshape)?;
-                let bias_len = bdata.len();
-                let bias = Tensor::from_vec(bdata, &[bias_len])?;
-                layers.push(Dense::new(weight, bias)?.into());
-            }
-            TAG_MAXPOOL => {
-                let k = r.u32()? as usize;
-                let s = r.u32()? as usize;
-                layers.push(MaxPool2d::new(k, s).into());
-            }
-            TAG_FLATTEN => layers.push(Flatten::new().into()),
-            TAG_ACTIVATION => {
-                let code = r.u8()?;
-                layers.push(ActivationLayer::new(activation_from_code(code)?).into());
-            }
-            other => {
-                return Err(NnError::Deserialize(format!("unknown layer tag {other}")));
-            }
-        }
+        layers.push(read_layer(&mut r)?);
     }
     if !r.finished() {
         return Err(NnError::Deserialize(format!(
@@ -300,6 +334,25 @@ mod tests {
         trailing.push(0);
         assert!(from_bytes(&trailing).is_err(), "trailing bytes");
         assert!(from_bytes(&[]).is_err(), "empty stream");
+    }
+
+    #[test]
+    fn single_layer_round_trip_matches_network_encoding() {
+        let net = zoo::tiny_cnn(4, 3, Activation::Relu, 3).unwrap();
+        for layer in net.layers() {
+            let bytes = layer_to_bytes(layer);
+            let (restored, consumed) = layer_from_bytes(&bytes).unwrap();
+            assert_eq!(consumed, bytes.len());
+            // Re-encoding the decoded layer reproduces the exact bytes, and the
+            // encoding matches what a full network stream embeds for the layer.
+            assert_eq!(layer_to_bytes(&restored), bytes);
+            assert_eq!(restored.name(), layer.name());
+        }
+        // Truncated payloads and unknown tags are rejected.
+        let bytes = layer_to_bytes(&net.layers()[0]);
+        assert!(layer_from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(layer_from_bytes(&[0xEE]).is_err());
+        assert!(layer_from_bytes(&[]).is_err());
     }
 
     #[test]

@@ -29,7 +29,8 @@ use dnnip_tensor::Tensor;
 
 use crate::json::{obj, Json};
 use crate::protocol::{
-    build_model, parse_request, GenerateSpec, PoolSpec, RequestOp, ServeRequest, BUILTIN_MODELS,
+    build_graph_model, build_model, parse_request, GenerateSpec, PoolSpec, RequestOp, ServeRequest,
+    BUILTIN_GRAPH_MODELS, BUILTIN_MODELS,
 };
 
 /// Synthetic pools already materialized while resolving one batch, keyed by
@@ -171,12 +172,27 @@ impl Engine {
     /// Build an engine over `workspace` (the builtin model zoo is registered
     /// into it) and start the worker pool.
     pub fn new(workspace: Workspace, config: EngineConfig) -> Self {
-        let mut models = Vec::with_capacity(BUILTIN_MODELS.len());
+        let mut models = Vec::with_capacity(BUILTIN_MODELS.len() + BUILTIN_GRAPH_MODELS.len());
         for &name in BUILTIN_MODELS {
             let (network, coverage) = build_model(name).expect("builtin model");
             let input_shape = network.input_shape().to_vec();
             let num_parameters = network.num_parameters();
             let key = workspace.register(name, network, coverage);
+            models.push(RegisteredModel {
+                name: name.to_string(),
+                key,
+                input_shape,
+                num_parameters,
+            });
+        }
+        for &name in BUILTIN_GRAPH_MODELS {
+            // Graph models serve forward-only criteria through the
+            // workspace's graph path; other requests get structured
+            // "generation" errors rather than being rejected at parse time.
+            let (graph, coverage) = build_graph_model(name).expect("builtin graph model");
+            let input_shape = graph.input_shape().to_vec();
+            let num_parameters = graph.num_parameters();
+            let key = workspace.register_graph(name, graph, coverage);
             models.push(RegisteredModel {
                 name: name.to_string(),
                 key,
@@ -865,6 +881,35 @@ mod tests {
     }
 
     #[test]
+    fn graph_models_serve_forward_only_requests() {
+        let responses = roundtrip(
+            engine(),
+            &[
+                r#"{"id":"g","model":"residual","criterion":"neuron-activation:0.1","budget":3,"pool":{"synthetic":8,"seed":3}}"#,
+                // The default (param-gradient) criterion has no graph path:
+                // a structured generation error, not a hang or a panic.
+                r#"{"id":"bad","model":"residual","budget":3,"pool":{"synthetic":8,"seed":3}}"#,
+            ],
+        );
+        let ok = by_id(&responses, "g");
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(ok.get("model").and_then(Json::as_str), Some("residual"));
+        assert_eq!(
+            ok.get("criterion").and_then(Json::as_str),
+            Some("neuron-activation")
+        );
+        assert!(ok.get("final_coverage").and_then(Json::as_f64).unwrap() > 0.0);
+        let bad = by_id(&responses, "bad");
+        assert_eq!(bad.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(bad
+            .get("error")
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("neuron-activation"));
+    }
+
+    #[test]
     fn bad_requests_get_structured_errors_not_dropped_lines() {
         let responses = roundtrip(
             engine(),
@@ -949,12 +994,15 @@ mod tests {
             .get("models")
             .and_then(Json::as_array)
             .unwrap();
-        assert_eq!(models.len(), BUILTIN_MODELS.len());
+        assert_eq!(
+            models.len(),
+            BUILTIN_MODELS.len() + BUILTIN_GRAPH_MODELS.len()
+        );
         let names: Vec<&str> = models
             .iter()
             .map(|m| m.get("name").and_then(Json::as_str).unwrap())
             .collect();
-        for &name in BUILTIN_MODELS {
+        for &name in BUILTIN_MODELS.iter().chain(BUILTIN_GRAPH_MODELS) {
             assert!(names.contains(&name), "{name} missing from models op");
         }
         let stats = by_id(&responses, "s");

@@ -34,6 +34,22 @@ use crate::json::Json;
 /// different engines.
 pub const BUILTIN_MODELS: &[&str] = &["tiny-relu", "tiny-tanh", "mlp-wide", "mnist-scaled"];
 
+/// Names of the **graph** models every service instance registers at startup
+/// — non-sequential architectures served through the workspace's graph path
+/// (forward-only criteria, selection strategies).
+pub const BUILTIN_GRAPH_MODELS: &[&str] = &["residual"];
+
+/// Construct a builtin graph model and its base coverage configuration by
+/// name.
+pub fn build_graph_model(name: &str) -> Option<(dnnip_graph::Graph, CoverageConfig)> {
+    let graph = match name {
+        "residual" => dnnip_graph::zoo::residual_classifier(15),
+        _ => return None,
+    }
+    .expect("builtin graph geometries are valid");
+    Some((graph, CoverageConfig::default()))
+}
+
 /// Construct a builtin model and its base coverage configuration by name.
 pub fn build_model(name: &str) -> Option<(Network, CoverageConfig)> {
     let network = match name {

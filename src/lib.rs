@@ -11,6 +11,7 @@
 //! |---|---|---|
 //! | [`tensor`] | `dnnip-tensor` | dense `f32` tensors, conv/pool kernels |
 //! | [`nn`] | `dnnip-nn` | layers, backprop, optimizers, training, model zoo |
+//! | [`graph`] | `dnnip-graph` | graph IR: Add/Concat ops, topological execution, model import |
 //! | [`dataset`] | `dnnip-dataset` | synthetic MNIST/CIFAR/OOD/noise image families |
 //! | [`accel`] | `dnnip-accel` | black-box accelerator IP simulator + weight memory |
 //! | [`faults`] | `dnnip-faults` | SBA / GDA / random attacks, detection harness |
@@ -55,6 +56,7 @@ pub use dnnip_accel as accel;
 pub use dnnip_core as core;
 pub use dnnip_dataset as dataset;
 pub use dnnip_faults as faults;
+pub use dnnip_graph as graph;
 pub use dnnip_nn as nn;
 pub use dnnip_tensor as tensor;
 

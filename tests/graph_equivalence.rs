@@ -1,0 +1,254 @@
+//! Differential pinning of the graph IR against the sequential `Network`
+//! path it generalises.
+//!
+//! A lowered sequential model (`Graph::from(&Network)`) must be **bit
+//! identical** to the original through every surface the workspace exposes:
+//!
+//! * `forward` / `forward_cached` / `forward_sample` outputs,
+//! * `backward` input- and parameter-gradients, and `parameter_gradients`,
+//! * covered-unit sets under the forward-only criteria (graph hooks vs the
+//!   batched engine),
+//! * greedy-selection indices and coverage curves through `Workspace::run`.
+//!
+//! The suite also pins what only the graph can do: deterministic topological
+//! order across rebuilds and serialization round trips, and end-to-end runs
+//! of the non-sequential residual model (including the actionable error when
+//! a gradient criterion is requested on a graph that cannot lower).
+
+use std::sync::Arc;
+
+use dnnip::core::coverage::CoverageConfig;
+use dnnip::core::eval::Evaluator;
+use dnnip::core::generator::GenerationMethod;
+use dnnip::core::workspace::{TestGenRequest, Workspace};
+use dnnip::graph::{serialize, zoo as graph_zoo, Graph};
+use dnnip::prelude::*;
+
+/// Pin against `DNNIP_SEED` when set (so the whole differential suite can be
+/// replayed under another stream), defaulting like the experiment binaries.
+fn seed() -> u64 {
+    std::env::var("DNNIP_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(23)
+}
+
+/// Sequential zoo models covering both activation families.
+fn models() -> Vec<Network> {
+    vec![
+        zoo::tiny_cnn(2, 3, Activation::Relu, seed()).unwrap(),
+        zoo::tiny_cnn(2, 3, Activation::Tanh, seed().wrapping_add(1)).unwrap(),
+    ]
+}
+
+fn batch_for(network: &Network, n: usize) -> Tensor {
+    let mut shape = vec![n];
+    shape.extend_from_slice(network.input_shape());
+    Tensor::from_fn(&shape, |j| ((j * 31 + 7) as f32 * 0.11).sin())
+}
+
+fn pool_for(network: &Network, n: usize) -> Vec<Tensor> {
+    let shape = network.input_shape().to_vec();
+    (0..n)
+        .map(|i| Tensor::from_fn(&shape, |j| ((i * 97 + j) as f32 * 0.13).sin().abs()))
+        .collect()
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length drifted");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i} drifted");
+    }
+}
+
+#[test]
+fn lowered_forwards_are_bit_identical() {
+    for network in models() {
+        let graph = Graph::from(&network);
+        assert!(graph.is_linear());
+        let batch = batch_for(&network, 4);
+
+        let net_out = network.forward(&batch).unwrap();
+        let graph_out = graph.forward(&batch).unwrap();
+        assert_eq!(net_out.shape(), graph_out.shape());
+        assert_bits_eq(net_out.data(), graph_out.data(), "forward");
+
+        let net_pass = network.forward_cached(&batch).unwrap();
+        let graph_pass = graph.forward_cached(&batch).unwrap();
+        assert_bits_eq(
+            net_pass.output.data(),
+            graph_pass.output.data(),
+            "forward_cached output",
+        );
+
+        let sample = pool_for(&network, 1).remove(0);
+        let net_sample = network.forward_sample(&sample).unwrap();
+        let graph_sample = graph.forward_sample(&sample).unwrap();
+        assert_bits_eq(net_sample.data(), graph_sample.data(), "forward_sample");
+    }
+}
+
+#[test]
+fn lowered_backwards_and_parameter_gradients_are_bit_identical() {
+    for network in models() {
+        let graph = Graph::from(&network);
+        let batch = batch_for(&network, 3);
+
+        let net_pass = network.forward_cached(&batch).unwrap();
+        let graph_pass = graph.forward_cached(&batch).unwrap();
+        let grad_output =
+            Tensor::from_fn(net_pass.output.shape(), |j| ((j + 1) as f32 * 0.21).cos());
+
+        let net_back = network.backward(&net_pass, &grad_output).unwrap();
+        let graph_back = graph.backward(&graph_pass, &grad_output).unwrap();
+        assert_bits_eq(
+            net_back.grad_input.data(),
+            graph_back.grad_input.data(),
+            "grad_input",
+        );
+        assert_bits_eq(
+            &net_back.param_grads,
+            &graph_back.param_grads,
+            "param_grads",
+        );
+
+        let sample = pool_for(&network, 1).remove(0);
+        let weights = vec![1.0f32; network.num_classes()];
+        let net_grads = network.parameter_gradients(&sample, &weights).unwrap();
+        let graph_grads = graph.parameter_gradients(&sample, &weights).unwrap();
+        assert_bits_eq(&net_grads, &graph_grads, "parameter_gradients");
+    }
+}
+
+#[test]
+fn lowered_covered_sets_match_the_batched_engine() {
+    let criteria: Vec<Arc<dyn CoverageCriterion>> = vec![
+        Arc::new(NeuronActivation::default()),
+        Arc::new(TopKNeuron::default()),
+    ];
+    for network in models() {
+        let graph = Graph::from(&network);
+        let pool = pool_for(&network, 6);
+        for criterion in &criteria {
+            let evaluator =
+                Evaluator::with_criterion(&network, CoverageConfig::default(), criterion.clone());
+            let engine_sets = evaluator.activation_sets(&pool).unwrap();
+            let graph_sets = criterion
+                .covered_units_graph(&graph, &pool)
+                .expect("forward-only criteria implement the graph hook")
+                .unwrap();
+            assert_eq!(
+                Some(graph_sets.first().map_or(0, |s| s.len())),
+                criterion.num_units_graph(&graph),
+                "{}: unit count drifted",
+                criterion.id()
+            );
+            assert_eq!(engine_sets.len(), graph_sets.len());
+            for (i, (engine, graph_set)) in engine_sets.iter().zip(&graph_sets).enumerate() {
+                assert!(
+                    *engine == *graph_set,
+                    "{}: covered set {i} drifted",
+                    criterion.id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lowered_workspace_selections_are_bit_identical() {
+    for network in models() {
+        let graph = Graph::from(&network);
+        let ws_net = Workspace::new();
+        let ws_graph = Workspace::new();
+        let key_net = ws_net.register("seq", network.clone(), CoverageConfig::default());
+        // A linear graph lowers into the network registry under the network
+        // fingerprint — registration keys must collide by construction.
+        let key_graph = ws_graph.register_graph("seq", graph, CoverageConfig::default());
+        assert_eq!(key_net, key_graph);
+
+        let pool = pool_for(&network, 12);
+        for spec in ["neuron-activation:0.1", "topk-neuron:2"] {
+            for method in [
+                GenerationMethod::TrainingSetSelection,
+                GenerationMethod::RandomSelection,
+            ] {
+                let request = TestGenRequest::new(key_net, method, 5)
+                    .with_criterion_spec(spec.to_string())
+                    .with_seed(seed())
+                    .with_candidates(pool.clone());
+                let a = ws_net.run(&request).unwrap();
+                let b = ws_graph.run(&request).unwrap();
+                assert_eq!(a.num_units, b.num_units, "{spec}: unit count drifted");
+                assert_eq!(
+                    a.selected_indices(),
+                    b.selected_indices(),
+                    "{spec}: {} indices drifted",
+                    method.name()
+                );
+                assert_bits_eq(
+                    &a.tests.coverage_curve,
+                    &b.tests.coverage_curve,
+                    "coverage curve",
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn topological_order_is_deterministic_across_rebuilds_and_round_trips() {
+    let first = graph_zoo::residual_classifier(seed()).unwrap();
+    let second = graph_zoo::residual_classifier(seed()).unwrap();
+    assert_eq!(first.summary(), second.summary());
+    assert_eq!(first.fingerprint(), second.fingerprint());
+    let bytes = serialize::to_bytes(&first);
+    assert_eq!(bytes, serialize::to_bytes(&second));
+
+    let reloaded = serialize::from_bytes(&bytes).unwrap();
+    assert_eq!(reloaded.summary(), first.summary());
+    assert_eq!(reloaded.fingerprint(), first.fingerprint());
+    let batch = Tensor::from_fn(&[2, 1, 8, 8], |j| (j as f32 * 0.05).sin());
+    assert_bits_eq(
+        first.forward(&batch).unwrap().data(),
+        reloaded.forward(&batch).unwrap().data(),
+        "round-tripped forward",
+    );
+}
+
+#[test]
+fn nonlinear_graphs_run_end_to_end_through_the_workspace() {
+    let graph = graph_zoo::residual_classifier(seed()).unwrap();
+    let shape = graph.input_shape().to_vec();
+    let pool: Vec<Tensor> = (0..8)
+        .map(|i| Tensor::from_fn(&shape, |j| ((i * 53 + j) as f32 * 0.17).sin()))
+        .collect();
+    let ws = Workspace::new();
+    let key = ws.register_graph("residual", graph, CoverageConfig::default());
+
+    let report = ws
+        .run(
+            &TestGenRequest::new(key, GenerationMethod::TrainingSetSelection, 3)
+                .with_criterion_spec("neuron-activation:0.1".to_string())
+                .with_candidates(pool.clone()),
+        )
+        .unwrap();
+    assert!(report.num_units > 0);
+    assert!(report.final_coverage() > 0.0, "nothing covered");
+    assert!(!report.tests.inputs.is_empty());
+
+    // Gradient criteria cannot run on a graph that does not lower; the error
+    // must name the criteria that do work.
+    let err = ws
+        .run(
+            &TestGenRequest::new(key, GenerationMethod::TrainingSetSelection, 3)
+                .with_criterion_spec("param-gradient".to_string())
+                .with_candidates(pool),
+        )
+        .unwrap_err();
+    let message = err.to_string();
+    assert!(
+        message.contains("neuron-activation"),
+        "unhelpful error: {message}"
+    );
+}
